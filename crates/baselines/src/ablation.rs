@@ -1,0 +1,60 @@
+//! The "Parallel" ablation strategy of Figure 9.
+//!
+//! The paper decomposes GraphPipe's gain into (1) parallel execution of
+//! stages and (2) the larger micro-batch size enabled by the reduced memory
+//! footprint. The "Parallel" strategy isolates (1): it uses GraphPipe's
+//! topology-aware partitioner but pins the micro-batch size to the one the
+//! SPP baseline chose. ("It is not possible to evaluate the strategy only
+//! with larger micro-batch size since the reduced pipeline depth from
+//! parallel stage execution enables larger micro-batch size", §7.4.)
+
+use crate::pipedream::PipeDreamPlanner;
+use gp_cluster::Cluster;
+use gp_ir::SpModel;
+use gp_partition::{GraphPipePlanner, Plan, PlanError, PlanOptions, Planner};
+
+/// Plans the "Parallel" ablation strategy: GPP stage graph, SPP micro-batch
+/// size.
+///
+/// # Errors
+///
+/// Fails if either the SPP baseline or the constrained GraphPipe search
+/// finds no feasible strategy.
+///
+/// # Examples
+///
+/// ```
+/// use gp_cluster::Cluster;
+/// use gp_ir::zoo::{self, CandleUnoConfig};
+///
+/// let model = zoo::candle_uno(&CandleUnoConfig::default());
+/// let cluster = Cluster::summit_like(8);
+/// let plan = gp_baselines::parallel_ablation(&model, &cluster, 1024)?;
+/// assert!(plan.pipeline_depth() <= plan.stage_graph.len());
+/// # Ok::<(), gp_partition::PlanError>(())
+/// ```
+pub fn parallel_ablation(
+    model: &SpModel,
+    cluster: &Cluster,
+    mini_batch: u64,
+) -> Result<Plan, PlanError> {
+    let spp = PipeDreamPlanner::new().plan(model, cluster, mini_batch)?;
+    let b = spp.max_micro_batch();
+    let opts = PlanOptions::default().with_forced_micro_batch(b);
+    GraphPipePlanner::with_options(opts).plan(model, cluster, mini_batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_ir::zoo::{self, CandleUnoConfig};
+
+    #[test]
+    fn ablation_inherits_spp_micro_batch() {
+        let model = zoo::candle_uno(&CandleUnoConfig::default());
+        let cluster = Cluster::summit_like(8);
+        let spp = PipeDreamPlanner::new().plan(&model, &cluster, 1024).unwrap();
+        let par = parallel_ablation(&model, &cluster, 1024).unwrap();
+        assert_eq!(par.max_micro_batch(), spp.max_micro_batch());
+    }
+}

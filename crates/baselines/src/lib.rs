@@ -1,0 +1,27 @@
+//! # gp-baselines — sequential pipeline-parallel baselines
+//!
+//! The planners GraphPipe is evaluated against in §7:
+//!
+//! * [`PipeDreamPlanner`] — operator-granularity DP over the linearized
+//!   model (covers the partitioning/scheduling space of DAPPLE, PipeDream
+//!   and the SPP configurations of Alpa, per §7.1);
+//! * [`PiperPlanner`] — downset-lattice DP allowing cross-branch stages,
+//!   whose exponential blow-up on many-branch models reproduces the "✗"
+//!   entries of Table 1;
+//! * [`parallel_ablation`] — the "Parallel" strategy of Figure 9 (GPP
+//!   partition, SPP micro-batch size).
+//!
+//! All planners emit the same [`gp_partition::Plan`] type and run on the
+//! same simulator/runtime, exactly as the paper executes every planner's
+//! strategies on the same distributed runtime.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod ablation;
+mod pipedream;
+mod piper;
+
+pub use ablation::parallel_ablation;
+pub use pipedream::PipeDreamPlanner;
+pub use piper::PiperPlanner;

@@ -1,0 +1,410 @@
+//! The PipeDream baseline planner (Narayanan et al., SOSP'19 / ICML'21).
+//!
+//! PipeDream linearizes the DNN into a single operator chain and partitions
+//! it into *sequential* stages with optional data-parallel replication per
+//! stage, running the synchronous 1F1B schedule (the configuration the
+//! GraphPipe paper compares against: "PipeDream with the operator
+//! granularity ... covers the pipeline partitioning and scheduling
+//! strategies of all baseline SPP approaches", §7.1).
+//!
+//! The planner is a dynamic program over chain suffixes that minimizes the
+//! bottleneck stage's Time-Per-Sample subject to the 1F1B memory constraint
+//! (a stage at distance `p` from the sink keeps `p + 1` micro-batches in
+//! flight). Because the model is linearized first, parallel branches are
+//! pipelined one after another — the missed opportunity GPP exploits.
+
+use gp_cluster::{Cluster, DeviceRange};
+use gp_cost::{CostModel, Pass, BYTES_PER_PARAM_STATE};
+use gp_ir::{Graph, OpId, SpModel};
+use gp_partition::{Plan, PlanError, PlanOptions, Planner, SearchStats};
+use gp_sched::{assign_in_flight, schedule_tasks, Stage, StageGraph, StageId};
+use std::time::Instant;
+
+/// Sequential-pipeline planner at operator granularity.
+///
+/// # Examples
+///
+/// ```
+/// use gp_cluster::Cluster;
+/// use gp_ir::zoo::{self, MmtConfig};
+/// use gp_baselines::PipeDreamPlanner;
+/// use gp_partition::Planner;
+///
+/// let model = zoo::mmt(&MmtConfig::two_branch());
+/// let plan = PipeDreamPlanner::new().plan(&model, &Cluster::summit_like(4), 64)?;
+/// // SPP: pipeline depth equals the stage count.
+/// assert_eq!(plan.pipeline_depth(), plan.stage_graph.len());
+/// # Ok::<(), gp_partition::PlanError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PipeDreamPlanner {
+    options: PlanOptions,
+}
+
+/// One Pareto entry of the suffix DP: a partition of the chain suffix with
+/// its bottleneck TPS and stage count, plus back-pointers for
+/// reconstruction.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    tps: f64,
+    depth: u32,
+    /// Split position: the suffix's first stage is `[i..j)`.
+    j: u32,
+    /// Devices given to the first stage.
+    d1: u32,
+    /// Index of the chosen entry in `f(j, d - d1)`.
+    child: u32,
+}
+
+/// Per-prefix aggregate costs of the linearized chain.
+struct Prefix {
+    fwd: Vec<f64>,
+    bwd: Vec<f64>,
+    params: Vec<u64>,
+    act: Vec<u64>,
+    /// `cut[c]`: activation bytes per sample crossing position `c` (the live
+    /// set a sequential pipeline must hand from stage to stage).
+    cut: Vec<u64>,
+}
+
+impl Prefix {
+    fn build(graph: &Graph, cost: &CostModel, order: &[OpId], b: u64) -> Prefix {
+        let n = order.len();
+        let mut pos = vec![0usize; graph.len()];
+        for (i, &op) in order.iter().enumerate() {
+            pos[op.index()] = i;
+        }
+        let (mut fwd, mut bwd) = (vec![0.0; n + 1], vec![0.0; n + 1]);
+        let (mut params, mut act) = (vec![0u64; n + 1], vec![0u64; n + 1]);
+        for (i, &op) in order.iter().enumerate() {
+            fwd[i + 1] = fwd[i] + cost.op_time(graph, op, b, Pass::Forward);
+            bwd[i + 1] = bwd[i] + cost.op_time(graph, op, b, Pass::Backward);
+            params[i + 1] =
+                params[i] + graph.node(op).kind.param_count() * gp_ir::BYTES_PER_ELEMENT;
+            act[i + 1] = act[i] + graph.stashed_bytes(op);
+        }
+        // diff[c] accumulates edge contributions: an edge (u, v) is live
+        // across every cut strictly between u and v.
+        let mut diff = vec![0i64; n + 2];
+        for (u, v) in graph.edges() {
+            let (pu, pv) = (pos[u.index()], pos[v.index()]);
+            debug_assert!(pu < pv, "linearization must be topological");
+            let bytes = graph.node(u).output_bytes() as i64;
+            diff[pu + 1] += bytes;
+            diff[pv + 1] -= bytes;
+        }
+        let mut cut = vec![0u64; n + 1];
+        let mut acc = 0i64;
+        for c in 0..=n {
+            acc += diff[c];
+            cut[c] = acc as u64;
+        }
+        Prefix {
+            fwd,
+            bwd,
+            params,
+            act,
+            cut,
+        }
+    }
+}
+
+impl PipeDreamPlanner {
+    /// Planner with default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Planner with explicit options.
+    pub fn with_options(options: PlanOptions) -> Self {
+        PipeDreamPlanner { options }
+    }
+
+    /// Runs the suffix DP for one micro-batch size; returns the cut
+    /// positions and device counts of the best partition, with its
+    /// estimated bottleneck TPS.
+    #[allow(clippy::too_many_arguments)]
+    fn dp(
+        &self,
+        graph: &Graph,
+        cost: &CostModel,
+        order: &[OpId],
+        devices: u32,
+        b: u64,
+        mini_batch: u64,
+        evals: &mut u64,
+    ) -> Option<(Vec<(u32, u32, u32)>, f64)> {
+        let n = order.len() as u32;
+        let pre = Prefix::build(graph, cost, order, b);
+        let mem_budget = cost.memory_budget();
+        let link = cost.default_boundary_link();
+        // f[i][d] = Pareto entries for partitioning ops [i..n) over d devices.
+        let mut f: Vec<Vec<Vec<Entry>>> =
+            vec![vec![Vec::new(); devices as usize + 1]; n as usize + 1];
+        f[n as usize][0].push(Entry {
+            tps: 0.0,
+            depth: 0,
+            j: n,
+            d1: 0,
+            child: 0,
+        });
+        for i in (0..n).rev() {
+            for d in 1..=devices {
+                let mut front: Vec<Entry> = Vec::new();
+                for j in i + 1..=n {
+                    let seg_fwd = pre.fwd[j as usize] - pre.fwd[i as usize];
+                    let seg_bwd = pre.bwd[j as usize] - pre.bwd[i as usize];
+                    let seg_params = pre.params[j as usize] - pre.params[i as usize];
+                    let seg_act = pre.act[j as usize] - pre.act[i as usize];
+                    let comm_bytes = pre.cut[i as usize] + pre.cut[j as usize];
+                    for d1 in 1..=d {
+                        let d_rest = d - d1;
+                        if f[j as usize][d_rest as usize].is_empty() {
+                            continue;
+                        }
+                        *evals += 1;
+                        let m = (mini_batch / b).max(1);
+                        let d_eff = m as f64 / m.div_ceil(d1 as u64) as f64;
+                        let tps_stage = (seg_fwd + seg_bwd) / (b as f64 * d_eff)
+                            + comm_bytes as f64 / link.bandwidth
+                            + 2.0 * link.latency / b as f64
+                            + cost.allreduce_time(seg_params, &DeviceRange::new(0, d1))
+                                / mini_batch as f64;
+                        for (ci, child) in f[j as usize][d_rest as usize]
+                            .clone()
+                            .iter()
+                            .enumerate()
+                        {
+                            // 1F1B: this stage sits child.depth stages from
+                            // the sink and keeps depth+1 micro-batches.
+                            let in_flight = (child.depth as u64 + 1) * b;
+                            let mem = seg_params / gp_ir::BYTES_PER_ELEMENT
+                                * BYTES_PER_PARAM_STATE
+                                + seg_act
+                                    * CostModel::in_flight_per_replica(
+                                        in_flight,
+                                        b,
+                                        d1 as usize,
+                                    );
+                            if mem > mem_budget {
+                                continue;
+                            }
+                            let cand = Entry {
+                                tps: tps_stage.max(child.tps),
+                                depth: child.depth + 1,
+                                j,
+                                d1,
+                                child: ci as u32,
+                            };
+                            insert_pareto(&mut front, cand);
+                        }
+                    }
+                }
+                f[i as usize][d as usize] = front;
+            }
+        }
+        // Best entry at the source with all devices in use.
+        let best = f[0][devices as usize]
+            .iter()
+            .cloned()
+            .min_by(|a, b| a.tps.total_cmp(&b.tps))?;
+        // Reconstruct (start, end, devices) triples.
+        let mut cuts = Vec::new();
+        let (mut i, mut d, mut e) = (0u32, devices, best);
+        loop {
+            cuts.push((i, e.j, e.d1));
+            if e.j == n {
+                break;
+            }
+            let next = f[e.j as usize][(d - e.d1) as usize][e.child as usize];
+            i = e.j;
+            d -= e.d1;
+            e = next;
+        }
+        debug_assert_eq!(i, cuts.last().unwrap().0);
+        Some((cuts, best.tps))
+    }
+}
+
+/// Keeps `front` minimal under (tps, depth) dominance.
+fn insert_pareto(front: &mut Vec<Entry>, cand: Entry) {
+    if front
+        .iter()
+        .any(|e| e.tps <= cand.tps && e.depth <= cand.depth)
+    {
+        return;
+    }
+    front.retain(|e| !(cand.tps <= e.tps && cand.depth <= e.depth));
+    front.push(cand);
+}
+
+impl Planner for PipeDreamPlanner {
+    fn name(&self) -> &str {
+        "pipedream"
+    }
+
+    fn plan(
+        &self,
+        model: &SpModel,
+        cluster: &Cluster,
+        mini_batch: u64,
+    ) -> Result<Plan, PlanError> {
+        let start = Instant::now();
+        let graph = model.graph();
+        let cost = CostModel::new(cluster);
+        let order = model.linearize();
+        let devices = cluster.device_count() as u32;
+        let b_all = self.options.micro_batch_sizes(mini_batch);
+        if b_all.is_empty() {
+            return Err(PlanError::Infeasible(
+                "no micro-batch size candidates divide the mini-batch".to_string(),
+            ));
+        }
+        let mut stats = SearchStats::default();
+        let mut best: Option<(Vec<(u32, u32, u32)>, f64, u64)> = None;
+        for &b in &b_all {
+            stats.configs_tried += 1;
+            let mut evals = 0u64;
+            if let Some((cuts, tps)) =
+                self.dp(graph, &cost, &order, devices, b, mini_batch, &mut evals)
+            {
+                let better = match &best {
+                    None => true,
+                    Some((_, cur, _)) => tps < *cur,
+                };
+                if better {
+                    best = Some((cuts, tps, b));
+                }
+            }
+            stats.dp_evals += evals;
+            if stats.dp_evals > self.options.eval_budget {
+                return Err(PlanError::SearchExplosion {
+                    evals: stats.dp_evals,
+                });
+            }
+        }
+        let (cuts, _, b) = best.ok_or_else(|| {
+            PlanError::Infeasible(
+                "no sequential partition fits the device memory budget".to_string(),
+            )
+        })?;
+        let mut cursor = 0u32;
+        let stages: Vec<Stage> = cuts
+            .iter()
+            .enumerate()
+            .map(|(idx, &(i, j, d1))| {
+                let devices = DeviceRange::new(cursor, d1);
+                cursor += d1;
+                Stage {
+                    id: StageId(idx as u32),
+                    ops: order[i as usize..j as usize].to_vec(),
+                    devices,
+                    micro_batch: b,
+                    kfkb: 1,
+                }
+            })
+            .collect();
+        let stage_graph = StageGraph::new_sequential(graph, cluster, stages, mini_batch)
+            .map_err(|e| PlanError::Internal(e.to_string()))?;
+        let in_flight = assign_in_flight(&stage_graph);
+        let schedule = schedule_tasks(&stage_graph, &in_flight);
+        stats.wall = start.elapsed();
+        let mut plan = Plan {
+            stage_graph,
+            in_flight,
+            schedule,
+            bottleneck_tps: 0.0,
+            peak_memory_bytes: 0,
+            stats,
+        };
+        let (tps, mem) = plan.measure(graph, &cost);
+        plan.bottleneck_tps = tps;
+        plan.peak_memory_bytes = mem;
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_ir::zoo::{self, CandleUnoConfig, MmtConfig};
+
+    #[test]
+    fn sequential_stages_use_all_devices() {
+        let model = zoo::mlp_chain(8, 512);
+        let plan = PipeDreamPlanner::new()
+            .plan(&model, &Cluster::summit_like(4), 32)
+            .unwrap();
+        let total: usize = plan.stage_graph.stages().map(|s| s.dp_degree()).sum();
+        assert_eq!(total, 4);
+        plan.schedule.validate_c4(&plan.stage_graph).unwrap();
+    }
+
+    #[test]
+    fn pipeline_depth_equals_stage_count() {
+        // The SPP hallmark: linearization makes the pipeline as deep as it
+        // is long, even for branchy models.
+        let model = zoo::candle_uno(&CandleUnoConfig::default());
+        let plan = PipeDreamPlanner::new()
+            .plan(&model, &Cluster::summit_like(8), 1024)
+            .unwrap();
+        assert_eq!(plan.pipeline_depth(), plan.stage_graph.len());
+    }
+
+    #[test]
+    fn stages_are_contiguous_in_linearized_order() {
+        let model = zoo::mmt(&MmtConfig::two_branch());
+        let plan = PipeDreamPlanner::new()
+            .plan(&model, &Cluster::summit_like(4), 64)
+            .unwrap();
+        let order = model.linearize();
+        let mut cursor = 0;
+        for s in plan.stage_graph.stages() {
+            assert_eq!(s.ops[..], order[cursor..cursor + s.ops.len()]);
+            cursor += s.ops.len();
+        }
+        assert_eq!(cursor, order.len());
+    }
+
+    #[test]
+    fn in_flight_grows_towards_the_source() {
+        let model = zoo::mlp_chain(8, 512);
+        let plan = PipeDreamPlanner::new()
+            .plan(&model, &Cluster::summit_like(4), 32)
+            .unwrap();
+        let n = plan.stage_graph.len();
+        if n >= 2 {
+            let first = plan.in_flight.samples(StageId(0));
+            let last = plan.in_flight.samples(StageId(n as u32 - 1));
+            assert!(first > last);
+        }
+    }
+
+    #[test]
+    fn infeasible_memory_reported() {
+        let model = zoo::mmt(&MmtConfig::default());
+        let cluster = Cluster::summit_like(4).with_memory_capacity(1 << 20);
+        let err = PipeDreamPlanner::new()
+            .plan(&model, &cluster, 64)
+            .unwrap_err();
+        assert!(matches!(err, PlanError::Infeasible(_)));
+    }
+
+    #[test]
+    fn pareto_insert_prunes_dominated() {
+        let mk = |tps: f64, depth: u32| Entry {
+            tps,
+            depth,
+            j: 0,
+            d1: 0,
+            child: 0,
+        };
+        let mut front = Vec::new();
+        insert_pareto(&mut front, mk(1.0, 4));
+        insert_pareto(&mut front, mk(2.0, 2)); // trades tps for depth: kept
+        insert_pareto(&mut front, mk(3.0, 5)); // dominated: dropped
+        insert_pareto(&mut front, mk(0.5, 1)); // dominates everything
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].depth, 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! Criterion micro-benchmark of the §6 scheduler: in-flight assignment and
+//! kFkB task-order generation over a planned strategy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphpipe::prelude::*;
+use graphpipe::sched::{assign_in_flight, compute_in_flight, schedule_tasks};
+use std::hint::black_box;
+
+fn bench_scheduler(c: &mut Criterion) {
+    let model = zoo::candle_uno(&zoo::CandleUnoConfig::default());
+    let cluster = Cluster::summit_like(16);
+    let plan = GraphPipePlanner::new()
+        .plan(&model, &cluster, 16384)
+        .unwrap();
+    c.bench_function("scheduler/assign_in_flight", |b| {
+        b.iter(|| black_box(assign_in_flight(&plan.stage_graph)))
+    });
+    let table = assign_in_flight(&plan.stage_graph);
+    c.bench_function("scheduler/schedule_tasks", |b| {
+        b.iter(|| black_box(schedule_tasks(&plan.stage_graph, &table)))
+    });
+    c.bench_function("scheduler/compute_in_flight", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for k in 1..=4u64 {
+                for bb in [1u64, 2, 4, 8, 16] {
+                    acc = acc.wrapping_add(black_box(compute_in_flight(k, bb, 1, 8, 64)));
+                }
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

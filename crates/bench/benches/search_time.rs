@@ -1,0 +1,30 @@
+//! Criterion micro-benchmark of planner search time (the Table 1 quantity)
+//! on the two-branch MMT at 4 GPUs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphpipe::prelude::*;
+use std::hint::black_box;
+
+fn bench_planners(c: &mut Criterion) {
+    let model = zoo::mmt(&zoo::MmtConfig::two_branch());
+    let cluster = Cluster::summit_like(4);
+    let mut group = c.benchmark_group("search_time/mmt2@4gpu");
+    group.sample_size(10);
+    group.bench_function("graphpipe", |bench| {
+        bench.iter(|| {
+            black_box(GraphPipePlanner::new().plan(&model, &cluster, 64)).unwrap()
+        })
+    });
+    group.bench_function("pipedream", |bench| {
+        bench.iter(|| {
+            black_box(PipeDreamPlanner::new().plan(&model, &cluster, 64)).unwrap()
+        })
+    });
+    group.bench_function("piper", |bench| {
+        bench.iter(|| black_box(PiperPlanner::new().plan(&model, &cluster, 64)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_planners);
+criterion_main!(benches);

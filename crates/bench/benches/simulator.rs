@@ -1,0 +1,20 @@
+//! Criterion micro-benchmark of the discrete-event simulator executing one
+//! training iteration of a planned strategy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphpipe::prelude::*;
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let model = zoo::mmt(&zoo::MmtConfig::default());
+    let cluster = Cluster::summit_like(8);
+    let plan = GraphPipePlanner::new().plan(&model, &cluster, 128).unwrap();
+    c.bench_function("simulator/mmt@8gpu", |b| {
+        b.iter(|| {
+            black_box(graphpipe::simulate_plan(&model, &cluster, &plan)).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion micro-benchmark of model construction, SP validation and
+//! linearization (the gp-ir substrate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphpipe::prelude::*;
+use std::hint::black_box;
+
+fn bench_ir(c: &mut Criterion) {
+    c.bench_function("ir/build_mmt", |b| {
+        b.iter(|| black_box(zoo::mmt(&zoo::MmtConfig::default())))
+    });
+    let model = zoo::mmt(&zoo::MmtConfig::default());
+    c.bench_function("ir/linearize_mmt", |b| b.iter(|| black_box(model.linearize())));
+    c.bench_function("ir/topo_order_mmt", |b| {
+        b.iter(|| black_box(model.graph().topo_order()))
+    });
+}
+
+criterion_group!(benches, bench_ir);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Table 1: planner search times (seconds) for Piper, PipeDream, and
+//! GraphPipe on the two-branch MMT, DLRM, and CANDLE-Uno at 4-32 GPUs.
+//!
+//! Expected shape (paper): GraphPipe fastest everywhere; Piper slowest and
+//! "✗" (search explosion) on the 8-branch DLRM/CANDLE-Uno models.
+
+use gp_bench::harness::{harness_options, paper_mini_batch, row};
+use graphpipe::prelude::*;
+use std::time::Instant;
+
+fn time_plan(planner: &dyn Planner, model: &SpModel, cluster: &Cluster, b: u64) -> Option<f64> {
+    let t0 = Instant::now();
+    match planner.plan(model, cluster, b) {
+        Ok(_) => Some(t0.elapsed().as_secs_f64()),
+        Err(PlanError::SearchExplosion { .. }) => None,
+        Err(other) => {
+            eprintln!("warning: {} failed: {other}", planner.name());
+            None
+        }
+    }
+}
+
+fn main() {
+    // §7.2: the search-time comparison uses the *two-branch* MMT.
+    let models: Vec<(&str, SpModel)> = vec![
+        ("mmt(2-branch)", zoo::mmt(&zoo::MmtConfig::two_branch())),
+        ("dlrm", zoo::dlrm(&zoo::DlrmConfig::default())),
+        ("candle-uno", zoo::candle_uno(&zoo::CandleUnoConfig::default())),
+    ];
+    println!("# Table 1: solution search times (seconds)\n");
+    println!(
+        "{}",
+        row(&[
+            "model".into(),
+            "GPUs".into(),
+            "Piper".into(),
+            "PipeDream".into(),
+            "GraphPipe".into(),
+            "Piper/GP".into(),
+            "PD/GP".into(),
+        ])
+    );
+    println!("{}", row(&vec!["---".to_string(); 7]));
+    for (name, model) in &models {
+        for devices in [4usize, 8, 16, 32] {
+            let lookup = if *name == "mmt(2-branch)" { "mmt" } else { name };
+            let mini_batch = paper_mini_batch(lookup, devices);
+            let cluster = Cluster::summit_like(devices);
+            let opts = harness_options();
+            let gp = time_plan(
+                &GraphPipePlanner::with_options(opts.clone()),
+                model,
+                &cluster,
+                mini_batch,
+            );
+            let pd = time_plan(
+                &PipeDreamPlanner::with_options(opts.clone()),
+                model,
+                &cluster,
+                mini_batch,
+            );
+            // §7.2 analyses Piper at operator granularity (|D| >= k^n over
+            // operators), which is what its search time is charged for.
+            let piper = time_plan(
+                &PiperPlanner::with_options(opts.clone()).with_unit_ops(1),
+                model,
+                &cluster,
+                mini_batch,
+            );
+            let fmt = |v: Option<f64>| v.map_or("✗".to_string(), |t| format!("{t:.3}"));
+            let ratio = |num: Option<f64>, den: Option<f64>| match (num, den) {
+                (Some(n), Some(d)) if d > 0.0 => format!("{:.1}x", n / d),
+                _ => "-".to_string(),
+            };
+            println!(
+                "{}",
+                row(&[
+                    name.to_string(),
+                    devices.to_string(),
+                    fmt(piper),
+                    fmt(pd),
+                    fmt(gp),
+                    ratio(piper, gp),
+                    ratio(pd, gp),
+                ])
+            );
+        }
+    }
+}

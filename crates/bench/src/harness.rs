@@ -1,0 +1,98 @@
+//! Shared helpers for the table/figure harness binaries.
+
+use graphpipe::prelude::*;
+use graphpipe::PlannerKind;
+
+/// The paper's mini-batch sizes per model and device count (Appendix A.2):
+/// "we use the following ranges of mini-batch sizes for each device count
+/// such that the system operates close to the memory limit".
+pub fn paper_mini_batch(model: &str, devices: usize) -> u64 {
+    let idx = match devices {
+        4 => 0,
+        8 => 1,
+        16 => 2,
+        32 => 3,
+        other => panic!("no paper configuration for {other} devices"),
+    };
+    match model {
+        "mmt" => [64, 128, 256, 512][idx],
+        "dlrm" => [256, 512, 1024, 2048][idx],
+        "candle-uno" => [4096, 8192, 16384, 32768][idx],
+        other => panic!("unknown model {other}"),
+    }
+}
+
+/// Plan options used by the harness: the A.2 sweep caps the number of
+/// micro-batches per mini-batch so huge mini-batches stay tractable.
+pub fn harness_options() -> PlanOptions {
+    PlanOptions {
+        max_micro_batches: 128,
+        ..PlanOptions::default()
+    }
+}
+
+/// Result of evaluating one (planner, model, devices) cell.
+pub struct Cell {
+    /// Simulated training throughput, samples/s; `None` when the planner
+    /// could not produce a strategy (the paper's "✗").
+    pub throughput: Option<f64>,
+    /// Pipeline depth of the chosen strategy.
+    pub depth: Option<usize>,
+    /// Chosen (maximum) micro-batch size.
+    pub micro_batch: Option<u64>,
+}
+
+impl Cell {
+    /// Renders the throughput or `✗`.
+    pub fn fmt_throughput(&self) -> String {
+        match self.throughput {
+            Some(t) => format!("{t:.0}"),
+            None => "✗".to_string(),
+        }
+    }
+}
+
+/// Evaluates a planner on a model with the A.2 micro-batch sweep
+/// (GraphPipe/PipeDream) or the planner's internal sweep (Piper, whose
+/// downset DP is too expensive to re-run per forced micro-batch size).
+pub fn run_cell(model: &SpModel, cluster: &Cluster, mini_batch: u64, kind: PlannerKind) -> Cell {
+    let opts = harness_options();
+    let outcome: Result<(Plan, SimReport), PlanError> = match kind {
+        PlannerKind::Piper => {
+            let planner = PiperPlanner::with_options(opts).with_unit_ops(8);
+            planner.plan(model, cluster, mini_batch).and_then(|plan| {
+                graphpipe::simulate_plan(model, cluster, &plan)
+                    .map(|r| (plan, r))
+                    .map_err(|e| PlanError::Internal(e.to_string()))
+            })
+        }
+        _ => graphpipe::evaluate(model, cluster, mini_batch, kind, &opts)
+            .map(|res| (res.plan, res.report)),
+    };
+    match outcome {
+        Ok((plan, report)) => Cell {
+            throughput: Some(report.throughput),
+            depth: Some(plan.pipeline_depth()),
+            micro_batch: Some(plan.max_micro_batch()),
+        },
+        Err(_) => Cell {
+            throughput: None,
+            depth: None,
+            micro_batch: None,
+        },
+    }
+}
+
+/// The three evaluation models at their paper configurations.
+pub fn paper_models() -> Vec<(&'static str, SpModel)> {
+    vec![
+        ("mmt", zoo::mmt(&zoo::MmtConfig::default())),
+        ("dlrm", zoo::dlrm(&zoo::DlrmConfig::default())),
+        ("candle-uno", zoo::candle_uno(&zoo::CandleUnoConfig::default())),
+    ]
+}
+
+/// Prints a markdown-style table row.
+pub fn row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
+}

@@ -1,0 +1,8 @@
+//! # gp-bench — benchmark harnesses for the GraphPipe evaluation
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), plus
+//! Criterion micro-benchmarks (`benches/`). Shared helpers live here.
+
+#![forbid(unsafe_code)]
+
+pub mod harness;

@@ -1,0 +1,267 @@
+//! # graphpipe — graph pipeline parallelism for DNN training
+//!
+//! A faithful reproduction of *GraphPipe: Improving Performance and
+//! Scalability of DNN Training with Graph Pipeline Parallelism* (ASPLOS
+//! 2025). GraphPipe partitions a DNN into a **DAG of pipeline stages** —
+//! instead of the sequential chain used by PipeDream-style systems —
+//! preserving the model's parallel branches. Independent branches execute
+//! concurrently, shrinking the pipeline depth, which cuts both warm-up
+//! bubbles and the activation memory held for in-flight micro-batches; the
+//! freed memory admits larger micro-batches and better device utilization.
+//!
+//! This crate is the user-facing facade over the workspace:
+//!
+//! * [`ir`] — computation-graph IR, series-parallel structure, model zoo;
+//! * [`cluster`] — device profiles and interconnect topology;
+//! * [`cost`] — roofline cost/memory/communication models;
+//! * [`sched`] — the §6 micro-batch scheduler (`ComputeInFlight`, kFkB);
+//! * [`partition`] — the §5 partitioner (binary search + SP decomposition);
+//! * [`baselines`] — PipeDream and Piper planners, the Figure 9 ablation;
+//! * [`sim`] — the discrete-event execution simulator (timing);
+//! * [`exec`] — the threaded runtime with real tensor math (semantics);
+//! * [`tensor`] — the minimal f32 tensor library underneath `exec`.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use graphpipe::prelude::*;
+//!
+//! // The paper's CANDLE-Uno model on a Summit-like 8-GPU cluster.
+//! let model = zoo::candle_uno(&zoo::CandleUnoConfig::default());
+//! let cluster = Cluster::summit_like(8);
+//!
+//! // Plan with GraphPipe and with the sequential baseline...
+//! let gpp = GraphPipePlanner::new().plan(&model, &cluster, 1024)?;
+//! let spp = PipeDreamPlanner::new().plan(&model, &cluster, 1024)?;
+//!
+//! // ...and execute both strategies on the same simulated runtime.
+//! let t_gpp = graphpipe::simulate_plan(&model, &cluster, &gpp)?.throughput;
+//! let t_spp = graphpipe::simulate_plan(&model, &cluster, &spp)?.throughput;
+//! assert!(t_gpp >= t_spp); // branches pay off (Figure 6c)
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Computation-graph IR and model zoo (re-export of `gp-ir`).
+pub mod ir {
+    pub use gp_ir::*;
+}
+/// Device topology substrate (re-export of `gp-cluster`).
+pub mod cluster {
+    pub use gp_cluster::*;
+}
+/// Cost, memory and communication models (re-export of `gp-cost`).
+pub mod cost {
+    pub use gp_cost::*;
+}
+/// Micro-batch scheduler (re-export of `gp-sched`).
+pub mod sched {
+    pub use gp_sched::*;
+}
+/// The GraphPipe partitioner (re-export of `gp-partition`).
+pub mod partition {
+    pub use gp_partition::*;
+}
+/// SPP baselines (re-export of `gp-baselines`).
+pub mod baselines {
+    pub use gp_baselines::*;
+}
+/// Discrete-event simulator (re-export of `gp-sim`).
+pub mod sim {
+    pub use gp_sim::*;
+}
+/// Threaded training runtime (re-export of `gp-exec`).
+pub mod exec {
+    pub use gp_exec::*;
+}
+/// Tensor math (re-export of `gp-tensor`).
+pub mod tensor {
+    pub use gp_tensor::*;
+}
+
+/// One-stop imports for examples and applications.
+pub mod prelude {
+    pub use crate::baselines::{parallel_ablation, PipeDreamPlanner, PiperPlanner};
+    pub use crate::cluster::{Cluster, DeviceRange};
+    pub use crate::ir::zoo;
+    pub use crate::ir::{Graph, OpId, SpModel};
+    pub use crate::partition::{
+        GraphPipePlanner, Plan, PlanError, PlanOptions, Planner, SearchStats,
+    };
+    pub use crate::sim::{render_gantt, SimReport};
+    pub use crate::{evaluate, planner, simulate_plan, EvalResult, PlannerKind};
+}
+
+use gp_cluster::Cluster;
+use gp_ir::SpModel;
+use gp_partition::{GraphPipePlanner, Plan, PlanError, PlanOptions, Planner};
+use gp_sim::{SimError, SimReport};
+
+/// The planners compared throughout the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlannerKind {
+    /// GraphPipe (this paper, §5–§6).
+    GraphPipe,
+    /// PipeDream at operator granularity (SPP baseline).
+    PipeDream,
+    /// Piper's downset planner (SPP baseline with cross-branch stages).
+    Piper,
+}
+
+impl PlannerKind {
+    /// Display name matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlannerKind::GraphPipe => "GraphPipe",
+            PlannerKind::PipeDream => "PipeDream",
+            PlannerKind::Piper => "Piper",
+        }
+    }
+}
+
+/// Constructs a planner of the given kind with the given options.
+pub fn planner(kind: PlannerKind, options: PlanOptions) -> Box<dyn Planner> {
+    match kind {
+        PlannerKind::GraphPipe => Box::new(GraphPipePlanner::with_options(options)),
+        PlannerKind::PipeDream => {
+            Box::new(gp_baselines::PipeDreamPlanner::with_options(options))
+        }
+        PlannerKind::Piper => Box::new(gp_baselines::PiperPlanner::with_options(options)),
+    }
+}
+
+/// Simulates one training iteration of a plan on the cluster it was planned
+/// for.
+///
+/// # Errors
+///
+/// Propagates simulator failures (which indicate an invalid schedule).
+pub fn simulate_plan(
+    model: &SpModel,
+    cluster: &Cluster,
+    plan: &Plan,
+) -> Result<SimReport, SimError> {
+    gp_sim::simulate(model.graph(), cluster, &plan.stage_graph, &plan.schedule)
+}
+
+/// Outcome of a micro-batch sweep (Appendix A.2: "we sweep over all
+/// possible micro-batch sizes ... to maximize training throughput").
+#[derive(Debug)]
+pub struct EvalResult {
+    /// The best plan found.
+    pub plan: Plan,
+    /// Its simulated iteration report.
+    pub report: SimReport,
+    /// Simulated throughput per candidate micro-batch size.
+    pub per_micro_batch: Vec<(u64, f64)>,
+}
+
+/// Plans with every candidate micro-batch size, simulates each strategy,
+/// and returns the best by measured throughput — exactly how the paper
+/// selects configurations for Figures 6, 7 and 9.
+///
+/// # Errors
+///
+/// Returns the planner's error if *no* candidate yields a feasible plan.
+pub fn evaluate(
+    model: &SpModel,
+    cluster: &Cluster,
+    mini_batch: u64,
+    kind: PlannerKind,
+    options: &PlanOptions,
+) -> Result<EvalResult, PlanError> {
+    let candidates = options.micro_batch_sizes(mini_batch);
+    let mut best: Option<(Plan, SimReport)> = None;
+    let mut per_micro_batch = Vec::new();
+    let mut last_err = PlanError::Infeasible("no micro-batch candidates".to_string());
+    for &b in &candidates {
+        let opts = options.clone().with_forced_micro_batch(b);
+        match planner(kind, opts).plan(model, cluster, mini_batch) {
+            Ok(plan) => {
+                let report = match simulate_plan(model, cluster, &plan) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        last_err = PlanError::Internal(e.to_string());
+                        continue;
+                    }
+                };
+                per_micro_batch.push((b, report.throughput));
+                let better = match &best {
+                    None => true,
+                    Some((_, cur)) => report.throughput > cur.throughput,
+                };
+                if better {
+                    best = Some((plan, report));
+                }
+            }
+            Err(e) => {
+                // Propagate search explosions immediately: retrying other
+                // micro-batch sizes would explode identically (Table 1 "✗").
+                if matches!(e, PlanError::SearchExplosion { .. }) {
+                    return Err(e);
+                }
+                last_err = e;
+            }
+        }
+    }
+    match best {
+        Some((plan, report)) => Ok(EvalResult {
+            plan,
+            report,
+            per_micro_batch,
+        }),
+        None => Err(last_err),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_ir::zoo::{self, CandleUnoConfig, DlrmConfig};
+
+    #[test]
+    fn planner_factory_names() {
+        for (kind, name) in [
+            (PlannerKind::GraphPipe, "graphpipe"),
+            (PlannerKind::PipeDream, "pipedream"),
+            (PlannerKind::Piper, "piper"),
+        ] {
+            assert_eq!(planner(kind, PlanOptions::default()).name(), name);
+            assert!(!kind.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn evaluate_sweeps_and_picks_best() {
+        let model = zoo::candle_uno(&CandleUnoConfig::default());
+        let cluster = Cluster::summit_like(4);
+        let opts = PlanOptions {
+            max_micro_batches: 64,
+            ..PlanOptions::default()
+        };
+        let result =
+            evaluate(&model, &cluster, 1024, PlannerKind::GraphPipe, &opts).unwrap();
+        assert!(!result.per_micro_batch.is_empty());
+        let best_throughput = result.report.throughput;
+        for (_, t) in &result.per_micro_batch {
+            assert!(*t <= best_throughput + 1e-9);
+        }
+    }
+
+    #[test]
+    fn evaluate_propagates_piper_explosion() {
+        let model = zoo::dlrm(&DlrmConfig::default());
+        let cluster = Cluster::summit_like(4);
+        let err = evaluate(
+            &model,
+            &cluster,
+            256,
+            PlannerKind::Piper,
+            &PlanOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, PlanError::SearchExplosion { .. }));
+    }
+}

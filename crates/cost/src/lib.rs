@@ -1,0 +1,411 @@
+//! # gp-cost — analytic cost, communication, and memory models
+//!
+//! GraphPipe estimates stage Time-Per-Sample "by profiling the execution
+//! time of each operator while extrapolating communication latency by affine
+//! functions" (§5) and checks per-device memory budgets (Equation 2). With
+//! no GPUs available, this crate substitutes profiling with a roofline
+//! model over the analytic FLOP/byte counts of `gp-ir`:
+//!
+//! * **compute time** — `flops / (peak * efficiency(micro_batch))`, where the
+//!   saturating efficiency curve reproduces the paper's "larger micro-batches
+//!   improve operational intensity" effect (§2, §7.3);
+//! * **memory time** — `moved_bytes / mem_bandwidth`; the slower of the two
+//!   wins (roofline), plus a fixed kernel overhead;
+//! * **communication** — affine `latency + bytes/bandwidth` per transfer,
+//!   ring-allreduce for data-parallel weight synchronization;
+//! * **memory** — weights + gradients + Adam states (16 bytes/param fp32)
+//!   plus stashed activations proportional to the number of in-flight
+//!   samples, the quantity GPP minimizes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use gp_cluster::{Cluster, DeviceRange, LinkProfile};
+use gp_ir::{Graph, OpId};
+use serde::{Deserialize, Serialize};
+
+/// Direction of a pass through (part of) the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pass {
+    /// Forward pass.
+    Forward,
+    /// Backward pass (weight and input gradients).
+    Backward,
+}
+
+/// Bytes of optimizer state kept per parameter: fp32 weight + gradient +
+/// two Adam moments.
+pub const BYTES_PER_PARAM_STATE: u64 = 16;
+
+/// Analytic cost model bound to a cluster's device profile.
+///
+/// # Examples
+///
+/// ```
+/// use gp_cluster::Cluster;
+/// use gp_cost::{CostModel, Pass};
+/// use gp_ir::zoo::{self, MmtConfig};
+///
+/// let model = zoo::mmt(&MmtConfig::default());
+/// let cluster = Cluster::summit_like(4);
+/// let cost = CostModel::new(&cluster);
+/// let ops: Vec<_> = model.graph().nodes().map(|n| n.id).collect();
+/// let fwd = cost.stage_time(model.graph(), &ops, 4, Pass::Forward);
+/// let bwd = cost.stage_time(model.graph(), &ops, 4, Pass::Backward);
+/// assert!(bwd > fwd); // backward does roughly twice the work
+/// ```
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    cluster: Cluster,
+}
+
+impl CostModel {
+    /// Binds the model to a cluster (its device profile and links).
+    pub fn new(cluster: &Cluster) -> Self {
+        CostModel {
+            cluster: cluster.clone(),
+        }
+    }
+
+    /// The cluster this model prices against.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Per-device memory budget in bytes (`M` of Equation 2).
+    pub fn memory_budget(&self) -> u64 {
+        self.cluster.profile().mem_capacity
+    }
+
+    /// Execution time of one operator on one device for a micro-batch of
+    /// `micro_batch` samples, in seconds.
+    pub fn op_time(&self, graph: &Graph, op: OpId, micro_batch: u64, pass: Pass) -> f64 {
+        let p = self.cluster.profile();
+        let flops_per_sample = match pass {
+            Pass::Forward => graph.forward_flops(op),
+            Pass::Backward => graph.backward_flops(op),
+        };
+        if flops_per_sample == 0 {
+            return 0.0;
+        }
+        let flops = (flops_per_sample * micro_batch) as f64;
+        // Moved bytes: inputs + output per sample, plus one read of the
+        // weights per kernel launch.
+        let node = graph.node(op);
+        let io_per_sample: u64 = graph
+            .input_shapes(op)
+            .iter()
+            .map(|s| s.numel() as u64 * gp_ir::BYTES_PER_ELEMENT)
+            .sum::<u64>()
+            + node.output_bytes();
+        let weight_bytes = node.kind.param_count() * gp_ir::BYTES_PER_ELEMENT;
+        let moved = (io_per_sample * micro_batch + weight_bytes) as f64
+            * match pass {
+                Pass::Forward => 1.0,
+                Pass::Backward => 2.0,
+            };
+        let t_compute = flops / (p.peak_flops * p.efficiency(micro_batch));
+        let t_memory = moved / p.mem_bandwidth;
+        p.kernel_overhead + t_compute.max(t_memory)
+    }
+
+    /// Execution time of a set of operators run back-to-back on one device.
+    pub fn stage_time(&self, graph: &Graph, ops: &[OpId], micro_batch: u64, pass: Pass) -> f64 {
+        ops.iter()
+            .map(|&op| self.op_time(graph, op, micro_batch, pass))
+            .sum()
+    }
+
+    /// Steady-state Time-Per-Sample of a stage (§3): compute per sample on
+    /// its data-parallel replicas plus amortized weight synchronization.
+    ///
+    /// `mini_batch` is the global mini-batch size `B`; the per-iteration
+    /// allreduce cost is amortized over it.
+    pub fn stage_tps(
+        &self,
+        graph: &Graph,
+        ops: &[OpId],
+        micro_batch: u64,
+        devices: &DeviceRange,
+        mini_batch: u64,
+    ) -> f64 {
+        assert!(micro_batch > 0 && mini_batch > 0);
+        // Micro-batches round-robin over replicas: with m = B/b of them on
+        // |D_i| replicas, the slowest replica runs ceil(m/|D_i|) of them, so
+        // the effective data-parallel degree is m / ceil(m / |D_i|).
+        let m = (mini_batch / micro_batch).max(1);
+        let d = m as f64 / m.div_ceil(devices.len() as u64) as f64;
+        let t_micro = self.stage_time(graph, ops, micro_batch, Pass::Forward)
+            + self.stage_time(graph, ops, micro_batch, Pass::Backward);
+        let compute_tps = t_micro / (micro_batch as f64 * d);
+        let weight_bytes = self.stage_param_bytes(graph, ops);
+        let sync_tps = self.allreduce_time(weight_bytes, devices) / mini_batch as f64;
+        compute_tps + sync_tps
+    }
+
+    /// Bytes of learnable parameters held by a stage (per replica).
+    pub fn stage_param_bytes(&self, graph: &Graph, ops: &[OpId]) -> u64 {
+        ops.iter()
+            .map(|&op| graph.node(op).kind.param_count() * gp_ir::BYTES_PER_ELEMENT)
+            .sum()
+    }
+
+    /// Activation bytes a stage must stash per in-flight sample.
+    pub fn stage_activation_bytes_per_sample(&self, graph: &Graph, ops: &[OpId]) -> u64 {
+        ops.iter().map(|&op| graph.stashed_bytes(op)).sum()
+    }
+
+    /// Per-replica in-flight samples: in-flight micro-batches are
+    /// distributed round-robin over replicas, so each replica stashes whole
+    /// micro-batches.
+    pub fn in_flight_per_replica(
+        in_flight_samples: u64,
+        micro_batch: u64,
+        dp_degree: usize,
+    ) -> u64 {
+        assert!(dp_degree >= 1 && micro_batch >= 1);
+        in_flight_samples
+            .div_ceil(micro_batch)
+            .div_ceil(dp_degree as u64)
+            * micro_batch
+    }
+
+    /// Peak per-device memory of a stage: optimizer-state bytes for its
+    /// parameters plus stashed activations for `in_flight_samples`, divided
+    /// across `dp_degree` replicas in whole micro-batches (weights are
+    /// fully replicated).
+    pub fn stage_memory_bytes(
+        &self,
+        graph: &Graph,
+        ops: &[OpId],
+        in_flight_samples: u64,
+        micro_batch: u64,
+        dp_degree: usize,
+    ) -> u64 {
+        let params: u64 = ops
+            .iter()
+            .map(|&op| graph.node(op).kind.param_count())
+            .sum();
+        let static_bytes = params * BYTES_PER_PARAM_STATE;
+        let act = self.stage_activation_bytes_per_sample(graph, ops);
+        static_bytes
+            + act * Self::in_flight_per_replica(in_flight_samples, micro_batch, dp_degree)
+    }
+
+    /// Whether a stage fits the per-device budget (Equation 2).
+    pub fn stage_fits_memory(
+        &self,
+        graph: &Graph,
+        ops: &[OpId],
+        in_flight_samples: u64,
+        micro_batch: u64,
+        dp_degree: usize,
+    ) -> bool {
+        self.stage_memory_bytes(graph, ops, in_flight_samples, micro_batch, dp_degree)
+            <= self.memory_budget()
+    }
+
+    /// Activation bytes crossing from `from_ops` into `to_ops` per sample:
+    /// the payload of one inter-stage transfer.
+    pub fn crossing_bytes_per_sample(
+        &self,
+        graph: &Graph,
+        from_ops: &[OpId],
+        to_ops: &[OpId],
+    ) -> u64 {
+        let mut member = vec![false; graph.len()];
+        for &o in to_ops {
+            member[o.index()] = true;
+        }
+        let mut total = 0;
+        for &u in from_ops {
+            for &v in graph.succs(u) {
+                if member[v.index()] {
+                    total += graph.node(u).output_bytes();
+                }
+            }
+        }
+        total
+    }
+
+    /// Affine point-to-point transfer time.
+    pub fn transfer_time(&self, bytes: u64, link: LinkProfile) -> f64 {
+        link.transfer_time(bytes)
+    }
+
+    /// The link the planner assumes for a not-yet-placed stage boundary:
+    /// the inter-node link when the cluster spans nodes, otherwise NVLink.
+    /// (The simulator later uses the *actual* link between assigned
+    /// devices.)
+    pub fn default_boundary_link(&self) -> LinkProfile {
+        let first = gp_cluster::DeviceId(0);
+        let last = gp_cluster::DeviceId(self.cluster.device_count() as u32 - 1);
+        self.cluster.link(first, last)
+    }
+
+    /// Ring-allreduce time for `bytes` across a data-parallel device range:
+    /// `2 (d-1)/d * bytes / bw` plus per-step latencies. Zero for a single
+    /// device.
+    pub fn allreduce_time(&self, bytes: u64, devices: &DeviceRange) -> f64 {
+        let d = devices.len();
+        if d <= 1 || bytes == 0 {
+            return 0.0;
+        }
+        let link = self.cluster.bottleneck_link(devices);
+        let steps = 2 * (d - 1);
+        let payload = 2.0 * (d as f64 - 1.0) / d as f64 * bytes as f64 / link.bandwidth;
+        payload + steps as f64 * link.latency
+    }
+
+    /// A safe upper bound for the bottleneck-stage TPS used to initialize
+    /// the partitioner's binary search (`MAXTPS` in Algorithm 1): the whole
+    /// model on one device at micro-batch 1.
+    pub fn max_tps(&self, graph: &Graph) -> f64 {
+        let ops: Vec<OpId> = graph.nodes().map(|n| n.id).collect();
+        let single = DeviceRange::new(0, 1);
+        // Mini-batch 1 makes the (zero) allreduce term irrelevant.
+        2.0 * self.stage_tps(graph, &ops, 1, &single, 1) + 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_ir::zoo::{self, CandleUnoConfig, MmtConfig};
+
+    fn setup() -> (gp_ir::SpModel, CostModel) {
+        let model = zoo::candle_uno(&CandleUnoConfig::tiny());
+        let cluster = Cluster::summit_like(4);
+        (model, CostModel::new(&cluster))
+    }
+
+    #[test]
+    fn op_time_positive_and_monotone_in_batch() {
+        let (model, cost) = setup();
+        let g = model.graph();
+        for node in g.nodes() {
+            let t1 = cost.op_time(g, node.id, 1, Pass::Forward);
+            let t8 = cost.op_time(g, node.id, 8, Pass::Forward);
+            assert!(t1 >= 0.0);
+            assert!(t8 >= t1, "{}: time must grow with batch", node.name);
+        }
+    }
+
+    #[test]
+    fn per_sample_time_improves_with_batch() {
+        // Efficiency saturation: t(b)/b strictly decreases for compute-bound ops.
+        let model = zoo::mmt(&MmtConfig::default());
+        let cluster = Cluster::summit_like(4);
+        let cost = CostModel::new(&cluster);
+        let g = model.graph();
+        let mha = g
+            .nodes()
+            .find(|n| matches!(n.kind, gp_ir::OpKind::MultiHeadAttention { .. }))
+            .unwrap()
+            .id;
+        let t2 = cost.op_time(g, mha, 2, Pass::Forward) / 2.0;
+        let t8 = cost.op_time(g, mha, 8, Pass::Forward) / 8.0;
+        assert!(t8 < t2);
+    }
+
+    #[test]
+    fn backward_costs_more_than_forward() {
+        let (model, cost) = setup();
+        let g = model.graph();
+        let ops: Vec<OpId> = g.nodes().map(|n| n.id).collect();
+        assert!(
+            cost.stage_time(g, &ops, 4, Pass::Backward)
+                > cost.stage_time(g, &ops, 4, Pass::Forward)
+        );
+    }
+
+    #[test]
+    fn tps_scales_down_with_data_parallelism() {
+        let model = zoo::mmt(&MmtConfig::default());
+        let cluster = Cluster::summit_like(8);
+        let cost = CostModel::new(&cluster);
+        let g = model.graph();
+        let ops: Vec<OpId> = g.nodes().map(|n| n.id).collect();
+        let tps1 = cost.stage_tps(g, &ops, 4, &DeviceRange::new(0, 1), 64);
+        let tps4 = cost.stage_tps(g, &ops, 4, &DeviceRange::new(0, 4), 64);
+        assert!(tps4 < tps1);
+        assert!(tps4 > tps1 / 4.0, "allreduce overhead must be visible");
+    }
+
+    #[test]
+    fn memory_grows_with_in_flight() {
+        let (model, cost) = setup();
+        let g = model.graph();
+        let ops: Vec<OpId> = g.nodes().map(|n| n.id).collect();
+        let m2 = cost.stage_memory_bytes(g, &ops, 2, 1, 1);
+        let m8 = cost.stage_memory_bytes(g, &ops, 8, 1, 1);
+        assert!(m8 > m2);
+        // Data parallelism shares the activation load.
+        let m8dp = cost.stage_memory_bytes(g, &ops, 8, 1, 4);
+        assert!(m8dp < m8);
+    }
+
+    #[test]
+    fn memory_budget_enforced() {
+        let model = zoo::mmt(&MmtConfig::default());
+        let cluster = Cluster::summit_like(4).with_memory_capacity(1 << 20);
+        let cost = CostModel::new(&cluster);
+        let g = model.graph();
+        let ops: Vec<OpId> = g.nodes().map(|n| n.id).collect();
+        assert!(!cost.stage_fits_memory(g, &ops, 4, 1, 1));
+    }
+
+    #[test]
+    fn crossing_bytes_counts_boundary_edges() {
+        let (model, cost) = setup();
+        let g = model.graph();
+        let all: Vec<OpId> = g.nodes().map(|n| n.id).collect();
+        // Split: everything except the loss | the loss.
+        let (front, back) = all.split_at(all.len() - 1);
+        let bytes = cost.crossing_bytes_per_sample(g, front, back);
+        // The loss's single input edge carries the head output (1 element).
+        assert_eq!(bytes, gp_ir::BYTES_PER_ELEMENT);
+        // No edges from back to front.
+        assert_eq!(cost.crossing_bytes_per_sample(g, back, front), 0);
+    }
+
+    #[test]
+    fn allreduce_time_zero_for_single_device() {
+        let (_, cost) = setup();
+        assert_eq!(cost.allreduce_time(1 << 20, &DeviceRange::new(0, 1)), 0.0);
+        let t2 = cost.allreduce_time(1 << 20, &DeviceRange::new(0, 2));
+        let t4 = cost.allreduce_time(1 << 20, &DeviceRange::new(0, 4));
+        assert!(t2 > 0.0 && t4 > t2);
+    }
+
+    #[test]
+    fn max_tps_dominates_any_partition() {
+        let (model, cost) = setup();
+        let g = model.graph();
+        let ops: Vec<OpId> = g.nodes().map(|n| n.id).collect();
+        let bound = cost.max_tps(g);
+        for b in [1u64, 2, 4, 8] {
+            let tps = cost.stage_tps(g, &ops, b, &DeviceRange::new(0, 1), 64);
+            assert!(tps < bound, "b={b}: {tps} !< {bound}");
+        }
+    }
+
+    #[test]
+    fn default_boundary_link_is_conservative() {
+        let cost = CostModel::new(&Cluster::summit_like(8));
+        assert_eq!(
+            cost.default_boundary_link(),
+            LinkProfile::infiniband_edr()
+        );
+        let small = CostModel::new(&Cluster::summit_like(4));
+        assert_eq!(small.default_boundary_link(), LinkProfile::nvlink());
+    }
+
+    #[test]
+    fn zero_cost_ops_take_zero_time() {
+        let (model, cost) = setup();
+        let g = model.graph();
+        let input = g.sources()[0];
+        assert_eq!(cost.op_time(g, input, 8, Pass::Forward), 0.0);
+    }
+}

@@ -1,0 +1,480 @@
+//! The threaded distributed-training runtime.
+//!
+//! One OS thread per stage *replica* plays the role of one GPU: it executes
+//! its stage's task order (from `gp-sched`), exchanges activation and
+//! gradient chunks with neighbouring stages over crossbeam channels, and
+//! accumulates weight gradients. The main thread plays the role of the
+//! synchronous optimizer: it sums replica gradients in a fixed order
+//! (deterministic results) and applies SGD — preserving exactly the
+//! synchronous-1F1B training semantics the paper's runtime guarantees
+//! ("the DNN training semantics is preserved, thus statistical convergence
+//! issues do not arise", §8).
+//!
+//! Chunk routing works in global sample coordinates: replica `r` of a stage
+//! with `d` replicas owns micro-batches `mb % d == r`; producers ship whole
+//! micro-batch chunks to every consumer replica whose rows overlap, and
+//! consumers assemble/sum the intersecting rows. This supports per-stage
+//! micro-batch sizes out of the box.
+
+use crate::data::slice_batch;
+use crate::module::{ModelParams, OpParams};
+use crate::stage::StageRunner;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use gp_cost::Pass;
+use gp_ir::{Graph, OpId};
+use gp_sched::{PipelineSchedule, StageGraph, StageId};
+use gp_tensor::Tensor;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors raised by the threaded runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A worker thread disconnected unexpectedly (a peer panicked).
+    ChannelClosed {
+        /// The stage whose worker observed the hang-up.
+        stage: StageId,
+    },
+    /// A worker thread panicked.
+    WorkerPanicked,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::ChannelClosed { stage } => {
+                write!(f, "worker of stage {stage} lost its peers")
+            }
+            ExecError::WorkerPanicked => write!(f, "a runtime worker panicked"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// One completed task, recorded in the execution trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The stage that ran the task.
+    pub stage: StageId,
+    /// Replica index within the stage.
+    pub replica: u32,
+    /// Micro-batch index.
+    pub mb: u32,
+    /// Forward or backward.
+    pub pass: Pass,
+}
+
+/// Result of one distributed training iteration.
+#[derive(Debug, Clone)]
+pub struct IterationResult {
+    /// Training loss of the iteration (summed over micro-batches).
+    pub loss: f32,
+    /// Completion order of all tasks (for schedule-conformance tests).
+    pub trace: Vec<TraceEvent>,
+}
+
+#[derive(Debug, Clone)]
+struct ChunkMsg {
+    fwd: bool,
+    op: OpId,
+    from_stage: StageId,
+    row_start: usize,
+    data: Tensor,
+}
+
+type Buffers = HashMap<OpId, Vec<ChunkMsg>>;
+
+/// Copies the rows of `chunks` intersecting `[lo, hi)` into an accumulator
+/// of shape `[hi-lo, per_sample]`, adding when `sum` (gradients) and
+/// overwriting when not (activations). Returns covered row count
+/// (with multiplicity).
+fn assemble(
+    chunks: &[ChunkMsg],
+    lo: usize,
+    hi: usize,
+    per_sample: usize,
+    sum: bool,
+) -> (Tensor, usize) {
+    let mut out = Tensor::zeros(vec![hi - lo, per_sample]);
+    let mut covered = 0usize;
+    for c in chunks {
+        let c_rows = c.data.rows_for(per_sample);
+        let s = c.row_start.max(lo);
+        let e = (c.row_start + c_rows).min(hi);
+        if s >= e {
+            continue;
+        }
+        covered += e - s;
+        let piece = c.data.slice_rows(per_sample, s - c.row_start, e - c.row_start);
+        if sum {
+            out.add_rows(per_sample, s - lo, &piece);
+        } else {
+            // Overwrite: producer chunks are disjoint.
+            out.add_rows(per_sample, s - lo, &piece);
+        }
+    }
+    (out, covered)
+}
+
+struct Worker<'a> {
+    graph: &'a Graph,
+    sg: &'a StageGraph,
+    stage: StageId,
+    replica: u32,
+    rx: Receiver<ChunkMsg>,
+    senders: Arc<HashMap<(StageId, u32), Sender<ChunkMsg>>>,
+    batch: Arc<HashMap<OpId, Tensor>>,
+    trace: Arc<Mutex<Vec<TraceEvent>>>,
+    /// External producer ops feeding this stage (op, producer stage).
+    ext_inputs: Vec<(OpId, StageId)>,
+    /// This stage's ops with external consumers (op, consumer stages).
+    ext_outputs: Vec<(OpId, Vec<StageId>)>,
+    fwd_buf: Buffers,
+    bwd_buf: Buffers,
+}
+
+impl<'a> Worker<'a> {
+    fn run(
+        mut self,
+        runner: &mut StageRunner<'a>,
+        schedule: &PipelineSchedule,
+    ) -> Result<(), ExecError> {
+        let stage = self.sg.stage(self.stage);
+        let d = stage.dp_degree() as u32;
+        let b = stage.micro_batch as usize;
+        let tasks: Vec<_> = schedule
+            .stage(self.stage)
+            .tasks
+            .iter()
+            .filter(|t| t.mb % d == self.replica)
+            .copied()
+            .collect();
+        for task in tasks {
+            let (lo, hi) = (task.mb as usize * b, (task.mb as usize + 1) * b);
+            match task.pass {
+                Pass::Forward => {
+                    let mut external = slice_batch(
+                        self.graph,
+                        &self.stage_inputs_from_batch(),
+                        lo,
+                        hi,
+                    );
+                    self.collect_forward_inputs(lo, hi, &mut external)?;
+                    runner.forward(task.mb, &external);
+                    self.ship_forward_outputs(runner, task.mb, lo, hi);
+                }
+                Pass::Backward => {
+                    let ext_grads = self.collect_backward_grads(lo, hi)?;
+                    let upstream = runner.backward(task.mb, &ext_grads);
+                    self.ship_backward_grads(&upstream, lo);
+                }
+            }
+            self.trace.lock().push(TraceEvent {
+                stage: self.stage,
+                replica: self.replica,
+                mb: task.mb,
+                pass: task.pass,
+            });
+        }
+        Ok(())
+    }
+
+    /// The subset of the global batch feeding `Input` ops of this stage.
+    fn stage_inputs_from_batch(&self) -> HashMap<OpId, Tensor> {
+        let stage = self.sg.stage(self.stage);
+        stage
+            .ops
+            .iter()
+            .filter_map(|op| self.batch.get(op).map(|t| (*op, t.clone())))
+            .collect()
+    }
+
+    fn recv_into_buffers(&mut self) -> Result<(), ExecError> {
+        match self.rx.recv() {
+            Ok(msg) => {
+                let buf = if msg.fwd {
+                    &mut self.fwd_buf
+                } else {
+                    &mut self.bwd_buf
+                };
+                buf.entry(msg.op).or_default().push(msg);
+                Ok(())
+            }
+            Err(_) => Err(ExecError::ChannelClosed { stage: self.stage }),
+        }
+    }
+
+    fn collect_forward_inputs(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        external: &mut HashMap<OpId, Tensor>,
+    ) -> Result<(), ExecError> {
+        let needs: Vec<OpId> = self.ext_inputs.iter().map(|&(op, _)| op).collect();
+        for op in needs {
+            let per_sample = self.graph.node(op).out_shape.numel();
+            loop {
+                let chunks = self.fwd_buf.get(&op).map(Vec::as_slice).unwrap_or(&[]);
+                let (tensor, covered) = assemble(chunks, lo, hi, per_sample, false);
+                if covered >= hi - lo {
+                    let mut dims = vec![hi - lo];
+                    dims.extend_from_slice(self.graph.node(op).out_shape.dims());
+                    external.insert(op, tensor.reshape(dims));
+                    break;
+                }
+                self.recv_into_buffers()?;
+            }
+        }
+        Ok(())
+    }
+
+    fn ship_forward_outputs(
+        &self,
+        runner: &StageRunner<'_>,
+        mb: u32,
+        lo: usize,
+        hi: usize,
+    ) {
+        for (op, consumers) in &self.ext_outputs {
+            let chunk = runner.output(mb, *op).clone();
+            for &cons in consumers {
+                for replica in self.target_replicas(cons, lo, hi) {
+                    let tx = &self.senders[&(cons, replica)];
+                    let _ = tx.send(ChunkMsg {
+                        fwd: true,
+                        op: *op,
+                        from_stage: self.stage,
+                        row_start: lo,
+                        data: chunk.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    fn collect_backward_grads(
+        &mut self,
+        lo: usize,
+        hi: usize,
+    ) -> Result<HashMap<OpId, Tensor>, ExecError> {
+        let mut out = HashMap::new();
+        let needs: Vec<(OpId, Vec<StageId>)> = self.ext_outputs.clone();
+        for (op, consumers) in needs {
+            let per_sample = self.graph.node(op).out_shape.numel();
+            loop {
+                let chunks = self.bwd_buf.get(&op).map(Vec::as_slice).unwrap_or(&[]);
+                // Each consuming stage must cover [lo, hi) exactly once.
+                let mut complete = true;
+                for &cons in &consumers {
+                    let covered: usize = chunks
+                        .iter()
+                        .filter(|c| c.from_stage == cons)
+                        .map(|c| {
+                            let rows = c.data.rows_for(per_sample);
+                            let s = c.row_start.max(lo);
+                            let e = (c.row_start + rows).min(hi);
+                            e.saturating_sub(s)
+                        })
+                        .sum();
+                    if covered < hi - lo {
+                        complete = false;
+                        break;
+                    }
+                }
+                if complete {
+                    let (tensor, _) = assemble(chunks, lo, hi, per_sample, true);
+                    out.insert(op, tensor);
+                    break;
+                }
+                self.recv_into_buffers()?;
+            }
+        }
+        Ok(out)
+    }
+
+    fn ship_backward_grads(&self, upstream: &HashMap<OpId, Tensor>, lo: usize) {
+        for (&op, grad) in upstream {
+            let producer = self.sg.stage_of(op);
+            let rows = grad.rows_for(self.graph.node(op).out_shape.numel());
+            for replica in self.target_replicas(producer, lo, lo + rows) {
+                let tx = &self.senders[&(producer, replica)];
+                let _ = tx.send(ChunkMsg {
+                    fwd: false,
+                    op,
+                    from_stage: self.stage,
+                    row_start: lo,
+                    data: grad.clone(),
+                });
+            }
+        }
+    }
+
+    /// Replicas of `stage` owning micro-batches overlapping rows `[lo, hi)`.
+    fn target_replicas(&self, stage: StageId, lo: usize, hi: usize) -> Vec<u32> {
+        let s = self.sg.stage(stage);
+        let b = s.micro_batch as usize;
+        let d = s.dp_degree() as u32;
+        let mb_lo = lo / b;
+        let mb_hi = hi.div_ceil(b);
+        let mut replicas: Vec<u32> = (mb_lo..mb_hi).map(|mb| mb as u32 % d).collect();
+        replicas.sort_unstable();
+        replicas.dedup();
+        replicas
+    }
+}
+
+/// Runs one distributed training iteration of `plan` with real tensor math,
+/// applying a synchronous SGD update to `params`.
+///
+/// # Errors
+///
+/// Returns an [`ExecError`] if a worker thread fails.
+pub fn train_iteration(
+    graph: &Graph,
+    sg: &StageGraph,
+    schedule: &PipelineSchedule,
+    params: &mut ModelParams,
+    batch: &HashMap<OpId, Tensor>,
+    lr: f32,
+) -> Result<IterationResult, ExecError> {
+    // Replica roster and channels.
+    let mut replicas: Vec<(StageId, u32)> = Vec::new();
+    for s in sg.stages() {
+        for r in 0..s.dp_degree() as u32 {
+            replicas.push((s.id, r));
+        }
+    }
+    let mut senders: HashMap<(StageId, u32), Sender<ChunkMsg>> = HashMap::new();
+    let mut receivers: HashMap<(StageId, u32), Receiver<ChunkMsg>> = HashMap::new();
+    for &(s, r) in &replicas {
+        let (tx, rx) = unbounded();
+        senders.insert((s, r), tx);
+        receivers.insert((s, r), rx);
+    }
+    let senders = Arc::new(senders);
+    let batch = Arc::new(batch.clone());
+    let trace = Arc::new(Mutex::new(Vec::new()));
+
+    // Stage-boundary maps.
+    let mut in_stage_of: Vec<StageId> = Vec::new();
+    for node in graph.nodes() {
+        in_stage_of.push(sg.stage_of(node.id));
+    }
+    let ext_inputs_of = |stage: StageId| -> Vec<(OpId, StageId)> {
+        let mut v: Vec<(OpId, StageId)> = Vec::new();
+        for op in &sg.stage(stage).ops {
+            for &p in graph.preds(*op) {
+                let ps = in_stage_of[p.index()];
+                if ps != stage && !v.contains(&(p, ps)) {
+                    v.push((p, ps));
+                }
+            }
+        }
+        v.sort();
+        v
+    };
+    let ext_outputs_of = |stage: StageId| -> Vec<(OpId, Vec<StageId>)> {
+        let mut map: HashMap<OpId, Vec<StageId>> = HashMap::new();
+        for op in &sg.stage(stage).ops {
+            for &succ in graph.succs(*op) {
+                let ss = in_stage_of[succ.index()];
+                if ss != stage {
+                    let list = map.entry(*op).or_default();
+                    if !list.contains(&ss) {
+                        list.push(ss);
+                    }
+                }
+            }
+        }
+        let mut v: Vec<(OpId, Vec<StageId>)> = map.into_iter().collect();
+        v.sort_by_key(|(op, _)| *op);
+        v
+    };
+
+    let mut results: Vec<((StageId, u32), HashMap<OpId, OpParams>, f32)> = Vec::new();
+    let outcome: Result<(), ExecError> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for &(stage, replica) in &replicas {
+            let rx = receivers.remove(&(stage, replica)).expect("receiver exists");
+            let worker = Worker {
+                graph,
+                sg,
+                stage,
+                replica,
+                rx,
+                senders: Arc::clone(&senders),
+                batch: Arc::clone(&batch),
+                trace: Arc::clone(&trace),
+                ext_inputs: ext_inputs_of(stage),
+                ext_outputs: ext_outputs_of(stage),
+                fwd_buf: HashMap::new(),
+                bwd_buf: HashMap::new(),
+            };
+            let params_ref: &ModelParams = params;
+            let handle = scope.spawn(move || {
+                let mut runner = StageRunner::new(
+                    graph,
+                    &sg.stage(stage).ops,
+                    params_ref,
+                    sg.mini_batch(),
+                );
+                worker.run(&mut runner, schedule)?;
+                let grads = runner.grads().clone();
+                Ok::<_, ExecError>(((stage, replica), grads, runner.loss()))
+            });
+            handles.push(handle);
+        }
+        for handle in handles {
+            match handle.join() {
+                Ok(Ok(res)) => results.push(res),
+                Ok(Err(e)) => return Err(e),
+                Err(_) => return Err(ExecError::WorkerPanicked),
+            }
+        }
+        Ok(())
+    });
+    outcome?;
+
+    // Deterministic synchronous update: sum replica gradients in roster
+    // order (the data-parallel allreduce), then step.
+    results.sort_by_key(|(key, _, _)| *key);
+    let mut grads = params.zeros_like();
+    let mut loss = 0.0f32;
+    for (_, replica_grads, partial_loss) in &results {
+        for (&op, g) in replica_grads {
+            grads.op_mut(op).accumulate(g);
+        }
+        loss += partial_loss;
+    }
+    params.sgd_step(&grads, lr);
+    let trace = Arc::try_unwrap(trace)
+        .expect("all workers joined")
+        .into_inner();
+    Ok(IterationResult { loss, trace })
+}
+
+/// Runs `steps` distributed training iterations on a fixed batch, returning
+/// the per-step losses.
+///
+/// # Errors
+///
+/// Propagates worker failures from [`train_iteration`].
+pub fn train(
+    graph: &Graph,
+    sg: &StageGraph,
+    schedule: &PipelineSchedule,
+    params: &mut ModelParams,
+    batch: &HashMap<OpId, Tensor>,
+    lr: f32,
+    steps: usize,
+) -> Result<Vec<f32>, ExecError> {
+    let mut losses = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let result = train_iteration(graph, sg, schedule, params, batch, lr)?;
+        losses.push(result.loss);
+    }
+    Ok(losses)
+}

@@ -1,0 +1,242 @@
+//! Stage-local execution: forward/backward over a convex subgraph with
+//! per-micro-batch activation stashes.
+
+use crate::module::{op_backward, op_forward, ModelParams, OpCache, OpParams};
+use gp_ir::{Graph, OpId, OpKind};
+use gp_tensor::Tensor;
+use std::collections::HashMap;
+
+/// Per-micro-batch forward state retained until the backward pass.
+struct MicroState {
+    outs: HashMap<OpId, Tensor>,
+    caches: HashMap<OpId, OpCache>,
+}
+
+/// Executes one pipeline stage's operators for individual micro-batches,
+/// holding parameters, gradients, and in-flight activation stashes.
+pub struct StageRunner<'g> {
+    graph: &'g Graph,
+    ops: Vec<OpId>,
+    in_stage: Vec<bool>,
+    params: HashMap<OpId, OpParams>,
+    grads: HashMap<OpId, OpParams>,
+    mini_batch: u64,
+    state: HashMap<u32, MicroState>,
+    loss_partial: f32,
+}
+
+impl<'g> StageRunner<'g> {
+    /// Creates a runner for `ops`, cloning their parameters from the
+    /// authoritative store.
+    pub fn new(graph: &'g Graph, ops: &[OpId], params: &ModelParams, mini_batch: u64) -> Self {
+        let mut in_stage = vec![false; graph.len()];
+        for &op in ops {
+            in_stage[op.index()] = true;
+        }
+        let stage_params: HashMap<OpId, OpParams> = ops
+            .iter()
+            .map(|&op| (op, params.op(op).clone()))
+            .collect();
+        let grads = stage_params
+            .iter()
+            .map(|(&op, p)| (op, p.zeros_like()))
+            .collect();
+        StageRunner {
+            graph,
+            ops: ops.to_vec(),
+            in_stage,
+            params: stage_params,
+            grads,
+            mini_batch,
+            state: HashMap::new(),
+            loss_partial: 0.0,
+        }
+    }
+
+    /// Number of micro-batches currently stashed (in flight).
+    pub fn in_flight(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Partial loss accumulated by `Loss` operators in this stage.
+    pub fn loss(&self) -> f32 {
+        self.loss_partial
+    }
+
+    /// Accumulated weight gradients.
+    pub fn grads(&self) -> &HashMap<OpId, OpParams> {
+        &self.grads
+    }
+
+    /// Runs the forward pass of micro-batch `mb`.
+    ///
+    /// `external` maps producer operator ids (both `Input` operators of this
+    /// stage and cross-stage producers) to their activations for this
+    /// micro-batch's rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a required external input is missing — the runtime
+    /// assembles them before calling.
+    pub fn forward(&mut self, mb: u32, external: &HashMap<OpId, Tensor>) {
+        let mut outs: HashMap<OpId, Tensor> = HashMap::new();
+        let mut caches: HashMap<OpId, OpCache> = HashMap::new();
+        for &op in &self.ops {
+            let node = self.graph.node(op);
+            if matches!(node.kind, OpKind::Input) {
+                let data = external
+                    .get(&op)
+                    .unwrap_or_else(|| panic!("missing input data for {op}"))
+                    .clone();
+                outs.insert(op, data);
+                caches.insert(op, OpCache::None);
+                continue;
+            }
+            let inputs: Vec<&Tensor> = self
+                .graph
+                .preds(op)
+                .iter()
+                .map(|p| {
+                    outs.get(p).unwrap_or_else(|| {
+                        external
+                            .get(p)
+                            .unwrap_or_else(|| panic!("missing external activation {p} -> {op}"))
+                    })
+                })
+                .collect();
+            let (y, cache) = op_forward(node, &self.params[&op], &inputs, self.mini_batch);
+            if matches!(node.kind, OpKind::Loss) {
+                self.loss_partial += y.data()[0];
+            }
+            outs.insert(op, y);
+            caches.insert(op, cache);
+        }
+        // Keep cross-stage inputs for the backward pass too.
+        for (&op, tensor) in external {
+            outs.entry(op).or_insert_with(|| tensor.clone());
+        }
+        self.state.insert(mb, MicroState { outs, caches });
+    }
+
+    /// The stashed output of an operator for a given in-flight micro-batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the micro-batch is not in flight.
+    pub fn output(&self, mb: u32, op: OpId) -> &Tensor {
+        &self.state[&mb].outs[&op]
+    }
+
+    /// Runs the backward pass of micro-batch `mb`, releasing its stash.
+    ///
+    /// `external_grads` maps this stage's operator ids to gradients arriving
+    /// from consumer stages. Returns gradients for cross-stage *producer*
+    /// operators (what must be shipped upstream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mb` is not in flight.
+    pub fn backward(
+        &mut self,
+        mb: u32,
+        external_grads: &HashMap<OpId, Tensor>,
+    ) -> HashMap<OpId, Tensor> {
+        let state = self
+            .state
+            .remove(&mb)
+            .unwrap_or_else(|| panic!("micro-batch {mb} is not in flight"));
+        let mut dy: HashMap<OpId, Tensor> = external_grads.clone();
+        let mut upstream: HashMap<OpId, Tensor> = HashMap::new();
+        for &op in self.ops.iter().rev() {
+            let node = self.graph.node(op);
+            if matches!(node.kind, OpKind::Input) {
+                continue;
+            }
+            let grad_in = dy.remove(&op);
+            let is_loss = matches!(node.kind, OpKind::Loss);
+            assert!(
+                grad_in.is_some() || is_loss,
+                "operator {op} received no gradient"
+            );
+            let (dinputs, gparams) = op_backward(
+                node,
+                &self.params[&op],
+                &state.caches[&op],
+                if is_loss { None } else { grad_in.as_ref() },
+                self.mini_batch,
+            );
+            self.spread(op, dinputs, &mut dy, &mut upstream);
+            self.grads
+                .get_mut(&op)
+                .expect("stage op")
+                .accumulate(&gparams);
+        }
+        upstream
+    }
+
+    fn spread(
+        &self,
+        op: OpId,
+        dinputs: Vec<Tensor>,
+        dy: &mut HashMap<OpId, Tensor>,
+        upstream: &mut HashMap<OpId, Tensor>,
+    ) {
+        fn add_or_insert(map: &mut HashMap<OpId, Tensor>, pred: OpId, dx: Tensor) {
+            match map.get_mut(&pred) {
+                Some(acc) => acc.axpy(1.0, &dx.reshape(acc.shape().to_vec())),
+                None => {
+                    map.insert(pred, dx);
+                }
+            }
+        }
+        for (&pred, dx) in self.graph.preds(op).iter().zip(dinputs) {
+            if self.in_stage[pred.index()] {
+                add_or_insert(dy, pred, dx);
+            } else {
+                add_or_insert(upstream, pred, dx);
+            }
+        }
+    }
+
+    /// Synchronizes this runner's parameters from the authoritative store
+    /// (used between iterations).
+    pub fn refresh_params(&mut self, params: &ModelParams) {
+        for (&op, p) in self.params.iter_mut() {
+            *p = params.op(op).clone();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::synth_batch;
+    use gp_ir::zoo;
+
+    #[test]
+    fn whole_graph_as_one_stage_runs() {
+        let model = zoo::mlp_chain(2, 8);
+        let g = model.graph();
+        let params = ModelParams::init(g, 3);
+        let ops: Vec<OpId> = g.nodes().map(|n| n.id).collect();
+        let mut runner = StageRunner::new(g, &ops, &params, 4);
+        let batch = synth_batch(g, 4, 9);
+        runner.forward(0, &batch);
+        assert_eq!(runner.in_flight(), 1);
+        assert!(runner.loss() > 0.0);
+        let upstream = runner.backward(0, &HashMap::new());
+        assert!(upstream.is_empty(), "no external producers");
+        assert_eq!(runner.in_flight(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in flight")]
+    fn backward_without_forward_panics() {
+        let model = zoo::mlp_chain(1, 4);
+        let g = model.graph();
+        let params = ModelParams::init(g, 3);
+        let ops: Vec<OpId> = g.nodes().map(|n| n.id).collect();
+        let mut runner = StageRunner::new(g, &ops, &params, 4);
+        let _ = runner.backward(0, &HashMap::new());
+    }
+}

@@ -1,0 +1,452 @@
+//! Series-parallel structure of a computation graph.
+//!
+//! GraphPipe exploits the observation that "most DNNs structurally reflect
+//! series-parallel graphs" (section 5): its partitioner works on a recursive
+//! series-parallel decomposition rather than the raw DAG. This module defines
+//! that decomposition as an explicit tree ([`SpBlock`]) paired with the graph
+//! it describes ([`SpModel`]), and validates that the tree is a faithful
+//! description: every operator appears exactly once and every data edge is
+//! compatible with the series/parallel nesting.
+
+use crate::graph::{Graph, OpId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One node of the series-parallel decomposition tree.
+///
+/// * [`SpBlock::Leaf`] — a single operator;
+/// * [`SpBlock::Chain`] — children execute in series (data flows from each
+///   child into the next);
+/// * [`SpBlock::Branches`] — children are computationally independent and
+///   may execute concurrently (the structure GPP exploits).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpBlock {
+    /// A single operator.
+    Leaf(OpId),
+    /// Sequential composition of blocks.
+    Chain(Vec<SpBlock>),
+    /// Parallel (independent) composition of blocks.
+    Branches(Vec<SpBlock>),
+}
+
+impl SpBlock {
+    /// All operator ids in this block, in depth-first (series) order.
+    ///
+    /// For a valid [`SpModel`] this order is a topological order of the
+    /// sub-DAG, and for the root block it is exactly the linearization the
+    /// SPP baselines (PipeDream/Piper-style) consume.
+    pub fn ops(&self) -> Vec<OpId> {
+        let mut out = Vec::new();
+        self.collect_ops(&mut out);
+        out
+    }
+
+    fn collect_ops(&self, out: &mut Vec<OpId>) {
+        match self {
+            SpBlock::Leaf(id) => out.push(*id),
+            SpBlock::Chain(items) | SpBlock::Branches(items) => {
+                for item in items {
+                    item.collect_ops(out);
+                }
+            }
+        }
+    }
+
+    /// Number of operators in this block.
+    pub fn op_count(&self) -> usize {
+        match self {
+            SpBlock::Leaf(_) => 1,
+            SpBlock::Chain(items) | SpBlock::Branches(items) => {
+                items.iter().map(SpBlock::op_count).sum()
+            }
+        }
+    }
+
+    /// Number of `Branches` nodes in this block (a rough measure of the
+    /// parallel structure available to GPP).
+    pub fn branch_points(&self) -> usize {
+        match self {
+            SpBlock::Leaf(_) => 0,
+            SpBlock::Chain(items) => items.iter().map(SpBlock::branch_points).sum(),
+            SpBlock::Branches(items) => {
+                1 + items.iter().map(SpBlock::branch_points).sum::<usize>()
+            }
+        }
+    }
+
+    /// Flattens nested chains/branches and unwraps singleton composites.
+    ///
+    /// Normalized trees satisfy: no `Chain` directly contains a `Chain`, no
+    /// `Branches` directly contains a `Branches`, and every composite has at
+    /// least two children.
+    pub fn normalize(self) -> SpBlock {
+        match self {
+            SpBlock::Leaf(id) => SpBlock::Leaf(id),
+            SpBlock::Chain(items) => {
+                let mut flat = Vec::new();
+                for item in items {
+                    match item.normalize() {
+                        SpBlock::Chain(inner) => flat.extend(inner),
+                        other => flat.push(other),
+                    }
+                }
+                if flat.len() == 1 {
+                    flat.pop().expect("len checked")
+                } else {
+                    SpBlock::Chain(flat)
+                }
+            }
+            SpBlock::Branches(items) => {
+                let mut flat = Vec::new();
+                for item in items {
+                    match item.normalize() {
+                        SpBlock::Branches(inner) => flat.extend(inner),
+                        other => flat.push(other),
+                    }
+                }
+                if flat.len() == 1 {
+                    flat.pop().expect("len checked")
+                } else {
+                    SpBlock::Branches(flat)
+                }
+            }
+        }
+    }
+
+    /// Whether the tree is in the form produced by [`SpBlock::normalize`].
+    pub fn is_normalized(&self) -> bool {
+        match self {
+            SpBlock::Leaf(_) => true,
+            SpBlock::Chain(items) => {
+                items.len() >= 2
+                    && items
+                        .iter()
+                        .all(|i| !matches!(i, SpBlock::Chain(_)) && i.is_normalized())
+            }
+            SpBlock::Branches(items) => {
+                items.len() >= 2
+                    && items
+                        .iter()
+                        .all(|i| !matches!(i, SpBlock::Branches(_)) && i.is_normalized())
+            }
+        }
+    }
+}
+
+/// Errors raised when an [`SpBlock`] does not faithfully describe a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpError {
+    /// An operator appears more than once in the tree.
+    DuplicateOp(OpId),
+    /// A graph operator is missing from the tree.
+    MissingOp(OpId),
+    /// The tree references an operator not present in the graph.
+    UnknownOp(OpId),
+    /// A data edge connects two different branches of a `Branches` node,
+    /// so the branches are not actually independent.
+    CrossBranchEdge(OpId, OpId),
+    /// A data edge flows backwards within a `Chain`.
+    BackwardEdge(OpId, OpId),
+}
+
+impl fmt::Display for SpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpError::DuplicateOp(id) => write!(f, "operator {id} appears twice in the SP tree"),
+            SpError::MissingOp(id) => write!(f, "operator {id} is missing from the SP tree"),
+            SpError::UnknownOp(id) => write!(f, "SP tree references unknown operator {id}"),
+            SpError::CrossBranchEdge(u, v) => write!(
+                f,
+                "edge {u} -> {v} crosses between parallel branches; \
+                 the model is not series-parallel as described"
+            ),
+            SpError::BackwardEdge(u, v) => {
+                write!(f, "edge {u} -> {v} flows backwards within a chain")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpError {}
+
+/// A computation graph together with its validated series-parallel
+/// decomposition.
+///
+/// # Examples
+///
+/// ```
+/// use gp_ir::zoo;
+///
+/// let model = zoo::candle_uno(&zoo::CandleUnoConfig::default());
+/// assert!(model.root().branch_points() >= 1);
+/// let order = model.linearize();
+/// assert!(model.graph().is_topo_order(&order));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpModel {
+    graph: Graph,
+    root: SpBlock,
+    /// Human-readable model name (e.g. `"mmt"`).
+    name: String,
+}
+
+impl SpModel {
+    /// Pairs a graph with its SP decomposition, validating faithfulness.
+    ///
+    /// The tree is normalized first (see [`SpBlock::normalize`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`SpError`] when the tree and graph disagree: coverage is
+    /// not exactly one-to-one, an edge crosses parallel branches, or an edge
+    /// flows backwards along a chain.
+    pub fn new(name: impl Into<String>, graph: Graph, root: SpBlock) -> Result<Self, SpError> {
+        let root = root.normalize();
+        validate_sp(&graph, &root)?;
+        Ok(SpModel {
+            graph,
+            root,
+            name: name.into(),
+        })
+    }
+
+    /// The underlying computation graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The root of the series-parallel tree.
+    pub fn root(&self) -> &SpBlock {
+        &self.root
+    }
+
+    /// The model's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The linearization used by sequential-pipeline baselines: the SP tree's
+    /// depth-first operator order, which flattens parallel branches one after
+    /// another exactly like the "imaginary linear dependencies" of Figure 2.
+    pub fn linearize(&self) -> Vec<OpId> {
+        self.root.ops()
+    }
+}
+
+/// Positions of an op in the SP tree: the path of child indices from root.
+type Path = Vec<u32>;
+
+fn validate_sp(graph: &Graph, root: &SpBlock) -> Result<(), SpError> {
+    // Build op -> tree-path map, detecting duplicates/unknowns.
+    let mut paths: HashMap<OpId, Path> = HashMap::new();
+    let mut stack: Vec<(&SpBlock, Path)> = vec![(root, Vec::new())];
+    while let Some((block, path)) = stack.pop() {
+        match block {
+            SpBlock::Leaf(id) => {
+                if id.index() >= graph.len() {
+                    return Err(SpError::UnknownOp(*id));
+                }
+                if paths.insert(*id, path).is_some() {
+                    return Err(SpError::DuplicateOp(*id));
+                }
+            }
+            SpBlock::Chain(items) | SpBlock::Branches(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    let mut p = path.clone();
+                    p.push(i as u32);
+                    stack.push((item, p));
+                }
+            }
+        }
+    }
+    for node in graph.nodes() {
+        if !paths.contains_key(&node.id) {
+            return Err(SpError::MissingOp(node.id));
+        }
+    }
+    // Check every edge against the lowest common ancestor's block kind.
+    for (u, v) in graph.edges() {
+        let (pu, pv) = (&paths[&u], &paths[&v]);
+        let common = pu.iter().zip(pv.iter()).take_while(|(a, b)| a == b).count();
+        // The LCA block is the composite at depth `common`; find its kind by
+        // walking down the tree.
+        let lca_kind = block_kind_at(root, &pu[..common]);
+        match lca_kind {
+            BlockKindAt::Chain => {
+                if pu[common] >= pv[common] {
+                    return Err(SpError::BackwardEdge(u, v));
+                }
+            }
+            BlockKindAt::Branches => return Err(SpError::CrossBranchEdge(u, v)),
+            BlockKindAt::Leaf => {
+                // LCA is a leaf only if u == v, impossible for an edge.
+                unreachable!("an edge's endpoints are distinct ops");
+            }
+        }
+    }
+    Ok(())
+}
+
+enum BlockKindAt {
+    Leaf,
+    Chain,
+    Branches,
+}
+
+fn block_kind_at(root: &SpBlock, path: &[u32]) -> BlockKindAt {
+    let mut cur = root;
+    for &i in path {
+        cur = match cur {
+            SpBlock::Chain(items) | SpBlock::Branches(items) => &items[i as usize],
+            SpBlock::Leaf(_) => unreachable!("path descends past a leaf"),
+        };
+    }
+    match cur {
+        SpBlock::Leaf(_) => BlockKindAt::Leaf,
+        SpBlock::Chain(_) => BlockKindAt::Chain,
+        SpBlock::Branches(_) => BlockKindAt::Branches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::op::OpKind;
+    use crate::shape::Shape;
+
+    /// x -> {a | b} -> cat -> loss, as graph + SP tree.
+    fn fork_join() -> (Graph, SpBlock) {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", Shape::vector(8));
+        let a = b.linear("a", x, 8, false).unwrap();
+        let c = b.linear("b", x, 8, false).unwrap();
+        let cat = b.op("cat", OpKind::Concat, &[a, c]).unwrap();
+        let l = b.loss("loss", &[cat]);
+        let g = b.finish().unwrap();
+        let tree = SpBlock::Chain(vec![
+            SpBlock::Leaf(x),
+            SpBlock::Branches(vec![SpBlock::Leaf(a), SpBlock::Leaf(c)]),
+            SpBlock::Leaf(cat),
+            SpBlock::Leaf(l),
+        ]);
+        (g, tree)
+    }
+
+    #[test]
+    fn valid_model_roundtrips() {
+        let (g, tree) = fork_join();
+        let m = SpModel::new("forkjoin", g, tree).unwrap();
+        assert_eq!(m.root().op_count(), 5);
+        assert_eq!(m.root().branch_points(), 1);
+        let lin = m.linearize();
+        assert!(m.graph().is_topo_order(&lin));
+    }
+
+    #[test]
+    fn duplicate_op_rejected() {
+        let (g, _) = fork_join();
+        let tree = SpBlock::Chain(vec![
+            SpBlock::Leaf(OpId(0)),
+            SpBlock::Leaf(OpId(0)),
+            SpBlock::Leaf(OpId(1)),
+            SpBlock::Leaf(OpId(2)),
+            SpBlock::Leaf(OpId(3)),
+            SpBlock::Leaf(OpId(4)),
+        ]);
+        assert_eq!(
+            SpModel::new("bad", g, tree).unwrap_err(),
+            SpError::DuplicateOp(OpId(0))
+        );
+    }
+
+    #[test]
+    fn missing_op_rejected() {
+        let (g, _) = fork_join();
+        let tree = SpBlock::Chain(vec![
+            SpBlock::Leaf(OpId(0)),
+            SpBlock::Leaf(OpId(1)),
+            SpBlock::Leaf(OpId(3)),
+            SpBlock::Leaf(OpId(4)),
+        ]);
+        assert_eq!(
+            SpModel::new("bad", g, tree).unwrap_err(),
+            SpError::MissingOp(OpId(2))
+        );
+    }
+
+    #[test]
+    fn cross_branch_edge_rejected() {
+        // Place dependent ops a (x->a) and cat (a->cat) in parallel branches.
+        let (g, _) = fork_join();
+        let tree = SpBlock::Chain(vec![
+            SpBlock::Leaf(OpId(0)),
+            SpBlock::Branches(vec![
+                SpBlock::Chain(vec![SpBlock::Leaf(OpId(1)), SpBlock::Leaf(OpId(3))]),
+                SpBlock::Leaf(OpId(2)),
+            ]),
+            SpBlock::Leaf(OpId(4)),
+        ]);
+        assert_eq!(
+            SpModel::new("bad", g, tree).unwrap_err(),
+            SpError::CrossBranchEdge(OpId(2), OpId(3))
+        );
+    }
+
+    #[test]
+    fn backward_edge_rejected() {
+        let (g, _) = fork_join();
+        // cat before its producers in the chain.
+        let tree = SpBlock::Chain(vec![
+            SpBlock::Leaf(OpId(0)),
+            SpBlock::Leaf(OpId(3)),
+            SpBlock::Branches(vec![SpBlock::Leaf(OpId(1)), SpBlock::Leaf(OpId(2))]),
+            SpBlock::Leaf(OpId(4)),
+        ]);
+        assert!(matches!(
+            SpModel::new("bad", g, tree).unwrap_err(),
+            SpError::BackwardEdge(..)
+        ));
+    }
+
+    #[test]
+    fn normalize_flattens_and_unwraps() {
+        let t = SpBlock::Chain(vec![
+            SpBlock::Chain(vec![SpBlock::Leaf(OpId(0)), SpBlock::Leaf(OpId(1))]),
+            SpBlock::Branches(vec![SpBlock::Branches(vec![
+                SpBlock::Leaf(OpId(2)),
+                SpBlock::Leaf(OpId(3)),
+            ])]),
+        ]);
+        let n = t.normalize();
+        assert!(n.is_normalized());
+        assert_eq!(
+            n,
+            SpBlock::Chain(vec![
+                SpBlock::Leaf(OpId(0)),
+                SpBlock::Leaf(OpId(1)),
+                SpBlock::Branches(vec![SpBlock::Leaf(OpId(2)), SpBlock::Leaf(OpId(3))]),
+            ])
+        );
+    }
+
+    #[test]
+    fn normalize_singleton_composites() {
+        let t = SpBlock::Chain(vec![SpBlock::Branches(vec![SpBlock::Leaf(OpId(5))])]);
+        assert_eq!(t.normalize(), SpBlock::Leaf(OpId(5)));
+    }
+
+    #[test]
+    fn ops_are_depth_first() {
+        let (_, tree) = fork_join();
+        let ops: Vec<u32> = tree.ops().iter().map(|o| o.0).collect();
+        assert_eq!(ops, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = SpError::CrossBranchEdge(OpId(1), OpId(2));
+        assert!(e.to_string().contains("crosses between parallel branches"));
+    }
+}

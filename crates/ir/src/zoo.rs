@@ -1,0 +1,596 @@
+//! Model zoo: the DNNs evaluated in the GraphPipe paper.
+//!
+//! Configurations default to Appendix A.2 of the paper:
+//!
+//! * [`mmt`] — Multi-Modal Transformer: parallel branches of Transformer
+//!   layers concatenated at the end (4 branches x 8 layers, seq 256, hidden
+//!   1024, 16 heads, FFN 4096);
+//! * [`dlrm`] — recommendation model: 7 dense-feature branches (4 FFN layers,
+//!   hidden 4096) and 7 sparse-feature branches (1M x 64 embedding bags of
+//!   size 100), concatenated, pairwise feature interaction, post-MLP;
+//! * [`candle_uno`] — precision-medicine model: 7 branches of 4 FFN layers
+//!   (hidden 4096), concatenated, with a small head;
+//! * [`sequential_transformer`] — the Appendix A.3 sequential workload
+//!   (32 Transformer layers, no branches);
+//! * [`case_study`] — the synthetic two-branch Transformer of Figure 10
+//!   (2 branches x 4 repetitions of [MHA, Linear, Linear]).
+//!
+//! Simplification (documented per DESIGN.md): DLRM's sparse branches project
+//! their concatenated bag to the dense hidden size so that the pairwise
+//! feature interaction operates on uniform feature vectors; the top MLP
+//! consumes the interaction output directly. This preserves the multi-branch
+//! compute/memory balance the evaluation depends on.
+
+use crate::graph::{GraphBuilder, OpId};
+use crate::op::{Nonlinearity, OpKind};
+use crate::shape::Shape;
+use crate::sp::{SpBlock, SpModel};
+
+/// Configuration for the Multi-Modal Transformer model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MmtConfig {
+    /// Number of parallel modality branches.
+    pub branches: usize,
+    /// Transformer layers per branch.
+    pub layers_per_branch: usize,
+    /// Input sequence length.
+    pub seq: usize,
+    /// Model (hidden/embedding) dimension.
+    pub hidden: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Feed-forward hidden dimension.
+    pub ffn_hidden: usize,
+}
+
+impl Default for MmtConfig {
+    /// Appendix A.2: 4 branches x 8 layers, seq 256, hidden 1024, 16 heads,
+    /// FFN hidden 4096.
+    fn default() -> Self {
+        MmtConfig {
+            branches: 4,
+            layers_per_branch: 8,
+            seq: 256,
+            hidden: 1024,
+            heads: 16,
+            ffn_hidden: 4096,
+        }
+    }
+}
+
+impl MmtConfig {
+    /// The two-branch variant used for the search-time comparison (§7.2).
+    pub fn two_branch() -> Self {
+        MmtConfig {
+            branches: 2,
+            ..Self::default()
+        }
+    }
+
+    /// A tiny variant for tests and CPU execution.
+    pub fn tiny() -> Self {
+        MmtConfig {
+            branches: 2,
+            layers_per_branch: 2,
+            seq: 8,
+            hidden: 16,
+            heads: 2,
+            ffn_hidden: 32,
+        }
+    }
+}
+
+/// One Transformer layer: `[MHA, Linear(h->ffn), Gelu, Linear(ffn->h)]`,
+/// the granularity used throughout the paper's case study.
+fn transformer_layer(
+    b: &mut GraphBuilder,
+    prefix: &str,
+    input: OpId,
+    cfg: &MmtConfig,
+    blocks: &mut Vec<SpBlock>,
+) -> OpId {
+    let mha = b
+        .op(
+            format!("{prefix}.mha"),
+            OpKind::MultiHeadAttention {
+                seq: cfg.seq,
+                hidden: cfg.hidden,
+                heads: cfg.heads,
+            },
+            &[input],
+        )
+        .expect("shapes are consistent by construction");
+    let up = b
+        .linear(format!("{prefix}.ffn_up"), mha, cfg.ffn_hidden, true)
+        .expect("shapes are consistent by construction");
+    let act = b
+        .op(
+            format!("{prefix}.gelu"),
+            OpKind::Activation(Nonlinearity::Gelu),
+            &[up],
+        )
+        .expect("shapes are consistent by construction");
+    let down = b
+        .linear(format!("{prefix}.ffn_down"), act, cfg.hidden, true)
+        .expect("shapes are consistent by construction");
+    blocks.extend([
+        SpBlock::Leaf(mha),
+        SpBlock::Leaf(up),
+        SpBlock::Leaf(act),
+        SpBlock::Leaf(down),
+    ]);
+    down
+}
+
+/// Builds the Multi-Modal Transformer model (Figure 6a workload).
+pub fn mmt(cfg: &MmtConfig) -> SpModel {
+    assert!(cfg.branches >= 1 && cfg.layers_per_branch >= 1);
+    let mut b = GraphBuilder::new();
+    let mut branch_blocks = Vec::new();
+    let mut branch_outs = Vec::new();
+    for br in 0..cfg.branches {
+        let mut blocks = Vec::new();
+        let input = b.input(
+            format!("branch{br}.input"),
+            Shape::matrix(cfg.seq, cfg.hidden),
+        );
+        blocks.push(SpBlock::Leaf(input));
+        let mut cur = input;
+        for layer in 0..cfg.layers_per_branch {
+            cur = transformer_layer(&mut b, &format!("branch{br}.l{layer}"), cur, cfg, &mut blocks);
+        }
+        branch_outs.push(cur);
+        branch_blocks.push(SpBlock::Chain(blocks));
+    }
+    let cat = b
+        .op("concat", OpKind::Concat, &branch_outs)
+        .expect("branch outputs agree on leading dims");
+    let loss = b.loss("loss", &[cat]);
+    let root = SpBlock::Chain(vec![
+        SpBlock::Branches(branch_blocks),
+        SpBlock::Leaf(cat),
+        SpBlock::Leaf(loss),
+    ]);
+    SpModel::new("mmt", b.finish().expect("zoo model is valid"), root)
+        .expect("zoo SP tree matches its graph")
+}
+
+/// Configuration for the DLRM recommendation model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DlrmConfig {
+    /// Number of dense-feature branches.
+    pub dense_branches: usize,
+    /// Number of sparse-feature (embedding) branches.
+    pub sparse_branches: usize,
+    /// FFN layers per dense branch.
+    pub dense_layers: usize,
+    /// Hidden size of dense features and feed-forward layers.
+    pub hidden: usize,
+    /// Embedding-table rows.
+    pub embedding_entries: usize,
+    /// Embedding dimension.
+    pub embedding_dim: usize,
+    /// Lookups per sample (bag size); bag entries are concatenated.
+    pub bag: usize,
+    /// Feed-forward layers after the feature interaction.
+    pub top_layers: usize,
+}
+
+impl Default for DlrmConfig {
+    /// Appendix A.2: 7 dense + 7 sparse branches, 4 FFN layers of hidden
+    /// 4096, 1M x 64 embeddings with bag 100.
+    fn default() -> Self {
+        DlrmConfig {
+            dense_branches: 7,
+            sparse_branches: 7,
+            dense_layers: 4,
+            hidden: 4096,
+            embedding_entries: 1_000_000,
+            embedding_dim: 64,
+            bag: 100,
+            top_layers: 2,
+        }
+    }
+}
+
+impl DlrmConfig {
+    /// A tiny variant for tests and CPU execution.
+    pub fn tiny() -> Self {
+        DlrmConfig {
+            dense_branches: 2,
+            sparse_branches: 2,
+            dense_layers: 2,
+            hidden: 16,
+            embedding_entries: 64,
+            embedding_dim: 4,
+            bag: 3,
+            top_layers: 1,
+        }
+    }
+}
+
+/// Builds the DLRM model (Figure 6b workload).
+pub fn dlrm(cfg: &DlrmConfig) -> SpModel {
+    assert!(cfg.dense_branches + cfg.sparse_branches >= 1);
+    let mut b = GraphBuilder::new();
+    let mut branch_blocks = Vec::new();
+    let mut branch_outs = Vec::new();
+    for br in 0..cfg.dense_branches {
+        let mut blocks = Vec::new();
+        let input = b.input(format!("dense{br}.input"), Shape::vector(cfg.hidden));
+        blocks.push(SpBlock::Leaf(input));
+        let mut cur = input;
+        for layer in 0..cfg.dense_layers {
+            let fc = b
+                .linear(format!("dense{br}.l{layer}.fc"), cur, cfg.hidden, true)
+                .expect("consistent");
+            let act = b
+                .op(
+                    format!("dense{br}.l{layer}.relu"),
+                    OpKind::Activation(Nonlinearity::Relu),
+                    &[fc],
+                )
+                .expect("consistent");
+            blocks.extend([SpBlock::Leaf(fc), SpBlock::Leaf(act)]);
+            cur = act;
+        }
+        branch_outs.push(cur);
+        branch_blocks.push(SpBlock::Chain(blocks));
+    }
+    for br in 0..cfg.sparse_branches {
+        let mut blocks = Vec::new();
+        let input = b.input(format!("sparse{br}.indices"), Shape::vector(cfg.bag));
+        let bag = b
+            .op(
+                format!("sparse{br}.embag"),
+                OpKind::EmbeddingBag {
+                    entries: cfg.embedding_entries,
+                    dim: cfg.embedding_dim,
+                    bag: cfg.bag,
+                },
+                &[input],
+            )
+            .expect("consistent");
+        // Project the concatenated bag to the dense hidden size so the
+        // interaction sees uniform feature vectors (see module docs).
+        let proj = b
+            .linear(format!("sparse{br}.proj"), bag, cfg.hidden, true)
+            .expect("consistent");
+        blocks.extend([SpBlock::Leaf(input), SpBlock::Leaf(bag), SpBlock::Leaf(proj)]);
+        branch_outs.push(proj);
+        branch_blocks.push(SpBlock::Chain(blocks));
+    }
+    let features = cfg.dense_branches + cfg.sparse_branches;
+    let cat = b
+        .op("concat", OpKind::Concat, &branch_outs)
+        .expect("uniform feature dims");
+    let interact = b
+        .op(
+            "interaction",
+            OpKind::FeatureInteraction {
+                features,
+                dim: cfg.hidden,
+            },
+            &[cat],
+        )
+        .expect("consistent");
+    let mut blocks = vec![
+        SpBlock::Branches(branch_blocks),
+        SpBlock::Leaf(cat),
+        SpBlock::Leaf(interact),
+    ];
+    let mut cur = interact;
+    for layer in 0..cfg.top_layers {
+        let fc = b
+            .linear(format!("top.l{layer}.fc"), cur, cfg.hidden, true)
+            .expect("consistent");
+        let act = b
+            .op(
+                format!("top.l{layer}.relu"),
+                OpKind::Activation(Nonlinearity::Relu),
+                &[fc],
+            )
+            .expect("consistent");
+        blocks.extend([SpBlock::Leaf(fc), SpBlock::Leaf(act)]);
+        cur = act;
+    }
+    let head = b.linear("top.head", cur, 1, true).expect("consistent");
+    let loss = b.loss("loss", &[head]);
+    blocks.extend([SpBlock::Leaf(head), SpBlock::Leaf(loss)]);
+    SpModel::new(
+        "dlrm",
+        b.finish().expect("zoo model is valid"),
+        SpBlock::Chain(blocks),
+    )
+    .expect("zoo SP tree matches its graph")
+}
+
+/// Configuration for the CANDLE-Uno model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandleUnoConfig {
+    /// Number of parallel feature branches (swept in Figure 7 left).
+    pub branches: usize,
+    /// FFN layers per branch.
+    pub layers_per_branch: usize,
+    /// Hidden size of every feed-forward layer.
+    pub hidden: usize,
+    /// FFN layers in the shared head after concatenation.
+    pub head_layers: usize,
+}
+
+impl Default for CandleUnoConfig {
+    /// Appendix A.2: 7 branches of 4 feed-forward layers, hidden 4096;
+    /// the branches are "concatenated at the end" with only a scalar
+    /// prediction head after the join.
+    fn default() -> Self {
+        CandleUnoConfig {
+            branches: 7,
+            layers_per_branch: 4,
+            hidden: 4096,
+            head_layers: 0,
+        }
+    }
+}
+
+impl CandleUnoConfig {
+    /// Variant with a different branch count (Figure 7 left sweep).
+    pub fn with_branches(branches: usize) -> Self {
+        CandleUnoConfig {
+            branches,
+            ..Self::default()
+        }
+    }
+
+    /// A tiny variant for tests and CPU execution.
+    pub fn tiny() -> Self {
+        CandleUnoConfig {
+            branches: 2,
+            layers_per_branch: 2,
+            hidden: 16,
+            head_layers: 1,
+        }
+    }
+}
+
+/// Builds the CANDLE-Uno model (Figure 6c workload).
+pub fn candle_uno(cfg: &CandleUnoConfig) -> SpModel {
+    assert!(cfg.branches >= 1 && cfg.layers_per_branch >= 1);
+    let mut b = GraphBuilder::new();
+    let mut branch_blocks = Vec::new();
+    let mut branch_outs = Vec::new();
+    for br in 0..cfg.branches {
+        let mut blocks = Vec::new();
+        let input = b.input(format!("branch{br}.input"), Shape::vector(cfg.hidden));
+        blocks.push(SpBlock::Leaf(input));
+        let mut cur = input;
+        for layer in 0..cfg.layers_per_branch {
+            let fc = b
+                .linear(format!("branch{br}.l{layer}.fc"), cur, cfg.hidden, true)
+                .expect("consistent");
+            let act = b
+                .op(
+                    format!("branch{br}.l{layer}.relu"),
+                    OpKind::Activation(Nonlinearity::Relu),
+                    &[fc],
+                )
+                .expect("consistent");
+            blocks.extend([SpBlock::Leaf(fc), SpBlock::Leaf(act)]);
+            cur = act;
+        }
+        branch_outs.push(cur);
+        branch_blocks.push(SpBlock::Chain(blocks));
+    }
+    let cat = b
+        .op("concat", OpKind::Concat, &branch_outs)
+        .expect("uniform dims");
+    let mut blocks = vec![SpBlock::Branches(branch_blocks), SpBlock::Leaf(cat)];
+    let mut cur = cat;
+    for layer in 0..cfg.head_layers {
+        let fc = b
+            .linear(format!("head.l{layer}.fc"), cur, cfg.hidden, true)
+            .expect("consistent");
+        let act = b
+            .op(
+                format!("head.l{layer}.relu"),
+                OpKind::Activation(Nonlinearity::Relu),
+                &[fc],
+            )
+            .expect("consistent");
+        blocks.extend([SpBlock::Leaf(fc), SpBlock::Leaf(act)]);
+        cur = act;
+    }
+    let head = b.linear("head.out", cur, 1, true).expect("consistent");
+    let loss = b.loss("loss", &[head]);
+    blocks.extend([SpBlock::Leaf(head), SpBlock::Leaf(loss)]);
+    SpModel::new(
+        "candle-uno",
+        b.finish().expect("zoo model is valid"),
+        SpBlock::Chain(blocks),
+    )
+    .expect("zoo SP tree matches its graph")
+}
+
+/// Builds the sequential Transformer of Appendix A.3: a single chain of
+/// Transformer layers with the MMT layer configuration, used to show parity
+/// between GraphPipe and the SPP baselines on sequential workloads.
+pub fn sequential_transformer(layers: usize, cfg: &MmtConfig) -> SpModel {
+    assert!(layers >= 1);
+    let mut b = GraphBuilder::new();
+    let mut blocks = Vec::new();
+    let input = b.input("input", Shape::matrix(cfg.seq, cfg.hidden));
+    blocks.push(SpBlock::Leaf(input));
+    let mut cur = input;
+    for layer in 0..layers {
+        cur = transformer_layer(&mut b, &format!("l{layer}"), cur, cfg, &mut blocks);
+    }
+    let loss = b.loss("loss", &[cur]);
+    blocks.push(SpBlock::Leaf(loss));
+    SpModel::new(
+        "seq-transformer",
+        b.finish().expect("zoo model is valid"),
+        SpBlock::Chain(blocks),
+    )
+    .expect("zoo SP tree matches its graph")
+}
+
+/// Builds the synthetic two-branch Transformer of Figure 10 (the §7.5 case
+/// study): each branch is four repetitions of `[MHA, Linear, Linear]`
+/// (no activation ops, matching the figure), merged by one concatenation.
+pub fn case_study(cfg: &MmtConfig) -> SpModel {
+    let mut b = GraphBuilder::new();
+    let mut branch_blocks = Vec::new();
+    let mut branch_outs = Vec::new();
+    for br in 0..2 {
+        let mut blocks = Vec::new();
+        let input = b.input(
+            format!("branch{br}.input"),
+            Shape::matrix(cfg.seq, cfg.hidden),
+        );
+        blocks.push(SpBlock::Leaf(input));
+        let mut cur = input;
+        for layer in 0..4 {
+            let mha = b
+                .op(
+                    format!("branch{br}.l{layer}.mha"),
+                    OpKind::MultiHeadAttention {
+                        seq: cfg.seq,
+                        hidden: cfg.hidden,
+                        heads: cfg.heads,
+                    },
+                    &[cur],
+                )
+                .expect("consistent");
+            let up = b
+                .linear(format!("branch{br}.l{layer}.fc1"), mha, cfg.ffn_hidden, true)
+                .expect("consistent");
+            let down = b
+                .linear(format!("branch{br}.l{layer}.fc2"), up, cfg.hidden, true)
+                .expect("consistent");
+            blocks.extend([SpBlock::Leaf(mha), SpBlock::Leaf(up), SpBlock::Leaf(down)]);
+            cur = down;
+        }
+        branch_outs.push(cur);
+        branch_blocks.push(SpBlock::Chain(blocks));
+    }
+    let cat = b
+        .op("concat", OpKind::Concat, &branch_outs)
+        .expect("uniform dims");
+    let loss = b.loss("loss", &[cat]);
+    let root = SpBlock::Chain(vec![
+        SpBlock::Branches(branch_blocks),
+        SpBlock::Leaf(cat),
+        SpBlock::Leaf(loss),
+    ]);
+    SpModel::new("case-study", b.finish().expect("zoo model is valid"), root)
+        .expect("zoo SP tree matches its graph")
+}
+
+/// A plain multi-layer perceptron chain, for unit tests and examples.
+pub fn mlp_chain(layers: usize, hidden: usize) -> SpModel {
+    assert!(layers >= 1);
+    let mut b = GraphBuilder::new();
+    let mut blocks = Vec::new();
+    let input = b.input("input", Shape::vector(hidden));
+    blocks.push(SpBlock::Leaf(input));
+    let mut cur = input;
+    for layer in 0..layers {
+        let fc = b
+            .linear(format!("l{layer}.fc"), cur, hidden, true)
+            .expect("consistent");
+        let act = b
+            .op(
+                format!("l{layer}.relu"),
+                OpKind::Activation(Nonlinearity::Relu),
+                &[fc],
+            )
+            .expect("consistent");
+        blocks.extend([SpBlock::Leaf(fc), SpBlock::Leaf(act)]);
+        cur = act;
+    }
+    let loss = b.loss("loss", &[cur]);
+    blocks.push(SpBlock::Leaf(loss));
+    SpModel::new(
+        "mlp-chain",
+        b.finish().expect("zoo model is valid"),
+        SpBlock::Chain(blocks),
+    )
+    .expect("zoo SP tree matches its graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mmt_default_matches_paper_config() {
+        let m = mmt(&MmtConfig::default());
+        // 4 branches x (1 input + 8 layers x 4 ops) + concat + loss.
+        assert_eq!(m.graph().len(), 4 * (1 + 8 * 4) + 2);
+        assert_eq!(m.root().branch_points(), 1);
+        m.graph().validate().unwrap();
+        // Each Transformer layer holds 4 h^2 (MHA) + 2 h*ffn (FFN) weights.
+        let h = 1024u64;
+        let layer_params = 4 * (h * h + h) + (h * 4096 + 4096) + (4096 * h + h);
+        assert_eq!(m.graph().total_params(), 4 * 8 * layer_params);
+    }
+
+    #[test]
+    fn mmt_linearization_is_topological() {
+        let m = mmt(&MmtConfig::tiny());
+        assert!(m.graph().is_topo_order(&m.linearize()));
+    }
+
+    #[test]
+    fn dlrm_default_has_fourteen_branches() {
+        let m = dlrm(&DlrmConfig::default());
+        let root_branches = match m.root() {
+            SpBlock::Chain(items) => match &items[0] {
+                SpBlock::Branches(bs) => bs.len(),
+                other => panic!("expected Branches first, got {other:?}"),
+            },
+            other => panic!("expected Chain root, got {other:?}"),
+        };
+        assert_eq!(root_branches, 14);
+        // Embedding tables dominate the parameter count: 7 x 1M x 64.
+        assert!(m.graph().total_params() > 7 * 64_000_000);
+    }
+
+    #[test]
+    fn candle_uno_branch_sweep() {
+        for branches in [2, 4, 8, 16] {
+            let m = candle_uno(&CandleUnoConfig::with_branches(branches));
+            m.graph().validate().unwrap();
+            assert!(m.graph().is_topo_order(&m.linearize()));
+            assert_eq!(m.root().branch_points(), 1);
+        }
+    }
+
+    #[test]
+    fn sequential_transformer_has_no_branches() {
+        let m = sequential_transformer(32, &MmtConfig::default());
+        assert_eq!(m.root().branch_points(), 0);
+        assert_eq!(m.graph().len(), 1 + 32 * 4 + 1);
+    }
+
+    #[test]
+    fn case_study_matches_figure_10() {
+        let m = case_study(&MmtConfig::default());
+        // 2 branches x (1 input + 4 x 3 ops) + concat + loss.
+        assert_eq!(m.graph().len(), 2 * 13 + 2);
+        assert!(m.graph().is_topo_order(&m.linearize()));
+    }
+
+    #[test]
+    fn tiny_models_are_small() {
+        assert!(mmt(&MmtConfig::tiny()).graph().len() < 30);
+        assert!(dlrm(&DlrmConfig::tiny()).graph().len() < 30);
+        assert!(candle_uno(&CandleUnoConfig::tiny()).graph().len() < 20);
+    }
+
+    #[test]
+    fn mlp_chain_is_sequential() {
+        let m = mlp_chain(4, 32);
+        assert_eq!(m.root().branch_points(), 0);
+        assert_eq!(m.graph().len(), 1 + 4 * 2 + 1);
+    }
+}

@@ -1,0 +1,1365 @@
+//! The GraphPipe pipeline-stage partitioner (Algorithm 1 of the paper).
+//!
+//! The planner binary-searches the bottleneck Time-Per-Sample and, for each
+//! target `t_max`, runs a dynamic program over the model's series-parallel
+//! tree that decides — jointly — the stage partition, per-stage device
+//! counts, micro-batch sizes, and schedule parameters, while the in-flight
+//! accounting of `gp-sched` flows backwards from sinks to sources.
+//!
+//! DP subproblems follow §5:
+//!
+//! * **base case** — treat the whole subgraph as a single stage with
+//!   `d`-way data parallelism;
+//! * **series decomposition** — split a chain, solve the suffix first (its
+//!   entry stages' schedule configurations become the head's boundary
+//!   configuration `c_m`), then the head;
+//! * **parallel decomposition** — split the branch set, solve both sides
+//!   against the same boundary, and take the larger in-flight requirement
+//!   at the shared boundary;
+//! * **join absorption** — a `Branches` element followed by small join
+//!   operators (e.g. `Concat`) may fold the joins into the final stage of
+//!   its last branch, reproducing the §7.5 case-study partition where "one
+//!   stage necessarily contains the concatenation operator".
+//!
+//! The feasibility-style DP is what makes GraphPipe's search fast (§7.2):
+//! a fragment whose *total* work already exceeds `d * t_max` cannot be
+//! partitioned into stages meeting the target, so whole subtrees — and most
+//! of the device-split range at each chain cut — are pruned by a
+//! work-conservation bound. The sequential baselines optimize min-max
+//! directly and get no such pruning.
+
+use crate::plan::{Plan, PlanError, PlanOptions, Planner, SearchStats};
+use gp_cluster::{Cluster, DeviceRange};
+use gp_cost::{CostModel, Pass, BYTES_PER_PARAM_STATE};
+use gp_ir::{Graph, OpId, SpBlock, SpModel};
+use gp_sched::{
+    assign_in_flight, compute_in_flight, schedule_tasks, Stage, StageGraph, StageId,
+};
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+// ---------------------------------------------------------------- arena --
+
+type NodeIdx = u32;
+
+#[derive(Debug, Clone)]
+enum ANode {
+    Leaf(OpId),
+    Chain(Vec<NodeIdx>),
+    Branches(Vec<NodeIdx>),
+}
+
+/// Flat storage for the SP tree, with on-demand "absorbed" chain variants.
+struct Arena {
+    nodes: Vec<ANode>,
+    ops: Vec<Rc<Vec<OpId>>>,
+    root: NodeIdx,
+    absorb_cache: HashMap<(NodeIdx, NodeIdx, usize, usize), NodeIdx>,
+}
+
+impl Arena {
+    fn build(block: &SpBlock) -> Arena {
+        let mut arena = Arena {
+            nodes: Vec::new(),
+            ops: Vec::new(),
+            root: 0,
+            absorb_cache: HashMap::new(),
+        };
+        arena.root = arena.add(block);
+        arena
+    }
+
+    fn add(&mut self, block: &SpBlock) -> NodeIdx {
+        let node = match block {
+            SpBlock::Leaf(op) => ANode::Leaf(*op),
+            SpBlock::Chain(items) => ANode::Chain(items.iter().map(|b| self.add(b)).collect()),
+            SpBlock::Branches(items) => {
+                ANode::Branches(items.iter().map(|b| self.add(b)).collect())
+            }
+        };
+        self.push(node)
+    }
+
+    fn push(&mut self, node: ANode) -> NodeIdx {
+        let ops = match &node {
+            ANode::Leaf(op) => vec![*op],
+            ANode::Chain(cs) | ANode::Branches(cs) => cs
+                .iter()
+                .flat_map(|&c| self.ops[c as usize].iter().copied())
+                .collect(),
+        };
+        let idx = self.nodes.len() as NodeIdx;
+        self.nodes.push(node);
+        self.ops.push(Rc::new(ops));
+        idx
+    }
+
+    fn node(&self, idx: NodeIdx) -> &ANode {
+        &self.nodes[idx as usize]
+    }
+
+    fn node_ops(&self, idx: NodeIdx) -> Rc<Vec<OpId>> {
+        Rc::clone(&self.ops[idx as usize])
+    }
+
+    fn children(&self, idx: NodeIdx) -> &[NodeIdx] {
+        match self.node(idx) {
+            ANode::Chain(cs) | ANode::Branches(cs) => cs,
+            ANode::Leaf(_) => &[],
+        }
+    }
+
+    fn is_branches(&self, idx: NodeIdx) -> bool {
+        matches!(self.node(idx), ANode::Branches(_))
+    }
+
+    fn is_leaf(&self, idx: NodeIdx) -> bool {
+        matches!(self.node(idx), ANode::Leaf(_))
+    }
+
+    /// The chain obtained by appending `chain`'s elements `[tail_s, tail_e)`
+    /// (the absorbed join operators) to the last branch of `branches`.
+    fn absorbed_chain(
+        &mut self,
+        branches: NodeIdx,
+        chain: NodeIdx,
+        tail_s: usize,
+        tail_e: usize,
+    ) -> NodeIdx {
+        let key = (branches, chain, tail_s, tail_e);
+        if let Some(&idx) = self.absorb_cache.get(&key) {
+            return idx;
+        }
+        let last_branch = *self
+            .children(branches)
+            .last()
+            .expect("Branches nodes are non-empty");
+        let mut elems = match self.node(last_branch) {
+            ANode::Chain(cs) => cs.clone(),
+            _ => vec![last_branch],
+        };
+        elems.extend_from_slice(&self.children(chain)[tail_s..tail_e]);
+        let idx = self.push(ANode::Chain(elems));
+        self.absorb_cache.insert(key, idx);
+        idx
+    }
+}
+
+// ------------------------------------------------- boundary configuration --
+
+/// The downstream boundary configuration of a DP subproblem: the schedule
+/// configurations `(k, b, in_flight_samples)` of the entry stages that will
+/// consume this fragment's output. Empty means the fragment ends at the
+/// global sink. Interned to a `DownId` for cheap memo keys.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+struct Down(Vec<(u64, u64, u64)>);
+
+type DownId = u32;
+
+impl Down {
+    fn single(entry: (u64, u64, u64)) -> Down {
+        Down(vec![entry])
+    }
+
+    fn from_entries(mut entries: Vec<(u64, u64, u64)>) -> Down {
+        // Canonical form: per (k, b) only the maximal i binds (ComputeInFlight
+        // is `i + f(k, b, ...)`), then sorted for hashing.
+        entries.sort_unstable();
+        let mut out: Vec<(u64, u64, u64)> = Vec::with_capacity(entries.len());
+        for e in entries {
+            match out.last_mut() {
+                Some(last) if last.0 == e.0 && last.1 == e.1 => last.2 = last.2.max(e.2),
+                _ => out.push(e),
+            }
+        }
+        Down(out)
+    }
+
+    fn union(&self, other: &Down) -> Down {
+        let mut v = self.0.clone();
+        v.extend_from_slice(&other.0);
+        Down::from_entries(v)
+    }
+
+    /// Minimal in-flight samples for a stage with schedule `(k, b)` feeding
+    /// these boundaries (the sink keeps `k*b` samples resident).
+    fn entry_in_flight(&self, k: u64, b: u64) -> u64 {
+        let base = k * b;
+        self.0
+            .iter()
+            .map(|&(ky, by, iy)| compute_in_flight(k, b, ky, by, iy))
+            .max()
+            .unwrap_or(base)
+            .max(base)
+    }
+}
+
+// ------------------------------------------------------------- fragments --
+
+/// A stage in the making: ops + device count, placed later.
+#[derive(Debug, Clone)]
+struct ProtoStage {
+    ops: Rc<Vec<OpId>>,
+    d: u32,
+    b: u64,
+    k: u64,
+}
+
+/// DP comparison key: source in-flight pressure, then memory, then stage
+/// count (§5: "the number of in-flight micro-batches for the source stage
+/// is minimized").
+type Score = (u64, u64, usize);
+
+/// A solved DP subproblem: the stages of a model fragment in forward
+/// topological order, with boundary bookkeeping.
+#[derive(Debug)]
+struct Frag {
+    stages: Vec<ProtoStage>,
+    /// `(k, b, i)` of the fragment's entry stages (what upstream sees).
+    entries: Down,
+    /// Interned id of `entries`.
+    entries_id: DownId,
+    /// `(k, b, i)` of the stage containing the fragment's last chain
+    /// element (what side branches feeding an absorbed join see).
+    exit: (u64, u64, u64),
+    /// Peak per-device memory across stages, bytes.
+    peak_mem: u64,
+}
+
+impl Frag {
+    fn max_entry(&self) -> u64 {
+        self.entries.0.iter().map(|e| e.2).max().unwrap_or(0)
+    }
+
+    fn score(&self) -> Score {
+        (self.max_entry(), self.peak_mem, self.stages.len())
+    }
+}
+
+// ---------------------------------------------------------------- engine --
+
+/// Per-chain, micro-batch-independent prefix aggregates over elements.
+struct ChainStatic {
+    /// Prefix parameter bytes.
+    params: Vec<u64>,
+    /// Prefix stashed activation bytes per sample.
+    act: Vec<u64>,
+    /// Prefix of per-element outside-chain communication bytes per sample.
+    ext: Vec<u64>,
+    /// `adj[j]`: bytes crossing the boundary between elements `j-1` and `j`.
+    adj: Vec<u64>,
+    /// Whether all intra-chain edges connect adjacent elements (fast path).
+    simple: bool,
+}
+
+/// A single-stage candidate found for a segment.
+#[derive(Debug, Clone, Copy)]
+struct StageCand {
+    b: u64,
+    k: u64,
+    in_flight: u64,
+    mem: u64,
+}
+
+/// Sentinel meaning "the whole node" for non-chain intervals.
+const WHOLE: (u16, u16) = (0, u16::MAX);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum MemoKey {
+    Node(NodeIdx, u32, DownId),
+    ChainSuffix(NodeIdx, u16, u32, DownId),
+    BranchRange(NodeIdx, u16, u16, u32, DownId),
+}
+
+struct Dp<'a> {
+    graph: &'a Graph,
+    cost: &'a CostModel,
+    arena: Arena,
+    mini_batch: u64,
+    t_max: f64,
+    mem_budget: u64,
+    b_cands: Rc<Vec<u64>>,
+    k_cands: Rc<Vec<u64>>,
+    /// Largest micro-batch candidate: at it, per-sample compute time is
+    /// minimal, making work-conservation bounds sound for every candidate.
+    bound_b: u64,
+    downs: Vec<Down>,
+    down_ids: HashMap<Down, DownId>,
+    memo: HashMap<MemoKey, Option<Rc<Frag>>>,
+    chain_static: HashMap<NodeIdx, Rc<ChainStatic>>,
+    /// Per-(chain, b) prefix of element fwd+bwd times for one micro-batch.
+    chain_time: HashMap<(NodeIdx, u64), Rc<Vec<f64>>>,
+    /// Per-branches-node prefix of per-branch times at `bound_b`.
+    branch_time: HashMap<NodeIdx, Rc<Vec<f64>>>,
+    interval_ops: HashMap<(NodeIdx, u16, u16), Rc<Vec<OpId>>>,
+    evals: u64,
+    budget: u64,
+    exploded: bool,
+}
+
+impl<'a> Dp<'a> {
+    fn new(
+        graph: &'a Graph,
+        cost: &'a CostModel,
+        root: &SpBlock,
+        mini_batch: u64,
+        t_max: f64,
+        b_cands: Vec<u64>,
+        k_cands: Vec<u64>,
+        budget: u64,
+    ) -> Dp<'a> {
+        let bound_b = b_cands.iter().copied().max().unwrap_or(1);
+        let (b_cands, k_cands) = (Rc::new(b_cands), Rc::new(k_cands));
+        let mut dp = Dp {
+            graph,
+            cost,
+            arena: Arena::build(root),
+            mini_batch,
+            t_max,
+            mem_budget: cost.memory_budget(),
+            b_cands,
+            k_cands,
+            bound_b,
+            downs: Vec::new(),
+            down_ids: HashMap::new(),
+            memo: HashMap::new(),
+            chain_static: HashMap::new(),
+            chain_time: HashMap::new(),
+            branch_time: HashMap::new(),
+            interval_ops: HashMap::new(),
+            evals: 0,
+            budget,
+            exploded: false,
+        };
+        dp.intern(Down::default()); // id 0 = the global sink
+        dp
+    }
+
+    fn intern(&mut self, down: Down) -> DownId {
+        if let Some(&id) = self.down_ids.get(&down) {
+            return id;
+        }
+        let id = self.downs.len() as DownId;
+        self.downs.push(down.clone());
+        self.down_ids.insert(down, id);
+        id
+    }
+
+    fn down(&self, id: DownId) -> &Down {
+        &self.downs[id as usize]
+    }
+
+    fn charge(&mut self, units: u64) -> bool {
+        self.evals += units;
+        if self.evals > self.budget {
+            self.exploded = true;
+        }
+        self.exploded
+    }
+
+    // -------------------------------------------------- segment metrics --
+
+    fn chain_static(&mut self, chain: NodeIdx) -> Rc<ChainStatic> {
+        if let Some(cs) = self.chain_static.get(&chain) {
+            return Rc::clone(cs);
+        }
+        let children = self.arena.children(chain).to_vec();
+        let n = children.len();
+        let mut elem_of: HashMap<OpId, usize> = HashMap::new();
+        for (i, &c) in children.iter().enumerate() {
+            for &op in self.arena.node_ops(c).iter() {
+                elem_of.insert(op, i);
+            }
+        }
+        let mut params = vec![0u64; n + 1];
+        let mut act = vec![0u64; n + 1];
+        let mut ext = vec![0u64; n + 1];
+        let mut adj = vec![0u64; n + 1];
+        let mut simple = true;
+        for (i, &c) in children.iter().enumerate() {
+            let mut p = 0u64;
+            let mut a = 0u64;
+            let mut x = 0u64;
+            for &op in self.arena.node_ops(c).iter() {
+                p += self.graph.node(op).kind.param_count() * gp_ir::BYTES_PER_ELEMENT;
+                a += self.graph.stashed_bytes(op);
+                let bytes = self.graph.node(op).output_bytes();
+                for &succ in self.graph.succs(op) {
+                    match elem_of.get(&succ) {
+                        Some(&j) if j == i => {}
+                        Some(&j) if j == i + 1 => adj[i + 1] += bytes,
+                        Some(_) => simple = false,
+                        None => x += bytes,
+                    }
+                }
+                for &pred in self.graph.preds(op) {
+                    if !elem_of.contains_key(&pred) {
+                        x += self.graph.node(pred).output_bytes();
+                    }
+                }
+            }
+            params[i + 1] = params[i] + p;
+            act[i + 1] = act[i] + a;
+            ext[i + 1] = ext[i] + x;
+        }
+        let cs = Rc::new(ChainStatic {
+            params,
+            act,
+            ext,
+            adj,
+            simple,
+        });
+        self.chain_static.insert(chain, Rc::clone(&cs));
+        cs
+    }
+
+    fn chain_time(&mut self, chain: NodeIdx, b: u64) -> Rc<Vec<f64>> {
+        if let Some(t) = self.chain_time.get(&(chain, b)) {
+            return Rc::clone(t);
+        }
+        let children = self.arena.children(chain).to_vec();
+        let mut prefix = Vec::with_capacity(children.len() + 1);
+        prefix.push(0.0);
+        for &c in &children {
+            let mut t = 0.0;
+            for &op in self.arena.node_ops(c).iter() {
+                t += self.cost.op_time(self.graph, op, b, Pass::Forward)
+                    + self.cost.op_time(self.graph, op, b, Pass::Backward);
+            }
+            prefix.push(prefix.last().expect("non-empty") + t);
+        }
+        let prefix = Rc::new(prefix);
+        self.chain_time.insert((chain, b), Rc::clone(&prefix));
+        prefix
+    }
+
+    fn interval_ops(&mut self, node: NodeIdx, s: u16, e: u16) -> Rc<Vec<OpId>> {
+        if (s, e) == WHOLE {
+            return self.arena.node_ops(node);
+        }
+        if let Some(ops) = self.interval_ops.get(&(node, s, e)) {
+            return Rc::clone(ops);
+        }
+        let children = self.arena.children(node).to_vec();
+        let ops: Vec<OpId> = children[s as usize..e as usize]
+            .iter()
+            .flat_map(|&c| self.arena.node_ops(c).iter().copied().collect::<Vec<_>>())
+            .collect();
+        let ops = Rc::new(ops);
+        self.interval_ops.insert((node, s, e), Rc::clone(&ops));
+        ops
+    }
+
+    /// Generic per-op-set aggregates, for non-chain intervals (merged
+    /// branch groups, whole composite nodes, non-simple chains).
+    fn generic_aggregates(&mut self, node: NodeIdx, s: u16, e: u16, b: u64) -> (f64, u64, u64, u64) {
+        let ops = self.interval_ops(node, s, e);
+        let mut member = vec![false; self.graph.len()];
+        for &op in ops.iter() {
+            member[op.index()] = true;
+        }
+        let mut time = 0.0;
+        let (mut params, mut act, mut comm) = (0u64, 0u64, 0u64);
+        for &op in ops.iter() {
+            time += self.cost.op_time(self.graph, op, b, Pass::Forward)
+                + self.cost.op_time(self.graph, op, b, Pass::Backward);
+            params += self.graph.node(op).kind.param_count() * gp_ir::BYTES_PER_ELEMENT;
+            act += self.graph.stashed_bytes(op);
+            let bytes = self.graph.node(op).output_bytes();
+            for &succ in self.graph.succs(op) {
+                if !member[succ.index()] {
+                    comm += bytes;
+                }
+            }
+            for &pred in self.graph.preds(op) {
+                if !member[pred.index()] {
+                    comm += self.graph.node(pred).output_bytes();
+                }
+            }
+        }
+        (time, params, act, comm)
+    }
+
+    /// The base case of Algorithm 1: one segment as a single stage with
+    /// `d`-way data parallelism; best `(b, k)` candidate by (in-flight,
+    /// memory). `raw` carries `(time_at_b, params, act, comm)` per `b`.
+    fn eval_candidates(
+        &mut self,
+        raw: &dyn Fn(&mut Self, u64) -> (f64, u64, u64, u64),
+        d: u32,
+        down_id: DownId,
+    ) -> Option<StageCand> {
+        let b_cands = Rc::clone(&self.b_cands);
+        let k_cands = Rc::clone(&self.k_cands);
+        let mut best: Option<StageCand> = None;
+        for &b in b_cands.iter() {
+            let (time, params, act, comm) = raw(self, b);
+            if self.charge(1) {
+                return None;
+            }
+            // TPS: compute + boundary communication + amortized allreduce.
+            // Micro-batches round-robin over replicas; the slowest replica
+            // gets ceil(m/d) of m micro-batches.
+            let m = (self.mini_batch / b).max(1);
+            let d_eff = m as f64 / m.div_ceil(d as u64) as f64;
+            let link = self.cost.default_boundary_link();
+            let tps = time / (b as f64 * d_eff)
+                + comm as f64 / link.bandwidth
+                + 2.0 * link.latency / b as f64
+                + self
+                    .cost
+                    .allreduce_time(params, &DeviceRange::new(0, d))
+                    / self.mini_batch as f64;
+            if tps > self.t_max {
+                continue;
+            }
+            for &k in k_cands.iter() {
+                let in_flight = self.down(down_id).entry_in_flight(k, b);
+                let per_replica = CostModel::in_flight_per_replica(in_flight, b, d as usize);
+                let mem = params / gp_ir::BYTES_PER_ELEMENT * BYTES_PER_PARAM_STATE
+                    + act * per_replica;
+                if mem > self.mem_budget {
+                    continue;
+                }
+                let cand = StageCand {
+                    b,
+                    k,
+                    in_flight,
+                    mem,
+                };
+                let better = match &best {
+                    None => true,
+                    Some(cur) => (cand.in_flight, cand.mem) < (cur.in_flight, cur.mem),
+                };
+                if better {
+                    best = Some(cand);
+                }
+            }
+        }
+        best
+    }
+
+    fn chain_interval_candidate(
+        &mut self,
+        chain: NodeIdx,
+        s: u16,
+        e: u16,
+        d: u32,
+        down_id: DownId,
+    ) -> Option<StageCand> {
+        let stat = self.chain_static(chain);
+        if stat.simple {
+            let raw = move |dp: &mut Self, b: u64| {
+                let t = dp.chain_time(chain, b);
+                let stat = dp.chain_static(chain);
+                let (s, e) = (s as usize, e as usize);
+                let comm = stat.adj[s] + stat.adj[e.min(stat.adj.len() - 1)]
+                    + (stat.ext[e] - stat.ext[s]);
+                (
+                    t[e] - t[s],
+                    stat.params[e] - stat.params[s],
+                    stat.act[e] - stat.act[s],
+                    comm,
+                )
+            };
+            self.eval_candidates(&raw, d, down_id)
+        } else {
+            let raw =
+                move |dp: &mut Self, b: u64| dp.generic_aggregates(chain, s, e, b);
+            self.eval_candidates(&raw, d, down_id)
+        }
+    }
+
+    /// Builds a one-stage fragment from a candidate.
+    fn single_frag(
+        &mut self,
+        node: NodeIdx,
+        s: u16,
+        e: u16,
+        d: u32,
+        cand: StageCand,
+    ) -> Rc<Frag> {
+        let ops = self.interval_ops(node, s, e);
+        let entry = (cand.k, cand.b, cand.in_flight);
+        let entries = Down::single(entry);
+        let entries_id = self.intern(entries.clone());
+        Rc::new(Frag {
+            stages: vec![ProtoStage {
+                ops,
+                d,
+                b: cand.b,
+                k: cand.k,
+            }],
+            entries,
+            entries_id,
+            exit: entry,
+            peak_mem: cand.mem,
+        })
+    }
+
+    fn concat(&mut self, head: &Frag, tail: &Frag) -> Rc<Frag> {
+        let mut stages = head.stages.clone();
+        stages.extend(tail.stages.iter().cloned());
+        Rc::new(Frag {
+            stages,
+            entries: head.entries.clone(),
+            entries_id: head.entries_id,
+            exit: tail.exit,
+            peak_mem: head.peak_mem.max(tail.peak_mem),
+        })
+    }
+
+    fn merge_parallel(&mut self, a: &Frag, b: &Frag) -> Rc<Frag> {
+        let entries = a.entries.union(&b.entries);
+        let entries_id = self.intern(entries.clone());
+        let mut stages = a.stages.clone();
+        stages.extend(b.stages.iter().cloned());
+        Rc::new(Frag {
+            stages,
+            entries,
+            entries_id,
+            exit: b.exit,
+            peak_mem: a.peak_mem.max(b.peak_mem),
+        })
+    }
+
+    /// Work-conservation lower bound on the bottleneck TPS of a fragment
+    /// with total micro-batch time `time` (at `bound_b`) on `d` devices.
+    fn work_bound_ok(&self, time: f64, d: u32) -> bool {
+        time / (self.bound_b as f64 * d as f64) <= self.t_max
+    }
+
+    /// Minimal devices for which the work bound passes.
+    fn min_devices(&self, time: f64) -> u32 {
+        let d = (time / (self.bound_b as f64 * self.t_max)).ceil();
+        if d.is_finite() {
+            (d as u32).max(1)
+        } else {
+            u32::MAX
+        }
+    }
+
+    // ----------------------------------------------------------- solving --
+
+    fn solve(&mut self, node: NodeIdx, d: u32, down_id: DownId) -> Option<Rc<Frag>> {
+        if self.exploded {
+            return None;
+        }
+        match self.arena.node(node) {
+            ANode::Leaf(_) => {
+                let cand = {
+                    let raw =
+                        move |dp: &mut Self, b: u64| dp.generic_aggregates(node, WHOLE.0, WHOLE.1, b);
+                    self.eval_candidates(&raw, d, down_id)
+                }?;
+                Some(self.single_frag(node, WHOLE.0, WHOLE.1, d, cand))
+            }
+            ANode::Chain(_) => self.solve_chain(node, 0, d, down_id),
+            ANode::Branches(_) => {
+                let key = MemoKey::Node(node, d, down_id);
+                if let Some(cached) = self.memo.get(&key) {
+                    return cached.clone();
+                }
+                let m = self.arena.children(node).len() as u16;
+                let best = self.solve_branch_range(node, 0, m, d, down_id);
+                self.memo.insert(key, best.clone());
+                best
+            }
+        }
+    }
+
+    /// Series decomposition over a chain suffix `[start..n)`.
+    fn solve_chain(
+        &mut self,
+        chain: NodeIdx,
+        start: u16,
+        d: u32,
+        down_id: DownId,
+    ) -> Option<Rc<Frag>> {
+        if self.exploded {
+            return None;
+        }
+        let key = MemoKey::ChainSuffix(chain, start, d, down_id);
+        if let Some(cached) = self.memo.get(&key) {
+            return cached.clone();
+        }
+        let n = self.arena.children(chain).len() as u16;
+        debug_assert!(start < n);
+        let time = self.chain_time(chain, self.bound_b);
+        // Work bound: the whole suffix must fit d devices at the target.
+        let suffix_time = time[n as usize] - time[start as usize];
+        if !self.work_bound_ok(suffix_time, d) {
+            self.memo.insert(key, None);
+            return None;
+        }
+        let mut best: Option<Rc<Frag>> = None;
+        let mut best_score: Score = (u64::MAX, u64::MAX, usize::MAX);
+        let consider = |dp: &mut Self, cand: Rc<Frag>, best: &mut Option<Rc<Frag>>, best_score: &mut Score| {
+            let _ = dp;
+            let s = cand.score();
+            if s < *best_score {
+                *best_score = s;
+                *best = Some(cand);
+            }
+        };
+        // Option A: the whole suffix as one stage.
+        if let Some(cand) = self.chain_interval_candidate(chain, start, n, d, down_id) {
+            let frag = self.single_frag(chain, start, n, d, cand);
+            consider(self, frag, &mut best, &mut best_score);
+        }
+        // Option B: the suffix is a single composite element — delegate.
+        if n - start == 1 {
+            let child = self.arena.children(chain)[start as usize];
+            if !self.arena.is_leaf(child) {
+                if let Some(f) = self.solve(child, d, down_id) {
+                    consider(self, f, &mut best, &mut best_score);
+                }
+            }
+            self.memo.insert(key, best.clone());
+            return best;
+        }
+        // Option C: the whole suffix is [Branches, joins...] — absorb.
+        if self.absorbable(chain, start, n) {
+            if let Some(f) = self.solve_absorbed(chain, start, n, d, down_id) {
+                consider(self, f, &mut best, &mut best_score);
+            }
+        }
+        // Option D: split at `mid`; solve the downstream part first. The
+        // work bound confines the device split to a (usually tiny) window.
+        for mid in start + 1..n {
+            let head_time = time[mid as usize] - time[start as usize];
+            let suf_time = time[n as usize] - time[mid as usize];
+            let d_head_min = self.min_devices(head_time);
+            let d_suf_min = self.min_devices(suf_time);
+            if d_head_min == u32::MAX || d_suf_min == u32::MAX || d_head_min + d_suf_min > d {
+                continue;
+            }
+            for d_suf in d_suf_min..=d - d_head_min {
+                if self.charge(1) {
+                    return None;
+                }
+                let d_head = d - d_suf;
+                let Some(suffix) = self.solve_chain(chain, mid, d_suf, down_id) else {
+                    continue;
+                };
+                let head_down = suffix.entries_id;
+                // D1: head segment as a single stage (score-first).
+                if let Some(cand) =
+                    self.chain_interval_candidate(chain, start, mid, d_head, head_down)
+                {
+                    let score = (
+                        cand.in_flight,
+                        cand.mem.max(suffix.peak_mem),
+                        1 + suffix.stages.len(),
+                    );
+                    if score < best_score {
+                        let head = self.single_frag(chain, start, mid, d_head, cand);
+                        let combined = self.concat(&head, &suffix);
+                        consider(self, combined, &mut best, &mut best_score);
+                    }
+                }
+                // D2: head is one Branches element — parallel decomposition.
+                if mid == start + 1 {
+                    let child = self.arena.children(chain)[start as usize];
+                    if self.arena.is_branches(child) {
+                        if let Some(head) = self.solve(child, d_head, head_down) {
+                            let score = (
+                                head.max_entry(),
+                                head.peak_mem.max(suffix.peak_mem),
+                                head.stages.len() + suffix.stages.len(),
+                            );
+                            if score < best_score {
+                                let combined = self.concat(&head, &suffix);
+                                consider(self, combined, &mut best, &mut best_score);
+                            }
+                        }
+                    }
+                }
+                // D3: head is [Branches, joins...] — absorbed decomposition.
+                if mid > start + 1 && self.absorbable(chain, start, mid) {
+                    if let Some(head) = self.solve_absorbed(chain, start, mid, d_head, head_down)
+                    {
+                        let score = (
+                            head.max_entry(),
+                            head.peak_mem.max(suffix.peak_mem),
+                            head.stages.len() + suffix.stages.len(),
+                        );
+                        if score < best_score {
+                            let combined = self.concat(&head, &suffix);
+                            consider(self, combined, &mut best, &mut best_score);
+                        }
+                    }
+                }
+            }
+        }
+        self.memo.insert(key, best.clone());
+        best
+    }
+
+    /// Whether chain elements `[s..e)` are a `Branches` element followed by
+    /// one or more leaf (join) operators.
+    fn absorbable(&self, chain: NodeIdx, s: u16, e: u16) -> bool {
+        if e <= s + 1 {
+            return false;
+        }
+        let children = self.arena.children(chain);
+        self.arena.is_branches(children[s as usize])
+            && children[s as usize + 1..e as usize]
+                .iter()
+                .all(|&c| self.arena.is_leaf(c))
+    }
+
+    /// Parallel decomposition with the trailing join operators folded into
+    /// the last branch (§7.5 case study). The join stage's schedule
+    /// configuration becomes the boundary for the remaining branches.
+    fn solve_absorbed(
+        &mut self,
+        chain: NodeIdx,
+        s: u16,
+        e: u16,
+        d: u32,
+        down_id: DownId,
+    ) -> Option<Rc<Frag>> {
+        if d < 2 {
+            return None;
+        }
+        let branches = self.arena.children(chain)[s as usize];
+        let m = self.arena.children(branches).len() as u16;
+        let absorbed =
+            self.arena
+                .absorbed_chain(branches, chain, s as usize + 1, e as usize);
+        let last_time = {
+            let t = self.chain_time(absorbed, self.bound_b);
+            *t.last().expect("non-empty")
+        };
+        let others_time = {
+            let pre = self.branch_time_prefix(branches);
+            pre[(m - 1) as usize]
+        };
+        let d_last_min = self.min_devices(last_time);
+        let d_others_min = self.min_devices(others_time);
+        if d_last_min == u32::MAX || d_others_min == u32::MAX || d_last_min + d_others_min > d {
+            return None;
+        }
+        let mut best: Option<Rc<Frag>> = None;
+        let mut best_score: Score = (u64::MAX, u64::MAX, usize::MAX);
+        for d_last in d_last_min..=d - d_others_min {
+            if self.charge(1) {
+                return None;
+            }
+            let Some(last) = self.solve(absorbed, d_last, down_id) else {
+                continue;
+            };
+            let others_down = self.intern(Down::single(last.exit));
+            let Some(others) =
+                self.solve_branch_range(branches, 0, m - 1, d - d_last, others_down)
+            else {
+                continue;
+            };
+            let score = (
+                others.max_entry().max(last.max_entry()),
+                others.peak_mem.max(last.peak_mem),
+                others.stages.len() + last.stages.len(),
+            );
+            if score < best_score {
+                let merged = self.merge_parallel(&others, &last);
+                best_score = merged.score();
+                best = Some(merged);
+            }
+        }
+        best
+    }
+
+    /// Prefix of per-branch total times (at `bound_b`) for a Branches node.
+    fn branch_time_prefix(&mut self, branches: NodeIdx) -> Rc<Vec<f64>> {
+        if let Some(pre) = self.branch_time.get(&branches) {
+            return Rc::clone(pre);
+        }
+        let children = self.arena.children(branches).to_vec();
+        let mut prefix = Vec::with_capacity(children.len() + 1);
+        prefix.push(0.0);
+        for &c in &children {
+            let mut t = 0.0;
+            for &op in self.arena.node_ops(c).iter() {
+                t += self
+                    .cost
+                    .op_time(self.graph, op, self.bound_b, Pass::Forward)
+                    + self
+                        .cost
+                        .op_time(self.graph, op, self.bound_b, Pass::Backward);
+            }
+            prefix.push(prefix.last().expect("non-empty") + t);
+        }
+        let prefix = Rc::new(prefix);
+        self.branch_time.insert(branches, Rc::clone(&prefix));
+        prefix
+    }
+
+    /// Parallel decomposition over branches `[from..to)`: single stage for
+    /// the whole (contiguous) group, or a binary split with a device-window
+    /// bound on each side.
+    fn solve_branch_range(
+        &mut self,
+        branches: NodeIdx,
+        from: u16,
+        to: u16,
+        d: u32,
+        down_id: DownId,
+    ) -> Option<Rc<Frag>> {
+        if self.exploded || to == from {
+            return None;
+        }
+        if to - from == 1 {
+            let child = self.arena.children(branches)[from as usize];
+            return self.solve(child, d, down_id);
+        }
+        let key = MemoKey::BranchRange(branches, from, to, d, down_id);
+        if let Some(cached) = self.memo.get(&key) {
+            return cached.clone();
+        }
+        let mut best: Option<Rc<Frag>> = None;
+        let mut best_score: Score = (u64::MAX, u64::MAX, usize::MAX);
+        // The whole group as one (data-parallel) stage.
+        if let Some(cand) = {
+            let raw = move |dp: &mut Self, b: u64| dp.generic_aggregates(branches, from, to, b);
+            self.eval_candidates(&raw, d, down_id)
+        } {
+            let frag = self.single_frag(branches, from, to, d, cand);
+            best_score = frag.score();
+            best = Some(frag);
+        }
+        // Binary splits with work-bound device windows.
+        let pre = self.branch_time_prefix(branches);
+        for split in from + 1..to {
+            let left_time = pre[split as usize] - pre[from as usize];
+            let right_time = pre[to as usize] - pre[split as usize];
+            let d_left_min = self.min_devices(left_time);
+            let d_right_min = self.min_devices(right_time);
+            if d_left_min == u32::MAX || d_right_min == u32::MAX || d_left_min + d_right_min > d
+            {
+                continue;
+            }
+            for d1 in d_left_min..=d - d_right_min {
+                if self.charge(1) {
+                    return None;
+                }
+                let Some(a) = self.solve_branch_range(branches, from, split, d1, down_id)
+                else {
+                    continue;
+                };
+                let Some(b) = self.solve_branch_range(branches, split, to, d - d1, down_id)
+                else {
+                    continue;
+                };
+                let score = (
+                    a.max_entry().max(b.max_entry()),
+                    a.peak_mem.max(b.peak_mem),
+                    a.stages.len() + b.stages.len(),
+                );
+                if score < best_score {
+                    let merged = self.merge_parallel(&a, &b);
+                    best_score = merged.score();
+                    best = Some(merged);
+                }
+            }
+        }
+        self.memo.insert(key, best.clone());
+        best
+    }
+}
+
+// --------------------------------------------------------------- planner --
+
+/// The GraphPipe planner: topology-aware stage partitioning with the §6
+/// micro-batch scheduler in the loop.
+///
+/// # Examples
+///
+/// ```
+/// use gp_cluster::Cluster;
+/// use gp_ir::zoo::{self, CandleUnoConfig};
+/// use gp_partition::{GraphPipePlanner, Planner};
+///
+/// let model = zoo::candle_uno(&CandleUnoConfig::default());
+/// let cluster = Cluster::summit_like(8);
+/// let plan = GraphPipePlanner::new().plan(&model, &cluster, 8192)?;
+/// // Parallel branches keep the pipeline shallow: depth < stage count.
+/// assert!(plan.pipeline_depth() <= plan.stage_graph.len());
+/// # Ok::<(), gp_partition::PlanError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphPipePlanner {
+    options: PlanOptions,
+}
+
+impl GraphPipePlanner {
+    /// Planner with default options (uniform micro-batch, 1F1B).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Planner with explicit options.
+    pub fn with_options(options: PlanOptions) -> Self {
+        GraphPipePlanner { options }
+    }
+
+    /// The options in effect.
+    pub fn options(&self) -> &PlanOptions {
+        &self.options
+    }
+
+    /// One `SearchStageGraph` invocation (Algorithm 1 lines 13–20): try
+    /// every candidate schedule configuration at target `t_max`, keep the
+    /// one with the smallest memory footprint.
+    #[allow(clippy::too_many_arguments)]
+    fn search_stage_graph(
+        &self,
+        graph: &Graph,
+        cost: &CostModel,
+        root_block: &SpBlock,
+        devices: u32,
+        mini_batch: u64,
+        t_max: f64,
+        b_all: &[u64],
+        stats: &mut SearchStats,
+        evals_used: &mut u64,
+    ) -> Result<Option<Rc<Frag>>, PlanError> {
+        // Skip micro-batch sizes whose work-conservation bound already
+        // exceeds the target: the whole model's work must fit d * t_max.
+        let feasible_b: Vec<u64> = b_all
+            .iter()
+            .copied()
+            .filter(|&b| {
+                let total: f64 = graph
+                    .nodes()
+                    .map(|n| {
+                        cost.op_time(graph, n.id, b, Pass::Forward)
+                            + cost.op_time(graph, n.id, b, Pass::Backward)
+                    })
+                    .sum();
+                total / (b as f64 * devices as f64) <= t_max
+            })
+            .collect();
+        let runs: Vec<Vec<u64>> = if self.options.per_stage_micro_batch {
+            if feasible_b.is_empty() {
+                Vec::new()
+            } else {
+                vec![feasible_b]
+            }
+        } else {
+            feasible_b.iter().map(|&b| vec![b]).collect()
+        };
+        let mut best: Option<Rc<Frag>> = None;
+        for b_cands in runs {
+            stats.configs_tried += 1;
+            let mut dp = Dp::new(
+                graph,
+                cost,
+                root_block,
+                mini_batch,
+                t_max,
+                b_cands,
+                self.options.kfkb_candidates.clone(),
+                self.options.eval_budget.saturating_sub(*evals_used),
+            );
+            let root = dp.arena.root;
+            let sol = dp.solve(root, devices, 0);
+            *evals_used += dp.evals;
+            stats.dp_evals += dp.evals;
+            stats.dp_states += dp.memo.len() as u64;
+            if dp.exploded {
+                return Err(PlanError::SearchExplosion { evals: *evals_used });
+            }
+            if let Some(f) = sol {
+                // PickBetter of Algorithm 1: less memory wins across
+                // configurations; ties broken by in-flight pressure.
+                let better = match &best {
+                    None => true,
+                    Some(cur) => (f.peak_mem, f.score()) < (cur.peak_mem, cur.score()),
+                };
+                if better {
+                    best = Some(f);
+                }
+            }
+        }
+        Ok(best)
+    }
+
+    fn frag_to_plan(
+        &self,
+        frag: &Frag,
+        model: &SpModel,
+        cluster: &Cluster,
+        cost: &CostModel,
+        mini_batch: u64,
+        stats: SearchStats,
+    ) -> Result<Plan, PlanError> {
+        // Place wide (data-parallel) stages first so their replicas stay
+        // within a node: a 4-way stage allreduces over NVLink instead of
+        // straddling the node boundary onto InfiniBand.
+        let mut order: Vec<usize> = (0..frag.stages.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(frag.stages[i].d));
+        let mut ranges: Vec<Option<DeviceRange>> = vec![None; frag.stages.len()];
+        let mut cursor = 0u32;
+        for &i in &order {
+            ranges[i] = Some(DeviceRange::new(cursor, frag.stages[i].d));
+            cursor += frag.stages[i].d;
+        }
+        let stages: Vec<Stage> = frag
+            .stages
+            .iter()
+            .enumerate()
+            .map(|(i, ps)| Stage {
+                id: StageId(i as u32),
+                ops: (*ps.ops).clone(),
+                devices: ranges[i].expect("every stage placed"),
+                micro_batch: ps.b,
+                kfkb: ps.k,
+            })
+            .collect();
+        let stage_graph = StageGraph::new(model.graph(), cluster, stages, mini_batch)
+            .map_err(|e| PlanError::Internal(e.to_string()))?;
+        let in_flight = assign_in_flight(&stage_graph);
+        let schedule = schedule_tasks(&stage_graph, &in_flight);
+        let mut plan = Plan {
+            stage_graph,
+            in_flight,
+            schedule,
+            bottleneck_tps: 0.0,
+            peak_memory_bytes: 0,
+            stats,
+        };
+        let (tps, mem) = plan.measure(model.graph(), cost);
+        plan.bottleneck_tps = tps;
+        plan.peak_memory_bytes = mem;
+        Ok(plan)
+    }
+}
+
+impl Planner for GraphPipePlanner {
+    fn name(&self) -> &str {
+        "graphpipe"
+    }
+
+    fn plan(
+        &self,
+        model: &SpModel,
+        cluster: &Cluster,
+        mini_batch: u64,
+    ) -> Result<Plan, PlanError> {
+        let start = Instant::now();
+        let graph = model.graph();
+        let cost = CostModel::new(cluster);
+        let devices = cluster.device_count() as u32;
+        let b_all = self.options.micro_batch_sizes(mini_batch);
+        if b_all.is_empty() {
+            return Err(PlanError::Infeasible(
+                "no micro-batch size candidates divide the mini-batch".to_string(),
+            ));
+        }
+        let mut stats = SearchStats::default();
+        let mut evals_used = 0u64;
+        let t_hi0 = cost.max_tps(graph);
+
+        // Binary search (Algorithm 1 lines 2–11), bracketed from below: the
+        // optimum can never beat the work-conservation bound
+        // min_b total(b) / (b * |V_D|), so we climb geometrically from that
+        // bound until the first feasible target, then refine. Every probe
+        // therefore runs with tight work-bound pruning windows — this is
+        // what keeps GraphPipe's search fast relative to the min-max
+        // baselines (§7.2).
+        let t_base = b_all
+            .iter()
+            .map(|&b| {
+                let total: f64 = graph
+                    .nodes()
+                    .map(|n| {
+                        cost.op_time(graph, n.id, b, Pass::Forward)
+                            + cost.op_time(graph, n.id, b, Pass::Backward)
+                    })
+                    .sum();
+                total / (b as f64 * devices as f64)
+            })
+            .fold(f64::INFINITY, f64::min)
+            .max(1e-12);
+        let search = |t_m: f64,
+                          stats: &mut SearchStats,
+                          evals_used: &mut u64|
+         -> Result<Option<Rc<Frag>>, PlanError> {
+            stats.binary_iters += 1;
+            self.search_stage_graph(
+                graph,
+                &cost,
+                model.root(),
+                devices,
+                mini_batch,
+                t_m,
+                &b_all,
+                stats,
+                evals_used,
+            )
+        };
+        let mut t_hi = 2.0 * t_base;
+        let mut t_lo = t_base;
+        let mut best: Option<Rc<Frag>> = None;
+        while best.is_none() && t_hi <= 4.0 * t_hi0 {
+            best = search(t_hi, &mut stats, &mut evals_used)?;
+            if best.is_none() {
+                t_lo = t_hi;
+                t_hi *= 2.0;
+            }
+        }
+        if let Some(found) = &best {
+            let _ = found;
+            // Refine within the bracket [t_lo, t_hi].
+            while t_hi - t_lo > self.options.epsilon * t_hi {
+                let t_m = 0.5 * (t_lo + t_hi);
+                match search(t_m, &mut stats, &mut evals_used)? {
+                    Some(f) => {
+                        best = Some(f);
+                        t_hi = t_m;
+                    }
+                    None => t_lo = t_m,
+                }
+            }
+        }
+        let Some(best) = best else {
+            return Err(PlanError::Infeasible(format!(
+                "no partition fits the {} MiB device memory budget",
+                cost.memory_budget() >> 20
+            )));
+        };
+        stats.wall = start.elapsed();
+        self.frag_to_plan(&best, model, cluster, &cost, mini_batch, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_ir::zoo::{self, CandleUnoConfig, DlrmConfig, MmtConfig};
+
+    fn plan_for(model: &SpModel, devices: usize, mini_batch: u64) -> Result<Plan, PlanError> {
+        GraphPipePlanner::new().plan(model, &Cluster::summit_like(devices), mini_batch)
+    }
+
+    #[test]
+    fn down_canonicalization_keeps_binding_entry() {
+        let d = Down::from_entries(vec![(1, 4, 8), (1, 4, 16), (2, 2, 4)]);
+        assert_eq!(d.0, vec![(1, 4, 16), (2, 2, 4)]);
+    }
+
+    #[test]
+    fn down_entry_in_flight_sink() {
+        assert_eq!(Down::default().entry_in_flight(1, 4), 4);
+        assert_eq!(Down::default().entry_in_flight(2, 4), 8);
+    }
+
+    #[test]
+    fn down_entry_in_flight_max_over_entries() {
+        let d = Down::from_entries(vec![(1, 4, 4), (1, 4, 12)]);
+        // CIF(1,4,1,4,12) = 16 dominates CIF(1,4,1,4,4) = 8.
+        assert_eq!(d.entry_in_flight(1, 4), 16);
+    }
+
+    #[test]
+    fn plans_sequential_chain() {
+        let model = zoo::mlp_chain(8, 512);
+        let plan = plan_for(&model, 4, 32).unwrap();
+        assert_eq!(plan.stage_graph.mini_batch(), 32);
+        let total: usize = plan.stage_graph.stages().map(|s| s.dp_degree()).sum();
+        assert_eq!(total, 4);
+        plan.schedule.validate_c4(&plan.stage_graph).unwrap();
+    }
+
+    #[test]
+    fn multi_branch_model_gets_shallow_pipeline() {
+        let model = zoo::candle_uno(&CandleUnoConfig::default());
+        let plan = plan_for(&model, 8, 1024).unwrap();
+        assert!(
+            plan.pipeline_depth() < plan.stage_graph.len()
+                || plan.stage_graph.len() <= 2,
+            "depth {} vs {} stages",
+            plan.pipeline_depth(),
+            plan.stage_graph.len()
+        );
+    }
+
+    #[test]
+    fn case_study_produces_depth_below_stage_count() {
+        let model = zoo::case_study(&MmtConfig::default());
+        let plan = plan_for(&model, 8, 64).unwrap();
+        assert!(plan.stage_graph.len() >= 2);
+        assert!(plan.pipeline_depth() <= plan.stage_graph.len());
+        plan.schedule.validate_c4(&plan.stage_graph).unwrap();
+    }
+
+    #[test]
+    fn dp_in_flight_matches_scheduler() {
+        // The DP's bottom-up in-flight accounting must agree with the
+        // authoritative assign_in_flight over the final stage graph.
+        let model = zoo::mmt(&MmtConfig::two_branch());
+        let plan = plan_for(&model, 4, 64).unwrap();
+        let table = gp_sched::assign_in_flight(&plan.stage_graph);
+        for s in plan.stage_graph.stages() {
+            assert_eq!(plan.in_flight.samples(s.id), table.samples(s.id));
+        }
+    }
+
+    #[test]
+    fn memory_constraint_is_respected() {
+        let model = zoo::mmt(&MmtConfig::two_branch());
+        let cluster = Cluster::summit_like(4);
+        let plan = GraphPipePlanner::new().plan(&model, &cluster, 64).unwrap();
+        assert!(plan.peak_memory_bytes <= cluster.profile().mem_capacity);
+    }
+
+    #[test]
+    fn infeasible_memory_is_reported() {
+        let model = zoo::mmt(&MmtConfig::default());
+        let cluster = Cluster::summit_like(4).with_memory_capacity(1 << 20);
+        let err = GraphPipePlanner::new().plan(&model, &cluster, 64).unwrap_err();
+        assert!(matches!(err, PlanError::Infeasible(_)), "{err:?}");
+    }
+
+    #[test]
+    fn forced_micro_batch_is_used() {
+        let model = zoo::candle_uno(&CandleUnoConfig::default());
+        let opts = PlanOptions::default().with_forced_micro_batch(16);
+        let plan = GraphPipePlanner::with_options(opts)
+            .plan(&model, &Cluster::summit_like(4), 1024)
+            .unwrap();
+        assert!(plan.stage_graph.stages().all(|s| s.micro_batch == 16));
+    }
+
+    #[test]
+    fn dlrm_plans_within_budget() {
+        let model = zoo::dlrm(&DlrmConfig::default());
+        let plan = plan_for(&model, 8, 512).unwrap();
+        assert!(plan.stats.dp_evals > 0);
+        assert!(plan.stats.binary_iters > 0);
+        plan.schedule.validate_c4(&plan.stage_graph).unwrap();
+    }
+
+    #[test]
+    fn search_explosion_budget_is_enforced() {
+        let model = zoo::candle_uno(&CandleUnoConfig::default());
+        let opts = PlanOptions {
+            eval_budget: 1,
+            ..PlanOptions::default()
+        };
+        let err = GraphPipePlanner::with_options(opts)
+            .plan(&model, &Cluster::summit_like(8), 1024)
+            .unwrap_err();
+        assert!(matches!(err, PlanError::SearchExplosion { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn more_devices_do_not_hurt_estimated_tps() {
+        let model = zoo::candle_uno(&CandleUnoConfig::default());
+        let p4 = plan_for(&model, 4, 1024).unwrap();
+        let p8 = plan_for(&model, 8, 1024).unwrap();
+        assert!(p8.bottleneck_tps <= p4.bottleneck_tps * 1.05);
+    }
+}

@@ -1,0 +1,277 @@
+//! Public planning types shared by GraphPipe and the SPP baselines.
+
+use gp_cluster::Cluster;
+use gp_cost::CostModel;
+use gp_ir::SpModel;
+use gp_sched::{InFlightTable, PipelineSchedule, StageGraph};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Duration;
+
+/// Options controlling a planner's search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanOptions {
+    /// Relative tolerance of the binary search over the bottleneck TPS
+    /// (`epsilon` of Algorithm 1, as a fraction of the initial upper bound).
+    pub epsilon: f64,
+    /// Explicit micro-batch-size candidates. When `None`, all powers of two
+    /// dividing the mini-batch size with at most [`PlanOptions::max_micro_batches`]
+    /// micro-batches are tried.
+    pub micro_batch_candidates: Option<Vec<u64>>,
+    /// Upper bound on micro-batches per mini-batch when deriving default
+    /// candidates (bounds `|B|`, see the §5 complexity analysis).
+    pub max_micro_batches: u64,
+    /// kFkB parameters to consider. The paper's default schedule is the
+    /// synchronous 1F1B, i.e. `[1]`.
+    pub kfkb_candidates: Vec<u64>,
+    /// Allow different micro-batch sizes per stage (§6's generalized
+    /// scheduler). Off by default, matching the paper's default
+    /// configuration.
+    pub per_stage_micro_batch: bool,
+    /// Abort the search after this many DP evaluations (guards against
+    /// exponential blow-ups; primarily exercised by the Piper baseline).
+    pub eval_budget: u64,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        PlanOptions {
+            epsilon: 0.01,
+            micro_batch_candidates: None,
+            max_micro_batches: 256,
+            kfkb_candidates: vec![1],
+            per_stage_micro_batch: false,
+            eval_budget: 200_000_000,
+        }
+    }
+}
+
+impl PlanOptions {
+    /// Restricts the search to one fixed micro-batch size (used by the
+    /// Figure 7-right sweep and the "Parallel" ablation of Figure 9).
+    pub fn with_forced_micro_batch(mut self, b: u64) -> Self {
+        self.micro_batch_candidates = Some(vec![b]);
+        self
+    }
+
+    /// The micro-batch sizes to try for a given mini-batch size.
+    pub fn micro_batch_sizes(&self, mini_batch: u64) -> Vec<u64> {
+        match &self.micro_batch_candidates {
+            Some(list) => list
+                .iter()
+                .copied()
+                .filter(|&b| b > 0 && mini_batch % b == 0)
+                .collect(),
+            None => {
+                let mut out = Vec::new();
+                let mut b = 1;
+                while b <= mini_batch {
+                    if mini_batch % b == 0 && mini_batch / b <= self.max_micro_batches {
+                        out.push(b);
+                    }
+                    b *= 2;
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Why a planner failed to produce a strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// No strategy satisfies the device-memory constraint (Equation 2) even
+    /// at the loosest target TPS.
+    Infeasible(String),
+    /// The search exceeded its work budget — the paper's "✗" for Piper on
+    /// many-branch models ("search cannot be completed within reasonable
+    /// timeframes", Table 1).
+    SearchExplosion {
+        /// DP evaluations performed before giving up.
+        evals: u64,
+    },
+    /// The model shape is not supported by this planner.
+    UnsupportedModel(String),
+    /// Planner produced an internally inconsistent strategy (a bug guard).
+    Internal(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Infeasible(why) => write!(f, "no feasible strategy: {why}"),
+            PlanError::SearchExplosion { evals } => {
+                write!(f, "search exploded after {evals} DP evaluations")
+            }
+            PlanError::UnsupportedModel(why) => write!(f, "unsupported model: {why}"),
+            PlanError::Internal(why) => write!(f, "internal planner error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Search-cost accounting, reported alongside every plan (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Wall-clock search time.
+    pub wall: Duration,
+    /// Dynamic-programming evaluations performed.
+    pub dp_evals: u64,
+    /// Distinct memoized DP states.
+    pub dp_states: u64,
+    /// Binary-search iterations (0 for single-shot planners).
+    pub binary_iters: u32,
+    /// Schedule configurations (micro-batch sizes etc.) tried.
+    pub configs_tried: u32,
+}
+
+/// A complete training strategy: the validated stage graph, its in-flight
+/// table, the per-stage task orders, and planner-side estimates.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The stage DAG (`G_S` of §3), validated against C1–C3.
+    pub stage_graph: StageGraph,
+    /// Minimal in-flight samples per stage (§6).
+    pub in_flight: InFlightTable,
+    /// Per-stage task orders (`Pi_i`), satisfying C4.
+    pub schedule: PipelineSchedule,
+    /// Planner's estimate of the bottleneck stage's Time-Per-Sample.
+    pub bottleneck_tps: f64,
+    /// Peak per-device memory across stages, in bytes.
+    pub peak_memory_bytes: u64,
+    /// Search-cost accounting.
+    pub stats: SearchStats,
+}
+
+impl Plan {
+    /// Pipeline depth (stage-DAG diameter) of the strategy.
+    pub fn pipeline_depth(&self) -> usize {
+        self.stage_graph.pipeline_depth()
+    }
+
+    /// The (uniform or maximal) micro-batch size used by the strategy.
+    pub fn max_micro_batch(&self) -> u64 {
+        self.stage_graph
+            .stages()
+            .map(|s| s.micro_batch)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Recomputes the bottleneck TPS and peak memory against a cost model
+    /// (using actual device placements), returning `(tps, bytes)`.
+    pub fn measure(&self, graph: &gp_ir::Graph, cost: &CostModel) -> (f64, u64) {
+        let mut tps: f64 = 0.0;
+        let mut mem = 0u64;
+        for s in self.stage_graph.stages() {
+            tps = tps.max(cost.stage_tps(
+                graph,
+                &s.ops,
+                s.micro_batch,
+                &s.devices,
+                self.stage_graph.mini_batch(),
+            ));
+            mem = mem.max(cost.stage_memory_bytes(
+                graph,
+                &s.ops,
+                self.in_flight.samples(s.id),
+                s.micro_batch,
+                s.dp_degree(),
+            ));
+        }
+        (tps, mem)
+    }
+
+    /// A human-readable multi-line summary of the strategy.
+    pub fn describe(&self, graph: &gp_ir::Graph) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "strategy: {} stages, pipeline depth {}, mini-batch {}",
+            self.stage_graph.len(),
+            self.pipeline_depth(),
+            self.stage_graph.mini_batch(),
+        );
+        for s in self.stage_graph.stages() {
+            let names: Vec<&str> = s
+                .ops
+                .iter()
+                .take(3)
+                .map(|&o| graph.node(o).name.as_str())
+                .collect();
+            let succs: Vec<String> = self
+                .stage_graph
+                .succs(s.id)
+                .iter()
+                .map(|x| x.to_string())
+                .collect();
+            let _ = writeln!(
+                out,
+                "  {}: {:>3} ops [{}{}] on {} b={} k={} in-flight={} -> [{}]",
+                s.id,
+                s.ops.len(),
+                names.join(", "),
+                if s.ops.len() > 3 { ", ..." } else { "" },
+                s.devices,
+                s.micro_batch,
+                s.kfkb,
+                self.in_flight.samples(s.id),
+                succs.join(", "),
+            );
+        }
+        out
+    }
+}
+
+/// A pipeline-parallel strategy planner (GraphPipe or an SPP baseline).
+pub trait Planner {
+    /// Short name for reports (e.g. `"graphpipe"`, `"pipedream"`).
+    fn name(&self) -> &str;
+
+    /// Searches for a training strategy for `model` on `cluster` with the
+    /// given mini-batch size.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlanError`] when no strategy satisfies the memory
+    /// constraint or the search exceeds its budget.
+    fn plan(&self, model: &SpModel, cluster: &Cluster, mini_batch: u64)
+        -> Result<Plan, PlanError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_micro_batch_candidates_are_pow2_divisors() {
+        let opts = PlanOptions::default();
+        assert_eq!(opts.micro_batch_sizes(64), vec![1, 2, 4, 8, 16, 32, 64]);
+        // Cap on micro-batch count kicks in for large mini-batches.
+        let opts = PlanOptions {
+            max_micro_batches: 4,
+            ..PlanOptions::default()
+        };
+        assert_eq!(opts.micro_batch_sizes(64), vec![16, 32, 64]);
+    }
+
+    #[test]
+    fn forced_micro_batch_filters_non_divisors() {
+        let opts = PlanOptions::default().with_forced_micro_batch(6);
+        assert_eq!(opts.micro_batch_sizes(64), Vec::<u64>::new());
+        let opts = PlanOptions::default().with_forced_micro_batch(8);
+        assert_eq!(opts.micro_batch_sizes(64), vec![8]);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(PlanError::SearchExplosion { evals: 42 }
+            .to_string()
+            .contains("42"));
+        assert!(PlanError::Infeasible("memory".into())
+            .to_string()
+            .contains("memory"));
+    }
+}

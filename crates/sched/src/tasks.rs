@@ -1,0 +1,376 @@
+//! Per-stage task orders (the micro-batch schedules `Pi_i` of §3/§6).
+//!
+//! `ScheduleTask` in Algorithm 2 "adopts greedy scheduling that schedules
+//! backward passes as early as possible". Concretely each stage runs a
+//! kFkB order: `l` warm-up forwards, then alternating groups of `k`
+//! backwards and `k` forwards, then the remaining backwards — with `l`
+//! chosen as the minimal in-flight count from
+//! [`crate::inflight::assign_in_flight`].
+
+use crate::inflight::InFlightTable;
+use crate::stage::{StageGraph, StageId};
+use gp_cost::Pass;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Range;
+
+/// One forward or backward pass of one micro-batch on one stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Task {
+    /// Forward or backward.
+    pub pass: Pass,
+    /// Micro-batch index within the mini-batch (stage-local numbering).
+    pub mb: u32,
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pass {
+            Pass::Forward => write!(f, "F{}", self.mb + 1),
+            Pass::Backward => write!(f, "B{}", self.mb + 1),
+        }
+    }
+}
+
+/// Errors raised when a task order violates condition C4 of §3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// Forward passes are out of order or duplicated.
+    ForwardOrder(StageId),
+    /// Backward passes are out of order or duplicated.
+    BackwardOrder(StageId),
+    /// A backward pass precedes its own forward pass.
+    BackwardBeforeForward(StageId, u32),
+    /// The schedule does not contain exactly `B / b` passes per direction.
+    WrongTaskCount(StageId),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::ForwardOrder(s) => {
+                write!(f, "stage {s}: forward passes out of order (C4)")
+            }
+            ScheduleError::BackwardOrder(s) => {
+                write!(f, "stage {s}: backward passes out of order (C4)")
+            }
+            ScheduleError::BackwardBeforeForward(s, mb) => {
+                write!(f, "stage {s}: backward of micro-batch {mb} precedes its forward (C4)")
+            }
+            ScheduleError::WrongTaskCount(s) => {
+                write!(f, "stage {s}: wrong number of scheduled passes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// The ordered task list of one stage.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageSchedule {
+    /// The stage this order belongs to.
+    pub stage: StageId,
+    /// Warm-up length `l` in micro-batches.
+    pub warmup: u64,
+    /// The complete ordered pass list for one training iteration.
+    pub tasks: Vec<Task>,
+}
+
+impl StageSchedule {
+    /// Builds the kFkB order for a stage with `num_micro_batches` tasks per
+    /// direction, warm-up `warmup` (clamped to feasible values) and group
+    /// size `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_micro_batches == 0` or `k == 0`.
+    pub fn kfkb(stage: StageId, num_micro_batches: u64, warmup: u64, k: u64) -> Self {
+        assert!(num_micro_batches > 0, "need at least one micro-batch");
+        assert!(k > 0, "kFkB requires k >= 1");
+        let m = num_micro_batches;
+        let l = warmup.max(k).min(m);
+        let mut tasks = Vec::with_capacity(2 * m as usize);
+        for mb in 0..l {
+            tasks.push(Task {
+                pass: Pass::Forward,
+                mb: mb as u32,
+            });
+        }
+        let (mut next_f, mut next_b) = (l, 0u64);
+        while next_b < m {
+            for _ in 0..k {
+                if next_b < next_f && next_b < m {
+                    tasks.push(Task {
+                        pass: Pass::Backward,
+                        mb: next_b as u32,
+                    });
+                    next_b += 1;
+                }
+            }
+            for _ in 0..k {
+                if next_f < m {
+                    tasks.push(Task {
+                        pass: Pass::Forward,
+                        mb: next_f as u32,
+                    });
+                    next_f += 1;
+                }
+            }
+        }
+        StageSchedule {
+            stage,
+            warmup: l,
+            tasks,
+        }
+    }
+
+    /// Peak number of in-flight micro-batches over the whole order
+    /// (forwards executed minus backwards executed, maximized over
+    /// prefixes).
+    pub fn peak_in_flight_micro_batches(&self) -> u64 {
+        let mut cur: i64 = 0;
+        let mut peak: i64 = 0;
+        for t in &self.tasks {
+            match t.pass {
+                Pass::Forward => cur += 1,
+                Pass::Backward => cur -= 1,
+            }
+            peak = peak.max(cur);
+        }
+        peak as u64
+    }
+
+    /// Peak in-flight samples (micro-batches times micro-batch size).
+    pub fn peak_in_flight_samples(&self, micro_batch: u64) -> u64 {
+        self.peak_in_flight_micro_batches() * micro_batch
+    }
+
+    /// Checks condition C4: forwards in order, backwards in order, and each
+    /// forward before its backward; exactly `num_micro_batches` of each.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated clause as a [`ScheduleError`].
+    pub fn validate_c4(&self, num_micro_batches: u64) -> Result<(), ScheduleError> {
+        let mut next_f = 0u32;
+        let mut next_b = 0u32;
+        for t in &self.tasks {
+            match t.pass {
+                Pass::Forward => {
+                    if t.mb != next_f {
+                        return Err(ScheduleError::ForwardOrder(self.stage));
+                    }
+                    next_f += 1;
+                }
+                Pass::Backward => {
+                    if t.mb != next_b {
+                        return Err(ScheduleError::BackwardOrder(self.stage));
+                    }
+                    if t.mb >= next_f {
+                        return Err(ScheduleError::BackwardBeforeForward(self.stage, t.mb));
+                    }
+                    next_b += 1;
+                }
+            }
+        }
+        if next_f as u64 != num_micro_batches || next_b as u64 != num_micro_batches {
+            return Err(ScheduleError::WrongTaskCount(self.stage));
+        }
+        Ok(())
+    }
+}
+
+/// The complete static schedule of a strategy: one task order per stage.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineSchedule {
+    /// Task orders indexed by stage id.
+    pub per_stage: Vec<StageSchedule>,
+}
+
+impl PipelineSchedule {
+    /// The schedule of a stage.
+    pub fn stage(&self, id: StageId) -> &StageSchedule {
+        &self.per_stage[id.index()]
+    }
+
+    /// Validates C4 for every stage against the stage graph's micro-batch
+    /// counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first stage's violation.
+    pub fn validate_c4(&self, sg: &StageGraph) -> Result<(), ScheduleError> {
+        for s in &self.per_stage {
+            let m = sg.stage(s.stage).num_micro_batches(sg.mini_batch());
+            s.validate_c4(m)?;
+        }
+        Ok(())
+    }
+}
+
+/// Generates the full pipeline schedule from a stage graph and its
+/// in-flight table (the output of Algorithm 2 applied to every stage).
+pub fn schedule_tasks(sg: &StageGraph, inflight: &InFlightTable) -> PipelineSchedule {
+    let per_stage = sg
+        .stages()
+        .map(|s| {
+            let m = s.num_micro_batches(sg.mini_batch());
+            let warmup = inflight.micro_batches(sg, s.id);
+            StageSchedule::kfkb(s.id, m, warmup, s.kfkb)
+        })
+        .collect();
+    PipelineSchedule { per_stage }
+}
+
+/// The producer micro-batches (of size `b_producer`) that cover consumer
+/// micro-batch `mb_consumer` of size `b_consumer`.
+///
+/// Micro-batches partition the sample axis contiguously, so the covering
+/// set is a range. With power-of-two sizes the cover is exact.
+pub fn covering_micro_batches(b_producer: u64, b_consumer: u64, mb_consumer: u32) -> Range<u32> {
+    let lo = (mb_consumer as u64 * b_consumer) / b_producer;
+    let hi = ((mb_consumer as u64 + 1) * b_consumer).div_ceil(b_producer);
+    lo as u32..hi as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn render(s: &StageSchedule) -> String {
+        s.tasks
+            .iter()
+            .map(Task::to_string)
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    #[test]
+    fn sink_1f1b_alternates() {
+        let s = StageSchedule::kfkb(StageId(0), 4, 1, 1);
+        assert_eq!(render(&s), "F1 B1 F2 B2 F3 B3 F4 B4");
+        assert_eq!(s.peak_in_flight_micro_batches(), 1);
+        s.validate_c4(4).unwrap();
+    }
+
+    #[test]
+    fn classic_1f1b_with_warmup_two() {
+        let s = StageSchedule::kfkb(StageId(0), 4, 2, 1);
+        assert_eq!(render(&s), "F1 F2 B1 F3 B2 F4 B3 B4");
+        assert_eq!(s.peak_in_flight_micro_batches(), 2);
+        s.validate_c4(4).unwrap();
+    }
+
+    #[test]
+    fn kfkb_groups_of_two() {
+        let s = StageSchedule::kfkb(StageId(0), 4, 2, 2);
+        assert_eq!(render(&s), "F1 F2 B1 B2 F3 F4 B3 B4");
+        assert_eq!(s.peak_in_flight_micro_batches(), 2);
+        s.validate_c4(4).unwrap();
+    }
+
+    #[test]
+    fn warmup_clamped_to_micro_batch_count() {
+        let s = StageSchedule::kfkb(StageId(0), 2, 8, 1);
+        assert_eq!(render(&s), "F1 F2 B1 B2");
+        assert_eq!(s.warmup, 2);
+        s.validate_c4(2).unwrap();
+    }
+
+    #[test]
+    fn warmup_at_least_k() {
+        let s = StageSchedule::kfkb(StageId(0), 8, 1, 2);
+        assert_eq!(s.warmup, 2);
+        s.validate_c4(8).unwrap();
+        assert_eq!(s.peak_in_flight_micro_batches(), 2);
+    }
+
+    #[test]
+    fn peak_matches_warmup() {
+        for m in [1u64, 2, 4, 8, 16] {
+            for l in 1..=m {
+                for k in [1u64, 2, 4] {
+                    let s = StageSchedule::kfkb(StageId(0), m, l, k);
+                    s.validate_c4(m).unwrap();
+                    assert_eq!(
+                        s.peak_in_flight_micro_batches(),
+                        l.max(k).min(m),
+                        "m={m} l={l} k={k}: {}",
+                        render(&s)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn c4_catches_reordered_forwards() {
+        let mut s = StageSchedule::kfkb(StageId(3), 4, 2, 1);
+        // Swap the two warm-up forwards.
+        s.tasks.swap(0, 1);
+        assert_eq!(s.validate_c4(4), Err(ScheduleError::ForwardOrder(StageId(3))));
+    }
+
+    #[test]
+    fn c4_catches_backward_before_forward() {
+        let s = StageSchedule {
+            stage: StageId(1),
+            warmup: 1,
+            tasks: vec![
+                Task {
+                    pass: Pass::Backward,
+                    mb: 0,
+                },
+                Task {
+                    pass: Pass::Forward,
+                    mb: 0,
+                },
+            ],
+        };
+        assert_eq!(
+            s.validate_c4(1),
+            Err(ScheduleError::BackwardBeforeForward(StageId(1), 0))
+        );
+    }
+
+    #[test]
+    fn c4_catches_wrong_count() {
+        let s = StageSchedule::kfkb(StageId(0), 4, 1, 1);
+        assert_eq!(s.validate_c4(8), Err(ScheduleError::WrongTaskCount(StageId(0))));
+    }
+
+    #[test]
+    fn covering_micro_batches_uniform() {
+        assert_eq!(covering_micro_batches(4, 4, 3), 3..4);
+    }
+
+    #[test]
+    fn covering_micro_batches_producer_smaller() {
+        // Consumer batch of 4 needs two producer batches of 2.
+        assert_eq!(covering_micro_batches(2, 4, 0), 0..2);
+        assert_eq!(covering_micro_batches(2, 4, 1), 2..4);
+    }
+
+    #[test]
+    fn covering_micro_batches_producer_larger() {
+        // Consumer batch of 2 fits inside one producer batch of 4.
+        assert_eq!(covering_micro_batches(4, 2, 0), 0..1);
+        assert_eq!(covering_micro_batches(4, 2, 1), 0..1);
+        assert_eq!(covering_micro_batches(4, 2, 2), 1..2);
+    }
+
+    #[test]
+    fn task_display() {
+        let f = Task {
+            pass: Pass::Forward,
+            mb: 0,
+        };
+        let b = Task {
+            pass: Pass::Backward,
+            mb: 3,
+        };
+        assert_eq!(f.to_string(), "F1");
+        assert_eq!(b.to_string(), "B4");
+    }
+}

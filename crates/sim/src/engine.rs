@@ -1,0 +1,332 @@
+//! The discrete-event pipeline execution engine.
+//!
+//! Simulates one training iteration of a strategy: every stage replica is a
+//! device executing its task order (from `gp-sched`) in order, non
+//! preemptively; activations/gradients hop between stages over the cluster
+//! links; data-parallel stages allreduce their gradients at the end of the
+//! iteration. Because per-device task orders are fixed and dependencies
+//! point backwards in each queue, makespan computation reduces to a
+//! longest-path relaxation over the task DAG — no global event queue is
+//! needed, and the result is deterministic.
+//!
+//! Modeling notes (see DESIGN.md):
+//!
+//! * replica `r` of a stage with `d` replicas processes micro-batches
+//!   `mb % d == r`, matching the planner's memory accounting;
+//! * links are delay-only (no contention); same-device transfers are free;
+//! * activation memory is charged at forward completion and released at
+//!   backward completion, plus static parameter/optimizer state.
+
+use crate::report::{SimError, SimReport, TaskSpan};
+use gp_cluster::{Cluster, DeviceId};
+use gp_cost::{CostModel, Pass};
+use gp_ir::Graph;
+use gp_sched::{covering_micro_batches, PipelineSchedule, StageGraph, StageId};
+
+/// One task instance placed on a device queue.
+#[derive(Debug, Clone, Copy)]
+struct QueuedTask {
+    stage: StageId,
+    mb: u32,
+    pass: Pass,
+    duration: f64,
+}
+
+/// Dense index for `(stage, mb, pass)` completion lookups.
+struct TaskIndex {
+    offsets: Vec<usize>,
+    total: usize,
+}
+
+impl TaskIndex {
+    fn new(sg: &StageGraph) -> TaskIndex {
+        let mut offsets = Vec::with_capacity(sg.len() + 1);
+        let mut total = 0usize;
+        for s in sg.stages() {
+            offsets.push(total);
+            total += 2 * s.num_micro_batches(sg.mini_batch()) as usize;
+        }
+        offsets.push(total);
+        TaskIndex { offsets, total }
+    }
+
+    fn index(&self, stage: StageId, mb: u32, pass: Pass) -> usize {
+        let p = match pass {
+            Pass::Forward => 0,
+            Pass::Backward => 1,
+        };
+        self.offsets[stage.index()] + 2 * mb as usize + p
+    }
+}
+
+/// Simulates one synchronous training iteration of a strategy.
+///
+/// # Errors
+///
+/// Returns [`SimError::Deadlock`] when the task orders are mutually
+/// inconsistent (e.g. a hand-crafted schedule with insufficient warm-up),
+/// and [`SimError::MissingSchedule`] when the schedule does not cover every
+/// stage.
+pub fn simulate(
+    graph: &Graph,
+    cluster: &Cluster,
+    sg: &StageGraph,
+    schedule: &PipelineSchedule,
+) -> Result<SimReport, SimError> {
+    if schedule.per_stage.len() != sg.len() {
+        return Err(SimError::MissingSchedule {
+            stages: sg.len(),
+            schedules: schedule.per_stage.len(),
+        });
+    }
+    let cost = CostModel::new(cluster);
+    let n_dev = cluster.device_count();
+    let mini_batch = sg.mini_batch();
+
+    // Per-stage aggregates.
+    let mut fwd_dur = vec![0.0f64; sg.len()];
+    let mut bwd_dur = vec![0.0f64; sg.len()];
+    let mut act_ps = vec![0u64; sg.len()];
+    let mut param_bytes = vec![0u64; sg.len()];
+    for s in sg.stages() {
+        fwd_dur[s.id.index()] = cost.stage_time(graph, &s.ops, s.micro_batch, Pass::Forward);
+        bwd_dur[s.id.index()] = cost.stage_time(graph, &s.ops, s.micro_batch, Pass::Backward);
+        act_ps[s.id.index()] = cost.stage_activation_bytes_per_sample(graph, &s.ops);
+        param_bytes[s.id.index()] = cost.stage_param_bytes(graph, &s.ops);
+    }
+    // Transfer payload (bytes/sample) per stage edge.
+    let mut edge_bytes: Vec<Vec<(StageId, u64)>> = vec![Vec::new(); sg.len()];
+    for s in sg.stages() {
+        for &succ in sg.succs(s.id) {
+            let bytes =
+                cost.crossing_bytes_per_sample(graph, &s.ops, &sg.stage(succ).ops);
+            edge_bytes[s.id.index()].push((succ, bytes));
+        }
+    }
+    let edge_payload = |from: StageId, to: StageId| -> u64 {
+        edge_bytes[from.index()]
+            .iter()
+            .find(|(s, _)| *s == to)
+            .map(|&(_, b)| b)
+            .unwrap_or(0)
+    };
+
+    // Device queues: replica r of a stage runs micro-batches mb % d == r.
+    let mut queues: Vec<Vec<QueuedTask>> = vec![Vec::new(); n_dev];
+    for s in sg.stages() {
+        let d = s.dp_degree() as u32;
+        let devs: Vec<DeviceId> = s.devices.iter().collect();
+        for task in &schedule.stage(s.id).tasks {
+            let dev = devs[(task.mb % d) as usize];
+            let duration = match task.pass {
+                Pass::Forward => fwd_dur[s.id.index()],
+                Pass::Backward => bwd_dur[s.id.index()],
+            };
+            queues[dev.index()].push(QueuedTask {
+                stage: s.id,
+                mb: task.mb,
+                pass: task.pass,
+                duration,
+            });
+        }
+    }
+
+    // The device hosting (stage, mb).
+    let replica_device = |stage: StageId, mb: u32| -> DeviceId {
+        let s = sg.stage(stage);
+        let d = s.dp_degree() as u32;
+        s.devices.iter().nth((mb % d) as usize).expect("mb % d < d")
+    };
+
+    let idx = TaskIndex::new(sg);
+    let mut completion = vec![f64::NAN; idx.total];
+    let mut start_time = vec![f64::NAN; idx.total];
+    let mut scheduled = vec![false; idx.total];
+    let mut head = vec![0usize; n_dev];
+    let mut busy_until = vec![0.0f64; n_dev];
+    let mut busy_total = vec![0.0f64; n_dev];
+    let mut remaining: usize = queues.iter().map(Vec::len).sum();
+    let total_tasks = remaining;
+
+    // Longest-path relaxation: keep scheduling any device whose head task
+    // has all dependencies scheduled.
+    loop {
+        let mut progress = false;
+        for dev in 0..n_dev {
+            'queue: while head[dev] < queues[dev].len() {
+                let t = queues[dev][head[dev]];
+                let me = replica_device(t.stage, t.mb);
+                debug_assert_eq!(me.index(), dev);
+                let mut ready = 0.0f64;
+                let mut consider = |dep: usize, bytes: u64, from: DeviceId, to: DeviceId| {
+                    if !scheduled[dep] {
+                        return false;
+                    }
+                    let mut t_ready = completion[dep];
+                    if bytes > 0 && from != to {
+                        t_ready += cluster.link(from, to).transfer_time(bytes);
+                    }
+                    ready = ready.max(t_ready);
+                    true
+                };
+                match t.pass {
+                    Pass::Forward => {
+                        for &p in sg.preds(t.stage) {
+                            let bp = sg.stage(p).micro_batch;
+                            let bytes_ps = edge_payload(p, t.stage);
+                            let b_me = sg.stage(t.stage).micro_batch;
+                            for mb_p in
+                                covering_micro_batches(bp, b_me, t.mb)
+                            {
+                                let dep = idx.index(p, mb_p, Pass::Forward);
+                                let from = replica_device(p, mb_p);
+                                if !consider(dep, bytes_ps * b_me, from, me) {
+                                    break 'queue;
+                                }
+                            }
+                        }
+                    }
+                    Pass::Backward => {
+                        // Own forward pass.
+                        let own = idx.index(t.stage, t.mb, Pass::Forward);
+                        if !consider(own, 0, me, me) {
+                            break 'queue;
+                        }
+                        for &s in sg.succs(t.stage) {
+                            let bs = sg.stage(s).micro_batch;
+                            let bytes_ps = edge_payload(t.stage, s);
+                            let b_me = sg.stage(t.stage).micro_batch;
+                            for mb_s in covering_micro_batches(bs, b_me, t.mb) {
+                                let dep = idx.index(s, mb_s, Pass::Backward);
+                                let from = replica_device(s, mb_s);
+                                if !consider(dep, bytes_ps * b_me, from, me) {
+                                    break 'queue;
+                                }
+                            }
+                        }
+                    }
+                }
+                let start = busy_until[dev].max(ready);
+                let end = start + t.duration;
+                let ti = idx.index(t.stage, t.mb, t.pass);
+                completion[ti] = end;
+                start_time[ti] = start;
+                scheduled[ti] = true;
+                busy_until[dev] = end;
+                busy_total[dev] += t.duration;
+                head[dev] += 1;
+                remaining -= 1;
+                progress = true;
+            }
+        }
+        if remaining == 0 {
+            break;
+        }
+        if !progress {
+            return Err(SimError::Deadlock {
+                completed: total_tasks - remaining,
+                total: total_tasks,
+            });
+        }
+    }
+
+    // Gradient allreduce per data-parallel stage, after its last backward.
+    let mut device_end = busy_until.clone();
+    for s in sg.stages() {
+        let ar = cost.allreduce_time(param_bytes[s.id.index()], &s.devices);
+        if ar > 0.0 {
+            let stage_last = s
+                .devices
+                .iter()
+                .map(|d| busy_until[d.index()])
+                .fold(0.0f64, f64::max);
+            for d in s.devices.iter() {
+                device_end[d.index()] = device_end[d.index()].max(stage_last + ar);
+                busy_total[d.index()] += ar;
+            }
+        }
+    }
+    let iteration_time = device_end.iter().copied().fold(0.0f64, f64::max);
+
+    // Memory: static states + activation stash between fw and bw.
+    let mut peak_memory = vec![0u64; n_dev];
+    let mut static_mem = vec![0u64; n_dev];
+    for s in sg.stages() {
+        let stat = param_bytes[s.id.index()] / gp_ir::BYTES_PER_ELEMENT
+            * gp_cost::BYTES_PER_PARAM_STATE;
+        for d in s.devices.iter() {
+            static_mem[d.index()] += stat;
+        }
+    }
+    // Events: (+bytes at fw end, -bytes at bw end), walked in time order.
+    let mut events: Vec<(f64, i64, usize)> = Vec::new();
+    for s in sg.stages() {
+        let m = s.num_micro_batches(mini_batch) as u32;
+        let bytes = (act_ps[s.id.index()] * s.micro_batch) as i64;
+        for mb in 0..m {
+            let dev = replica_device(s.id, mb).index();
+            events.push((completion[idx.index(s.id, mb, Pass::Forward)], bytes, dev));
+            events.push((
+                completion[idx.index(s.id, mb, Pass::Backward)],
+                -bytes,
+                dev,
+            ));
+        }
+    }
+    events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut cur = static_mem.clone();
+    for d in 0..n_dev {
+        peak_memory[d] = cur[d];
+    }
+    for (_, delta, dev) in events {
+        cur[dev] = (cur[dev] as i64 + delta) as u64;
+        peak_memory[dev] = peak_memory[dev].max(cur[dev]);
+    }
+
+    // Timeline spans for rendering.
+    let mut timeline = Vec::with_capacity(total_tasks);
+    for s in sg.stages() {
+        let m = s.num_micro_batches(mini_batch) as u32;
+        for mb in 0..m {
+            for pass in [Pass::Forward, Pass::Backward] {
+                let ti = idx.index(s.id, mb, pass);
+                timeline.push(TaskSpan {
+                    device: replica_device(s.id, mb),
+                    stage: s.id,
+                    mb,
+                    pass,
+                    start: start_time[ti],
+                    end: completion[ti],
+                });
+            }
+        }
+    }
+    timeline.sort_by(|a, b| a.start.total_cmp(&b.start));
+
+    // Warm-up: the moment every stage has begun working.
+    let mut first_start = vec![f64::INFINITY; sg.len()];
+    for span in &timeline {
+        let s = span.stage.index();
+        first_start[s] = first_start[s].min(span.start);
+    }
+    let warmup_time = first_start.iter().copied().fold(0.0f64, f64::max);
+
+    let busy_sum: f64 = busy_total.iter().sum();
+    let utilization = if iteration_time > 0.0 {
+        busy_sum / (iteration_time * n_dev as f64)
+    } else {
+        0.0
+    };
+
+    Ok(SimReport {
+        iteration_time,
+        throughput: mini_batch as f64 / iteration_time,
+        utilization,
+        bubble_fraction: 1.0 - utilization,
+        warmup_time,
+        per_device_busy: busy_total,
+        peak_memory_bytes: peak_memory,
+        timeline,
+        mini_batch,
+    })
+}

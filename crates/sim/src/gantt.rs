@@ -1,0 +1,82 @@
+//! ASCII Gantt rendering of simulated pipeline schedules (Figure 8 style).
+
+use crate::report::SimReport;
+use gp_cost::Pass;
+use gp_sched::StageGraph;
+
+/// Renders the timeline as one row per device.
+///
+/// Forward passes print the micro-batch as `1-9` then `A-Z`; backward
+/// passes print `a-z`. Idle time prints `.`. The horizontal axis is the
+/// iteration, sampled into `width` columns.
+///
+/// # Examples
+///
+/// ```text
+/// gpu0 | 1234a1b2c3d4........
+/// gpu1 | .1234a1b2c3d4.......
+/// ```
+pub fn render_gantt(report: &SimReport, sg: &StageGraph, width: usize) -> String {
+    let width = width.max(10);
+    let n_dev = report.peak_memory_bytes.len();
+    let span = report.iteration_time.max(f64::MIN_POSITIVE);
+    let mut rows = vec![vec!['.'; width]; n_dev];
+    for t in &report.timeline {
+        let c0 = ((t.start / span) * width as f64).floor() as usize;
+        let c1 = ((t.end / span) * width as f64).ceil() as usize;
+        let ch = glyph(t.pass, t.mb);
+        for cell in rows[t.device.index()]
+            .iter_mut()
+            .take(c1.min(width))
+            .skip(c0.min(width.saturating_sub(1)))
+        {
+            *cell = ch;
+        }
+    }
+    let mut out = String::new();
+    for (d, row) in rows.iter().enumerate() {
+        let stage = sg
+            .stages()
+            .find(|s| s.devices.iter().any(|dev| dev.index() == d))
+            .map(|s| s.id.to_string())
+            .unwrap_or_else(|| "-".to_string());
+        out.push_str(&format!("gpu{d:<2} {stage:<4}|"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "iteration {:.3} ms, warm-up {:.3} ms, bubble {:.1}%  (F: 1-9/A-Z, B: a-z, idle: .)\n",
+        report.iteration_time * 1e3,
+        report.warmup_time * 1e3,
+        report.bubble_fraction * 100.0
+    ));
+    out
+}
+
+fn glyph(pass: Pass, mb: u32) -> char {
+    match pass {
+        Pass::Forward => {
+            let m = mb % 35;
+            if m < 9 {
+                (b'1' + m as u8) as char
+            } else {
+                (b'A' + (m - 9) as u8) as char
+            }
+        }
+        Pass::Backward => (b'a' + (mb % 26) as u8) as char,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glyph_cycles() {
+        assert_eq!(glyph(Pass::Forward, 0), '1');
+        assert_eq!(glyph(Pass::Forward, 8), '9');
+        assert_eq!(glyph(Pass::Forward, 9), 'A');
+        assert_eq!(glyph(Pass::Backward, 0), 'a');
+        assert_eq!(glyph(Pass::Backward, 25), 'z');
+    }
+}

@@ -1,0 +1,94 @@
+//! Simulation results and errors.
+
+use gp_cluster::DeviceId;
+use gp_cost::Pass;
+use gp_sched::StageId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One executed task instance on the simulated timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpan {
+    /// The device (replica) that ran the task.
+    pub device: DeviceId,
+    /// The stage the task belongs to.
+    pub stage: StageId,
+    /// Stage-local micro-batch index.
+    pub mb: u32,
+    /// Forward or backward.
+    pub pass: Pass,
+    /// Start time, seconds from iteration start.
+    pub start: f64,
+    /// End time, seconds.
+    pub end: f64,
+}
+
+/// Metrics of one simulated training iteration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Makespan of the iteration (including gradient allreduce), seconds.
+    pub iteration_time: f64,
+    /// Training throughput in samples per second (`B / iteration_time`).
+    pub throughput: f64,
+    /// Mean fraction of time devices spent computing.
+    pub utilization: f64,
+    /// `1 - utilization`: the pipeline-bubble share the paper's warm-up /
+    /// cool-down analysis is about.
+    pub bubble_fraction: f64,
+    /// Time until every stage has started working (the warm-up phase).
+    pub warmup_time: f64,
+    /// Busy seconds per device.
+    pub per_device_busy: Vec<f64>,
+    /// Peak memory per device in bytes (parameters + optimizer states +
+    /// stashed activations).
+    pub peak_memory_bytes: Vec<u64>,
+    /// All executed tasks, sorted by start time.
+    pub timeline: Vec<TaskSpan>,
+    /// The mini-batch size the iteration processed.
+    pub mini_batch: u64,
+}
+
+impl SimReport {
+    /// The highest peak memory across devices.
+    pub fn max_peak_memory(&self) -> u64 {
+        self.peak_memory_bytes.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Errors raised by the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The task orders are mutually inconsistent: no device can make
+    /// progress although tasks remain.
+    Deadlock {
+        /// Tasks completed before the stall.
+        completed: usize,
+        /// Total tasks in the iteration.
+        total: usize,
+    },
+    /// The schedule does not provide a task order for every stage.
+    MissingSchedule {
+        /// Stages in the strategy.
+        stages: usize,
+        /// Task orders provided.
+        schedules: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { completed, total } => write!(
+                f,
+                "pipeline deadlocked after {completed}/{total} tasks; \
+                 the schedule violates cross-stage dependencies"
+            ),
+            SimError::MissingSchedule { stages, schedules } => write!(
+                f,
+                "schedule covers {schedules} stages but the strategy has {stages}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

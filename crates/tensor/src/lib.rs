@@ -1,0 +1,29 @@
+//! # gp-tensor — minimal dense-tensor math with hand-written backwards
+//!
+//! The CPU numeric substrate for the GraphPipe runtime (`gp-exec`): a small
+//! f32 [`Tensor`] plus forward/backward implementations of every operator
+//! the model zoo uses. Backward passes are hand-derived and validated
+//! against central finite differences in the test suite, so the runtime's
+//! gradient-equivalence checks rest on verified math.
+//!
+//! # Examples
+//!
+//! ```
+//! use gp_tensor::{ops, Tensor};
+//!
+//! let x = Tensor::new(vec![2, 3], vec![0.5, -1.0, 2.0, 1.5, 0.0, -0.5]);
+//! let w = Tensor::ones(vec![3, 2]);
+//! let y = ops::linear_fwd(&x, &w, None);
+//! assert_eq!(y.shape(), &[2, 2]);
+//! let (dx, dw, _db) = ops::linear_bwd(&x, &w, &Tensor::ones(vec![2, 2]));
+//! assert_eq!(dx.shape(), x.shape());
+//! assert_eq!(dw.shape(), w.shape());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ops;
+mod tensor;
+
+pub use tensor::Tensor;

@@ -1,0 +1,783 @@
+//! Forward and backward implementations of every DNN operator the model zoo
+//! uses: linear, ReLU/GeLU, layer norm, softmax, multi-head attention,
+//! embedding bags, concatenation, DLRM feature interaction, and an L2
+//! training loss. All backwards are hand-derived and verified against
+//! finite differences in the test suite.
+
+use crate::tensor::Tensor;
+
+/// `y = x @ w + b` applied to the innermost dimension; `x` is interpreted
+/// as `[rows, in]` with `rows = numel / in`.
+pub fn linear_fwd(x: &Tensor, w: &Tensor, b: Option<&Tensor>) -> Tensor {
+    let (in_f, out_f) = (w.shape()[0], w.shape()[1]);
+    let rows = x.rows_for(in_f);
+    let x2 = x.reshape(vec![rows, in_f]);
+    let mut y = x2.matmul(w);
+    if let Some(b) = b {
+        assert_eq!(b.numel(), out_f, "bias length mismatch");
+        for r in 0..rows {
+            for (c, &bv) in b.data().iter().enumerate() {
+                y.data_mut()[r * out_f + c] += bv;
+            }
+        }
+    }
+    let mut shape = x.shape().to_vec();
+    *shape.last_mut().expect("non-scalar") = out_f;
+    y.reshape(shape)
+}
+
+/// Gradients of [`linear_fwd`]: returns `(dx, dw, db)`.
+pub fn linear_bwd(x: &Tensor, w: &Tensor, dy: &Tensor) -> (Tensor, Tensor, Tensor) {
+    let (in_f, out_f) = (w.shape()[0], w.shape()[1]);
+    let rows = x.rows_for(in_f);
+    let x2 = x.reshape(vec![rows, in_f]);
+    let dy2 = dy.reshape(vec![rows, out_f]);
+    let dx = dy2.matmul(&w.t()).reshape(x.shape().to_vec());
+    let dw = x2.t().matmul(&dy2);
+    let mut db = Tensor::zeros(vec![out_f]);
+    for r in 0..rows {
+        for c in 0..out_f {
+            db.data_mut()[c] += dy2.data()[r * out_f + c];
+        }
+    }
+    (dx, dw, db)
+}
+
+/// Rectified linear unit.
+pub fn relu_fwd(x: &Tensor) -> Tensor {
+    Tensor::new(
+        x.shape().to_vec(),
+        x.data().iter().map(|&v| v.max(0.0)).collect(),
+    )
+}
+
+/// Gradient of [`relu_fwd`].
+pub fn relu_bwd(x: &Tensor, dy: &Tensor) -> Tensor {
+    Tensor::new(
+        x.shape().to_vec(),
+        x.data()
+            .iter()
+            .zip(dy.data())
+            .map(|(&v, &g)| if v > 0.0 { g } else { 0.0 })
+            .collect(),
+    )
+}
+
+const GELU_C: f32 = 0.797_884_56; // sqrt(2/pi)
+const GELU_A: f32 = 0.044_715;
+
+/// GeLU with the tanh approximation.
+pub fn gelu_fwd(x: &Tensor) -> Tensor {
+    Tensor::new(
+        x.shape().to_vec(),
+        x.data()
+            .iter()
+            .map(|&v| {
+                let u = GELU_C * (v + GELU_A * v * v * v);
+                0.5 * v * (1.0 + u.tanh())
+            })
+            .collect(),
+    )
+}
+
+/// Gradient of [`gelu_fwd`].
+pub fn gelu_bwd(x: &Tensor, dy: &Tensor) -> Tensor {
+    Tensor::new(
+        x.shape().to_vec(),
+        x.data()
+            .iter()
+            .zip(dy.data())
+            .map(|(&v, &g)| {
+                let u = GELU_C * (v + GELU_A * v * v * v);
+                let t = u.tanh();
+                let du = GELU_C * (1.0 + 3.0 * GELU_A * v * v);
+                g * (0.5 * (1.0 + t) + 0.5 * v * (1.0 - t * t) * du)
+            })
+            .collect(),
+    )
+}
+
+/// Cached statistics from a layer-norm forward pass.
+#[derive(Debug, Clone)]
+pub struct LayerNormCache {
+    normalized: Tensor,
+    rstd: Vec<f32>,
+}
+
+/// Layer normalization over the innermost dimension with learnable scale
+/// and shift; returns the output and a cache for the backward pass.
+pub fn layernorm_fwd(x: &Tensor, gamma: &Tensor, beta: &Tensor) -> (Tensor, LayerNormCache) {
+    const EPS: f32 = 1e-5;
+    let dim = gamma.numel();
+    let rows = x.rows_for(dim);
+    let mut y = vec![0.0f32; x.numel()];
+    let mut normalized = vec![0.0f32; x.numel()];
+    let mut rstd = vec![0.0f32; rows];
+    for r in 0..rows {
+        let row = &x.data()[r * dim..(r + 1) * dim];
+        let mean = row.iter().sum::<f32>() / dim as f32;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / dim as f32;
+        let rs = 1.0 / (var + EPS).sqrt();
+        rstd[r] = rs;
+        for c in 0..dim {
+            let n = (row[c] - mean) * rs;
+            normalized[r * dim + c] = n;
+            y[r * dim + c] = n * gamma.data()[c] + beta.data()[c];
+        }
+    }
+    (
+        Tensor::new(x.shape().to_vec(), y),
+        LayerNormCache {
+            normalized: Tensor::new(x.shape().to_vec(), normalized),
+            rstd,
+        },
+    )
+}
+
+/// Gradients of [`layernorm_fwd`]: returns `(dx, dgamma, dbeta)`.
+pub fn layernorm_bwd(
+    cache: &LayerNormCache,
+    gamma: &Tensor,
+    dy: &Tensor,
+) -> (Tensor, Tensor, Tensor) {
+    let dim = gamma.numel();
+    let rows = dy.rows_for(dim);
+    let mut dx = vec![0.0f32; dy.numel()];
+    let mut dgamma = Tensor::zeros(vec![dim]);
+    let mut dbeta = Tensor::zeros(vec![dim]);
+    for r in 0..rows {
+        let n = &cache.normalized.data()[r * dim..(r + 1) * dim];
+        let g = &dy.data()[r * dim..(r + 1) * dim];
+        let mut sum_dyg = 0.0f32;
+        let mut sum_dyg_n = 0.0f32;
+        for c in 0..dim {
+            let dyg = g[c] * gamma.data()[c];
+            sum_dyg += dyg;
+            sum_dyg_n += dyg * n[c];
+            dgamma.data_mut()[c] += g[c] * n[c];
+            dbeta.data_mut()[c] += g[c];
+        }
+        let inv_dim = 1.0 / dim as f32;
+        for c in 0..dim {
+            let dyg = g[c] * gamma.data()[c];
+            dx[r * dim + c] =
+                cache.rstd[r] * (dyg - sum_dyg * inv_dim - n[c] * sum_dyg_n * inv_dim);
+        }
+    }
+    (Tensor::new(dy.shape().to_vec(), dx), dgamma, dbeta)
+}
+
+/// Row-wise softmax over the innermost dimension.
+pub fn softmax_fwd(x: &Tensor, dim: usize) -> Tensor {
+    let rows = x.rows_for(dim);
+    let mut y = vec![0.0f32; x.numel()];
+    for r in 0..rows {
+        let row = &x.data()[r * dim..(r + 1) * dim];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for c in 0..dim {
+            let e = (row[c] - max).exp();
+            y[r * dim + c] = e;
+            sum += e;
+        }
+        for c in 0..dim {
+            y[r * dim + c] /= sum;
+        }
+    }
+    Tensor::new(x.shape().to_vec(), y)
+}
+
+/// Gradient of [`softmax_fwd`] given its output `y`.
+pub fn softmax_bwd(y: &Tensor, dy: &Tensor, dim: usize) -> Tensor {
+    let rows = y.rows_for(dim);
+    let mut dx = vec![0.0f32; y.numel()];
+    for r in 0..rows {
+        let yr = &y.data()[r * dim..(r + 1) * dim];
+        let gr = &dy.data()[r * dim..(r + 1) * dim];
+        let dot: f32 = yr.iter().zip(gr).map(|(a, b)| a * b).sum();
+        for c in 0..dim {
+            dx[r * dim + c] = yr[c] * (gr[c] - dot);
+        }
+    }
+    Tensor::new(y.shape().to_vec(), dx)
+}
+
+/// Learnable parameters of a multi-head attention block.
+#[derive(Debug, Clone)]
+pub struct MhaParams {
+    /// Query/key/value/output projection matrices, each `[hidden, hidden]`.
+    pub wq: Tensor,
+    /// Key projection.
+    pub wk: Tensor,
+    /// Value projection.
+    pub wv: Tensor,
+    /// Output projection.
+    pub wo: Tensor,
+    /// Biases, each `[hidden]`.
+    pub bq: Tensor,
+    /// Key bias.
+    pub bk: Tensor,
+    /// Value bias.
+    pub bv: Tensor,
+    /// Output bias.
+    pub bo: Tensor,
+    /// Number of attention heads.
+    pub heads: usize,
+}
+
+/// Intermediate state of an MHA forward pass needed by the backward pass.
+#[derive(Debug, Clone)]
+pub struct MhaCache {
+    x: Tensor,
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    /// Attention probabilities `[batch * heads, seq, seq]` flattened.
+    probs: Tensor,
+    ctx: Tensor,
+}
+
+/// Multi-head self-attention over `x: [batch, seq, hidden]`.
+pub fn mha_fwd(x: &Tensor, p: &MhaParams) -> (Tensor, MhaCache) {
+    let (n, s, h) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    let heads = p.heads;
+    assert_eq!(h % heads, 0, "heads must divide hidden");
+    let dh = h / heads;
+    let alpha = 1.0 / (dh as f32).sqrt();
+    let q = linear_fwd(x, &p.wq, Some(&p.bq));
+    let k = linear_fwd(x, &p.wk, Some(&p.bk));
+    let v = linear_fwd(x, &p.wv, Some(&p.bv));
+    let mut probs = Tensor::zeros(vec![n * heads, s, s]);
+    let mut ctx = Tensor::zeros(vec![n, s, h]);
+    for i in 0..n {
+        for j in 0..heads {
+            // Scores S = alpha * Qj Kj^T for this (sample, head).
+            let mut scores = Tensor::zeros(vec![s, s]);
+            for a in 0..s {
+                for b in 0..s {
+                    let mut dot = 0.0f32;
+                    for c in 0..dh {
+                        let qa = q.data()[(i * s + a) * h + j * dh + c];
+                        let kb = k.data()[(i * s + b) * h + j * dh + c];
+                        dot += qa * kb;
+                    }
+                    scores.data_mut()[a * s + b] = alpha * dot;
+                }
+            }
+            let pmat = softmax_fwd(&scores, s);
+            let off = (i * heads + j) * s * s;
+            probs.data_mut()[off..off + s * s].copy_from_slice(pmat.data());
+            // Context C = P Vj.
+            for a in 0..s {
+                for c in 0..dh {
+                    let mut acc = 0.0f32;
+                    for b in 0..s {
+                        acc += pmat.data()[a * s + b] * v.data()[(i * s + b) * h + j * dh + c];
+                    }
+                    ctx.data_mut()[(i * s + a) * h + j * dh + c] = acc;
+                }
+            }
+        }
+    }
+    let y = linear_fwd(&ctx, &p.wo, Some(&p.bo));
+    (
+        y,
+        MhaCache {
+            x: x.clone(),
+            q,
+            k,
+            v,
+            probs,
+            ctx,
+        },
+    )
+}
+
+/// Gradients of [`mha_fwd`]: returns `(dx, dparams)` where `dparams` has
+/// the same structure as [`MhaParams`] (with `heads` copied over).
+pub fn mha_bwd(cache: &MhaCache, p: &MhaParams, dy: &Tensor) -> (Tensor, MhaParams) {
+    let (n, s, h) = (
+        cache.x.shape()[0],
+        cache.x.shape()[1],
+        cache.x.shape()[2],
+    );
+    let heads = p.heads;
+    let dh = h / heads;
+    let alpha = 1.0 / (dh as f32).sqrt();
+    // Output projection.
+    let (dctx, dwo, dbo) = linear_bwd(&cache.ctx, &p.wo, dy);
+    let mut dq = Tensor::zeros(vec![n, s, h]);
+    let mut dk = Tensor::zeros(vec![n, s, h]);
+    let mut dv = Tensor::zeros(vec![n, s, h]);
+    for i in 0..n {
+        for j in 0..heads {
+            let off = (i * heads + j) * s * s;
+            let pmat = Tensor::new(
+                vec![s, s],
+                cache.probs.data()[off..off + s * s].to_vec(),
+            );
+            // dP = dC Vj^T ; dVj = P^T dC.
+            let mut dp = Tensor::zeros(vec![s, s]);
+            for a in 0..s {
+                for b in 0..s {
+                    let mut acc = 0.0f32;
+                    for c in 0..dh {
+                        acc += dctx.data()[(i * s + a) * h + j * dh + c]
+                            * cache.v.data()[(i * s + b) * h + j * dh + c];
+                    }
+                    dp.data_mut()[a * s + b] = acc;
+                }
+            }
+            for b in 0..s {
+                for c in 0..dh {
+                    let mut acc = 0.0f32;
+                    for a in 0..s {
+                        acc += pmat.data()[a * s + b]
+                            * dctx.data()[(i * s + a) * h + j * dh + c];
+                    }
+                    dv.data_mut()[(i * s + b) * h + j * dh + c] = acc;
+                }
+            }
+            // dS through the softmax, then dQ = alpha dS K, dK = alpha dS^T Q.
+            let ds = softmax_bwd(&pmat, &dp, s);
+            for a in 0..s {
+                for c in 0..dh {
+                    let mut acc_q = 0.0f32;
+                    for b in 0..s {
+                        acc_q += ds.data()[a * s + b]
+                            * cache.k.data()[(i * s + b) * h + j * dh + c];
+                    }
+                    dq.data_mut()[(i * s + a) * h + j * dh + c] = alpha * acc_q;
+                }
+            }
+            for b in 0..s {
+                for c in 0..dh {
+                    let mut acc_k = 0.0f32;
+                    for a in 0..s {
+                        acc_k += ds.data()[a * s + b]
+                            * cache.q.data()[(i * s + a) * h + j * dh + c];
+                    }
+                    dk.data_mut()[(i * s + b) * h + j * dh + c] = alpha * acc_k;
+                }
+            }
+        }
+    }
+    // Back through the three input projections.
+    let (dx_q, dwq, dbq) = linear_bwd(&cache.x, &p.wq, &dq);
+    let (dx_k, dwk, dbk) = linear_bwd(&cache.x, &p.wk, &dk);
+    let (dx_v, dwv, dbv) = linear_bwd(&cache.x, &p.wv, &dv);
+    let mut dx = dx_q;
+    dx.axpy(1.0, &dx_k);
+    dx.axpy(1.0, &dx_v);
+    (
+        dx,
+        MhaParams {
+            wq: dwq,
+            wk: dwk,
+            wv: dwv,
+            wo: dwo,
+            bq: dbq,
+            bk: dbk,
+            bv: dbv,
+            bo: dbo,
+            heads,
+        },
+    )
+}
+
+/// Embedding-bag lookup: concatenates `bag` table rows per sample.
+/// `indices` is `[batch * bag]` row indices into `table: [entries, dim]`.
+pub fn embedding_bag_fwd(table: &Tensor, indices: &[usize], batch: usize, bag: usize) -> Tensor {
+    let dim = table.shape()[1];
+    assert_eq!(indices.len(), batch * bag);
+    let mut y = Tensor::zeros(vec![batch, bag * dim]);
+    for i in 0..batch {
+        for b in 0..bag {
+            let row = indices[i * bag + b];
+            let src = &table.data()[row * dim..(row + 1) * dim];
+            let dst_off = i * bag * dim + b * dim;
+            y.data_mut()[dst_off..dst_off + dim].copy_from_slice(src);
+        }
+    }
+    y
+}
+
+/// Gradient of [`embedding_bag_fwd`] with respect to the table
+/// (scatter-add).
+pub fn embedding_bag_bwd(
+    dy: &Tensor,
+    indices: &[usize],
+    entries: usize,
+    dim: usize,
+    batch: usize,
+    bag: usize,
+) -> Tensor {
+    let mut dtable = Tensor::zeros(vec![entries, dim]);
+    for i in 0..batch {
+        for b in 0..bag {
+            let row = indices[i * bag + b];
+            let src_off = i * bag * dim + b * dim;
+            for c in 0..dim {
+                dtable.data_mut()[row * dim + c] += dy.data()[src_off + c];
+            }
+        }
+    }
+    dtable
+}
+
+/// Concatenation along the innermost dimension; all inputs share leading
+/// dimensions.
+pub fn concat_fwd(xs: &[&Tensor]) -> Tensor {
+    assert!(!xs.is_empty());
+    let cols: Vec<usize> = xs.iter().map(|x| *x.shape().last().unwrap()).collect();
+    let rows = xs[0].rows_for(cols[0]);
+    let total: usize = cols.iter().sum();
+    let mut y = Tensor::zeros(vec![rows, total]);
+    for r in 0..rows {
+        let mut off = 0;
+        for (x, &c) in xs.iter().zip(&cols) {
+            let src = &x.data()[r * c..(r + 1) * c];
+            y.data_mut()[r * total + off..r * total + off + c].copy_from_slice(src);
+            off += c;
+        }
+    }
+    y
+}
+
+/// Splits the gradient of [`concat_fwd`] back into per-input gradients.
+pub fn concat_bwd(dy: &Tensor, cols: &[usize]) -> Vec<Tensor> {
+    let total: usize = cols.iter().sum();
+    let rows = dy.rows_for(total);
+    let mut outs: Vec<Tensor> = cols.iter().map(|&c| Tensor::zeros(vec![rows, c])).collect();
+    for r in 0..rows {
+        let mut off = 0;
+        for (out, &c) in outs.iter_mut().zip(cols) {
+            let dst = r * c;
+            out.data_mut()[dst..dst + c]
+                .copy_from_slice(&dy.data()[r * total + off..r * total + off + c]);
+            off += c;
+        }
+    }
+    outs
+}
+
+/// DLRM pairwise feature interaction: `x` is `[batch, features * dim]`,
+/// output `[batch, features*(features-1)/2]` of upper-triangle dot
+/// products.
+pub fn interaction_fwd(x: &Tensor, features: usize, dim: usize) -> Tensor {
+    let batch = x.rows_for(features * dim);
+    let pairs = features * (features - 1) / 2;
+    let mut y = Tensor::zeros(vec![batch, pairs]);
+    for n in 0..batch {
+        let base = n * features * dim;
+        let mut p = 0;
+        for i in 0..features {
+            for j in i + 1..features {
+                let mut dot = 0.0f32;
+                for c in 0..dim {
+                    dot += x.data()[base + i * dim + c] * x.data()[base + j * dim + c];
+                }
+                y.data_mut()[n * pairs + p] = dot;
+                p += 1;
+            }
+        }
+    }
+    y
+}
+
+/// Gradient of [`interaction_fwd`].
+pub fn interaction_bwd(x: &Tensor, dy: &Tensor, features: usize, dim: usize) -> Tensor {
+    let batch = x.rows_for(features * dim);
+    let pairs = features * (features - 1) / 2;
+    let mut dx = Tensor::zeros(x.shape().to_vec());
+    for n in 0..batch {
+        let base = n * features * dim;
+        let mut p = 0;
+        for i in 0..features {
+            for j in i + 1..features {
+                let g = dy.data()[n * pairs + p];
+                for c in 0..dim {
+                    dx.data_mut()[base + i * dim + c] += g * x.data()[base + j * dim + c];
+                    dx.data_mut()[base + j * dim + c] += g * x.data()[base + i * dim + c];
+                }
+                p += 1;
+            }
+        }
+    }
+    dx
+}
+
+/// L2 training loss: `0.5 * sum(x^2) / denom`. With `denom` set to the
+/// global mini-batch size, per-micro-batch gradients sum to the exact
+/// full-batch gradient, which the runtime's gradient-equivalence tests rely
+/// on.
+pub fn l2_loss_fwd(x: &Tensor, denom: f32) -> f32 {
+    0.5 * x.data().iter().map(|v| v * v).sum::<f32>() / denom
+}
+
+/// Gradient of [`l2_loss_fwd`].
+pub fn l2_loss_bwd(x: &Tensor, denom: f32) -> Tensor {
+    x.scale(1.0 / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Central-difference gradient check of a scalar function at `x`.
+    fn grad_check(f: impl Fn(&Tensor) -> f32, x: &Tensor, analytic: &Tensor, tol: f32) {
+        let eps = 1e-2f32;
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (f(&xp) - f(&xm)) / (2.0 * eps);
+            let ana = analytic.data()[i];
+            let err = (num - ana).abs() / (1.0f32).max(num.abs().max(ana.abs()));
+            assert!(
+                err < tol,
+                "element {i}: numeric {num} vs analytic {ana} (err {err})"
+            );
+        }
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn linear_forward_matches_manual() {
+        let x = Tensor::new(vec![1, 2], vec![1.0, 2.0]);
+        let w = Tensor::new(vec![2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+        let b = Tensor::new(vec![2], vec![0.5, -0.5]);
+        let y = linear_fwd(&x, &w, Some(&b));
+        assert_eq!(y.data(), &[1.5, 1.5]);
+    }
+
+    #[test]
+    fn linear_gradients() {
+        let mut r = rng();
+        let x = Tensor::rand_uniform(vec![3, 4], 1.0, &mut r);
+        let w = Tensor::rand_uniform(vec![4, 5], 1.0, &mut r);
+        let b = Tensor::rand_uniform(vec![5], 1.0, &mut r);
+        let probe = Tensor::rand_uniform(vec![3, 5], 1.0, &mut r);
+        let loss = |y: &Tensor| -> f32 {
+            y.data()
+                .iter()
+                .zip(probe.data())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        let y = linear_fwd(&x, &w, Some(&b));
+        let _ = loss(&y);
+        let (dx, dw, db) = linear_bwd(&x, &w, &probe);
+        grad_check(|x| loss(&linear_fwd(x, &w, Some(&b))), &x, &dx, 2e-2);
+        grad_check(|w| loss(&linear_fwd(&x, w, Some(&b))), &w, &dw, 2e-2);
+        grad_check(|b| loss(&linear_fwd(&x, &w, Some(b))), &b, &db, 2e-2);
+    }
+
+    #[test]
+    fn relu_and_gelu_gradients() {
+        let mut r = rng();
+        let x = Tensor::rand_uniform(vec![10], 2.0, &mut r);
+        let probe = Tensor::rand_uniform(vec![10], 1.0, &mut r);
+        let loss =
+            |y: &Tensor| y.data().iter().zip(probe.data()).map(|(a, b)| a * b).sum::<f32>();
+        let d_relu = relu_bwd(&x, &probe);
+        grad_check(|x| loss(&relu_fwd(x)), &x, &d_relu, 3e-2);
+        let d_gelu = gelu_bwd(&x, &probe);
+        grad_check(|x| loss(&gelu_fwd(x)), &x, &d_gelu, 3e-2);
+    }
+
+    #[test]
+    fn layernorm_gradients() {
+        let mut r = rng();
+        let x = Tensor::rand_uniform(vec![2, 6], 1.0, &mut r);
+        let gamma = Tensor::rand_uniform(vec![6], 1.0, &mut r);
+        let beta = Tensor::rand_uniform(vec![6], 1.0, &mut r);
+        let probe = Tensor::rand_uniform(vec![2, 6], 1.0, &mut r);
+        let loss =
+            |y: &Tensor| y.data().iter().zip(probe.data()).map(|(a, b)| a * b).sum::<f32>();
+        let (_, cache) = layernorm_fwd(&x, &gamma, &beta);
+        let (dx, dgamma, dbeta) = layernorm_bwd(&cache, &gamma, &probe);
+        grad_check(
+            |x| loss(&layernorm_fwd(x, &gamma, &beta).0),
+            &x,
+            &dx,
+            3e-2,
+        );
+        grad_check(
+            |g| loss(&layernorm_fwd(&x, g, &beta).0),
+            &gamma,
+            &dgamma,
+            3e-2,
+        );
+        grad_check(
+            |b| loss(&layernorm_fwd(&x, &gamma, b).0),
+            &beta,
+            &dbeta,
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut r = rng();
+        let x = Tensor::rand_uniform(vec![3, 5], 2.0, &mut r);
+        let y = softmax_fwd(&x, 5);
+        for row in 0..3 {
+            let s: f32 = y.data()[row * 5..(row + 1) * 5].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_gradients() {
+        let mut r = rng();
+        let x = Tensor::rand_uniform(vec![2, 4], 1.0, &mut r);
+        let probe = Tensor::rand_uniform(vec![2, 4], 1.0, &mut r);
+        let loss =
+            |y: &Tensor| y.data().iter().zip(probe.data()).map(|(a, b)| a * b).sum::<f32>();
+        let y = softmax_fwd(&x, 4);
+        let dx = softmax_bwd(&y, &probe, 4);
+        grad_check(|x| loss(&softmax_fwd(x, 4)), &x, &dx, 3e-2);
+    }
+
+    fn mha_params(h: usize, heads: usize, r: &mut StdRng) -> MhaParams {
+        MhaParams {
+            wq: Tensor::rand_uniform(vec![h, h], 0.5, r),
+            wk: Tensor::rand_uniform(vec![h, h], 0.5, r),
+            wv: Tensor::rand_uniform(vec![h, h], 0.5, r),
+            wo: Tensor::rand_uniform(vec![h, h], 0.5, r),
+            bq: Tensor::rand_uniform(vec![h], 0.5, r),
+            bk: Tensor::rand_uniform(vec![h], 0.5, r),
+            bv: Tensor::rand_uniform(vec![h], 0.5, r),
+            bo: Tensor::rand_uniform(vec![h], 0.5, r),
+            heads,
+        }
+    }
+
+    #[test]
+    fn mha_input_gradients() {
+        let mut r = rng();
+        let (n, s, h) = (2, 3, 4);
+        let p = mha_params(h, 2, &mut r);
+        let x = Tensor::rand_uniform(vec![n, s, h], 0.5, &mut r);
+        let probe = Tensor::rand_uniform(vec![n, s, h], 1.0, &mut r);
+        let loss =
+            |y: &Tensor| y.data().iter().zip(probe.data()).map(|(a, b)| a * b).sum::<f32>();
+        let (_, cache) = mha_fwd(&x, &p);
+        let (dx, _) = mha_bwd(&cache, &p, &probe);
+        grad_check(|x| loss(&mha_fwd(x, &p).0), &x, &dx, 5e-2);
+    }
+
+    #[test]
+    fn mha_weight_gradients() {
+        let mut r = rng();
+        let (n, s, h) = (1, 3, 4);
+        let p = mha_params(h, 2, &mut r);
+        let x = Tensor::rand_uniform(vec![n, s, h], 0.5, &mut r);
+        let probe = Tensor::rand_uniform(vec![n, s, h], 1.0, &mut r);
+        let loss =
+            |y: &Tensor| y.data().iter().zip(probe.data()).map(|(a, b)| a * b).sum::<f32>();
+        let (_, cache) = mha_fwd(&x, &p);
+        let (_, grads) = mha_bwd(&cache, &p, &probe);
+        // Spot-check two of the weight matrices and one bias.
+        grad_check(
+            |wq| {
+                let mut p2 = p.clone();
+                p2.wq = wq.clone();
+                loss(&mha_fwd(&x, &p2).0)
+            },
+            &p.wq,
+            &grads.wq,
+            5e-2,
+        );
+        grad_check(
+            |wo| {
+                let mut p2 = p.clone();
+                p2.wo = wo.clone();
+                loss(&mha_fwd(&x, &p2).0)
+            },
+            &p.wo,
+            &grads.wo,
+            5e-2,
+        );
+        grad_check(
+            |bv| {
+                let mut p2 = p.clone();
+                p2.bv = bv.clone();
+                loss(&mha_fwd(&x, &p2).0)
+            },
+            &p.bv,
+            &grads.bv,
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn embedding_bag_roundtrip() {
+        let table = Tensor::new(vec![4, 2], (0..8).map(|v| v as f32).collect());
+        let indices = vec![0usize, 3, 1, 1];
+        let y = embedding_bag_fwd(&table, &indices, 2, 2);
+        assert_eq!(y.shape(), &[2, 4]);
+        assert_eq!(y.data(), &[0., 1., 6., 7., 2., 3., 2., 3.]);
+        // Backward scatters with accumulation for repeated rows.
+        let dy = Tensor::ones(vec![2, 4]);
+        let dt = embedding_bag_bwd(&dy, &indices, 4, 2, 2, 2);
+        assert_eq!(dt.data(), &[1., 1., 2., 2., 0., 0., 1., 1.]);
+    }
+
+    #[test]
+    fn concat_roundtrip() {
+        let a = Tensor::new(vec![2, 1], vec![1., 2.]);
+        let b = Tensor::new(vec![2, 2], vec![3., 4., 5., 6.]);
+        let y = concat_fwd(&[&a, &b]);
+        assert_eq!(y.data(), &[1., 3., 4., 2., 5., 6.]);
+        let parts = concat_bwd(&y, &[1, 2]);
+        assert_eq!(parts[0].data(), a.data());
+        assert_eq!(parts[1].data(), b.data());
+    }
+
+    #[test]
+    fn interaction_gradients() {
+        let mut r = rng();
+        let (f, d) = (3, 2);
+        let x = Tensor::rand_uniform(vec![2, f * d], 1.0, &mut r);
+        let probe = Tensor::rand_uniform(vec![2, f * (f - 1) / 2], 1.0, &mut r);
+        let loss =
+            |y: &Tensor| y.data().iter().zip(probe.data()).map(|(a, b)| a * b).sum::<f32>();
+        let dx = interaction_bwd(&x, &probe, f, d);
+        grad_check(|x| loss(&interaction_fwd(x, f, d)), &x, &dx, 3e-2);
+    }
+
+    #[test]
+    fn l2_loss_gradients() {
+        let mut r = rng();
+        let x = Tensor::rand_uniform(vec![6], 1.0, &mut r);
+        let dx = l2_loss_bwd(&x, 4.0);
+        grad_check(|x| l2_loss_fwd(x, 4.0), &x, &dx, 3e-2);
+    }
+
+    #[test]
+    fn micro_batch_loss_grads_sum_to_full_batch() {
+        // The denom convention: gradients from two half-batches add up to
+        // the full-batch gradient.
+        let x = Tensor::new(vec![4, 2], (0..8).map(|v| v as f32).collect());
+        let full = l2_loss_bwd(&x, 4.0);
+        let top = x.slice_rows(2, 0, 2);
+        let bot = x.slice_rows(2, 2, 4);
+        let g_top = l2_loss_bwd(&top, 4.0);
+        let g_bot = l2_loss_bwd(&bot, 4.0);
+        let mut merged = Tensor::zeros(vec![4, 2]);
+        merged.add_rows(2, 0, &g_top);
+        merged.add_rows(2, 2, &g_bot);
+        assert!(full.max_abs_diff(&merged) < 1e-7);
+        let l_full = l2_loss_fwd(&x, 4.0);
+        let l_sum = l2_loss_fwd(&top, 4.0) + l2_loss_fwd(&bot, 4.0);
+        assert!((l_full - l_sum).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,34 @@
+//! The branch-count sweep behind Figure 7 (left): GraphPipe's advantage
+//! over sequential pipelining grows with the number of parallel branches in
+//! CANDLE-Uno, because pipeline depth (and with it warm-up and activation
+//! memory) stays flat while SPP's depth grows linearly.
+//!
+//! Run with: `cargo run --release --example candle_uno_branches`
+
+use graphpipe::prelude::*;
+use graphpipe::PlannerKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = Cluster::summit_like(8);
+    let mini_batch = 8192;
+    println!("CANDLE-Uno on 8 GPUs, mini-batch {mini_batch}:\n");
+    println!("branches | GraphPipe (depth) | PipeDream (depth) | speedup");
+    for branches in [2usize, 4, 8] {
+        let model = zoo::candle_uno(&zoo::CandleUnoConfig::with_branches(branches));
+        let opts = PlanOptions {
+            max_micro_batches: 128,
+            ..PlanOptions::default()
+        };
+        let gp = graphpipe::evaluate(&model, &cluster, mini_batch, PlannerKind::GraphPipe, &opts)?;
+        let pd = graphpipe::evaluate(&model, &cluster, mini_batch, PlannerKind::PipeDream, &opts)?;
+        println!(
+            "{branches:>8} | {:>11.0} ({:>2}) | {:>11.0} ({:>2}) | {:.2}x",
+            gp.report.throughput,
+            gp.plan.pipeline_depth(),
+            pd.report.throughput,
+            pd.plan.pipeline_depth(),
+            gp.report.throughput / pd.report.throughput
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! The recommendation workload (Figure 6b): DLRM's 7 dense + 7 sparse
+//! feature branches give GPP fourteen-way concurrent structure that a
+//! sequential pipeline serializes. Piper's downset planner blows up on it —
+//! the paper's "✗".
+//!
+//! Run with: `cargo run --release --example recommender_dlrm`
+
+use graphpipe::prelude::*;
+use graphpipe::PlannerKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = zoo::dlrm(&zoo::DlrmConfig::default());
+    let cluster = Cluster::summit_like(8);
+    let mini_batch = 512;
+    println!(
+        "DLRM: {} ops, {:.0}M parameters ({}M of them embeddings)",
+        model.graph().len(),
+        model.graph().total_params() as f64 / 1e6,
+        7 * 64, // 7 tables x 1M x 64
+    );
+
+    for kind in [PlannerKind::GraphPipe, PlannerKind::PipeDream] {
+        let res = graphpipe::evaluate(&model, &cluster, mini_batch, kind, &PlanOptions::default())?;
+        println!(
+            "\n{:<10} depth {} micro-batch {} -> {:.0} samples/s (bubble {:.0}%)",
+            kind.label(),
+            res.plan.pipeline_depth(),
+            res.plan.max_micro_batch(),
+            res.report.throughput,
+            res.report.bubble_fraction * 100.0
+        );
+    }
+
+    // Piper cannot handle the 14-branch lattice.
+    match PiperPlanner::new().plan(&model, &cluster, mini_batch) {
+        Err(PlanError::SearchExplosion { evals }) => {
+            println!("\nPiper      ✗ search exploded after {evals} downsets/evals (Table 1)")
+        }
+        other => println!("\nPiper      unexpected outcome: {other:?}"),
+    }
+    Ok(())
+}

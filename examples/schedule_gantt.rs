@@ -1,0 +1,29 @@
+//! Visualize pipeline schedules: plans the Figure 10 case-study model with
+//! both GraphPipe and the SPP baseline and renders their execution
+//! timelines as ASCII Gantt charts (Figure 8 style).
+//!
+//! Run with: `cargo run --release --example schedule_gantt`
+
+use graphpipe::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = zoo::case_study(&zoo::MmtConfig::default());
+    let cluster = Cluster::summit_like(8).with_memory_capacity(384 << 20);
+    let mini_batch = 32;
+
+    for (label, plan) in [
+        (
+            "SPP (sequential stages)",
+            PipeDreamPlanner::new().plan(&model, &cluster, mini_batch)?,
+        ),
+        (
+            "GPP (concurrent branches)",
+            GraphPipePlanner::new().plan(&model, &cluster, mini_batch)?,
+        ),
+    ] {
+        let report = graphpipe::simulate_plan(&model, &cluster, &plan)?;
+        println!("== {label}: depth {}, {:.0} samples/s", plan.pipeline_depth(), report.throughput);
+        println!("{}", render_gantt(&report, &plan.stage_graph, 96));
+    }
+    Ok(())
+}

@@ -1,0 +1,8 @@
+//! Workspace facade for the GraphPipe reproduction.
+//!
+//! Everything lives in the [`graphpipe`] crate; this root package exists to
+//! host the repository-level `examples/` and `tests/` directories.
+
+#![forbid(unsafe_code)]
+
+pub use graphpipe::*;

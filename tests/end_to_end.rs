@@ -1,0 +1,191 @@
+//! Cross-crate integration tests: planners, scheduler, simulator and the
+//! threaded runtime working together on the paper's workloads.
+
+use graphpipe::exec::{reference_step, synth_batch, train_iteration, ModelParams};
+use graphpipe::prelude::*;
+use graphpipe::PlannerKind;
+
+#[test]
+fn every_planner_produces_valid_strategies() {
+    let model = zoo::mmt(&zoo::MmtConfig::two_branch());
+    let cluster = Cluster::summit_like(4);
+    for kind in [PlannerKind::GraphPipe, PlannerKind::PipeDream, PlannerKind::Piper] {
+        let plan = graphpipe::planner(kind, PlanOptions::default())
+            .plan(&model, &cluster, 64)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", kind.label()));
+        // C1-C3 are enforced by the StageGraph constructor; C4 re-checked.
+        plan.schedule.validate_c4(&plan.stage_graph).unwrap();
+        // All devices used exactly once.
+        let used: usize = plan.stage_graph.stages().map(|s| s.dp_degree()).sum();
+        assert_eq!(used, 4, "{}", kind.label());
+        // The schedule simulates without deadlock.
+        let report = graphpipe::simulate_plan(&model, &cluster, &plan).unwrap();
+        assert!(report.throughput > 0.0);
+    }
+}
+
+#[test]
+fn gpp_beats_spp_on_every_multi_branch_model() {
+    // The Figure 6 headline, at a scale CI can afford.
+    let cluster = Cluster::summit_like(8);
+    let cases = [
+        ("mmt", zoo::mmt(&zoo::MmtConfig::default()), 128u64),
+        ("dlrm", zoo::dlrm(&zoo::DlrmConfig::default()), 512),
+        (
+            "candle-uno",
+            zoo::candle_uno(&zoo::CandleUnoConfig::default()),
+            8192,
+        ),
+    ];
+    let opts = PlanOptions {
+        max_micro_batches: 64,
+        ..PlanOptions::default()
+    };
+    for (name, model, mini_batch) in cases {
+        let gp =
+            graphpipe::evaluate(&model, &cluster, mini_batch, PlannerKind::GraphPipe, &opts)
+                .unwrap();
+        let pd =
+            graphpipe::evaluate(&model, &cluster, mini_batch, PlannerKind::PipeDream, &opts)
+                .unwrap();
+        assert!(
+            gp.report.throughput >= pd.report.throughput * 0.99,
+            "{name}: GraphPipe {:.0} < PipeDream {:.0}",
+            gp.report.throughput,
+            pd.report.throughput
+        );
+    }
+}
+
+#[test]
+fn sequential_models_show_parity() {
+    // Appendix A.3: without branches the three planners perform alike.
+    let model = zoo::sequential_transformer(16, &zoo::MmtConfig::default());
+    let cluster = Cluster::summit_like(4);
+    let opts = PlanOptions {
+        max_micro_batches: 64,
+        ..PlanOptions::default()
+    };
+    let gp = graphpipe::evaluate(&model, &cluster, 64, PlannerKind::GraphPipe, &opts).unwrap();
+    let pd = graphpipe::evaluate(&model, &cluster, 64, PlannerKind::PipeDream, &opts).unwrap();
+    let ratio = gp.report.throughput / pd.report.throughput;
+    assert!((0.9..=1.15).contains(&ratio), "parity broken: {ratio:.3}");
+}
+
+#[test]
+fn gpp_reduces_pipeline_depth_and_memory_on_branchy_models() {
+    let model = zoo::candle_uno(&zoo::CandleUnoConfig::default());
+    let cluster = Cluster::summit_like(16);
+    // Same forced micro-batch isolates the structural effect (§7.3 right).
+    let opts = PlanOptions::default().with_forced_micro_batch(64);
+    let gp = graphpipe::planner(PlannerKind::GraphPipe, opts.clone())
+        .plan(&model, &cluster, 16384)
+        .unwrap();
+    let pd = graphpipe::planner(PlannerKind::PipeDream, opts)
+        .plan(&model, &cluster, 16384)
+        .unwrap();
+    assert!(
+        gp.pipeline_depth() < pd.pipeline_depth(),
+        "GPP depth {} !< SPP depth {}",
+        gp.pipeline_depth(),
+        pd.pipeline_depth()
+    );
+    let gp_mem = graphpipe::simulate_plan(&model, &cluster, &gp)
+        .unwrap()
+        .max_peak_memory();
+    let pd_mem = graphpipe::simulate_plan(&model, &cluster, &pd)
+        .unwrap()
+        .max_peak_memory();
+    assert!(
+        gp_mem <= pd_mem,
+        "GPP peak memory {gp_mem} !<= SPP {pd_mem}"
+    );
+}
+
+#[test]
+fn piper_explodes_on_eight_branch_models_only() {
+    let cluster = Cluster::summit_like(4);
+    // Two branches: fine.
+    let small = zoo::mmt(&zoo::MmtConfig::two_branch());
+    assert!(PiperPlanner::new().plan(&small, &cluster, 64).is_ok());
+    // Eight-plus branches: the paper's ✗.
+    for model in [
+        zoo::dlrm(&zoo::DlrmConfig::default()),
+        zoo::candle_uno(&zoo::CandleUnoConfig::default()),
+    ] {
+        let err = PiperPlanner::new().plan(&model, &cluster, 256).unwrap_err();
+        assert!(matches!(err, PlanError::SearchExplosion { .. }), "{err:?}");
+    }
+}
+
+#[test]
+fn planner_strategy_trains_correctly_on_the_real_runtime() {
+    // Full pipeline: GraphPipe plan -> threaded execution -> gradient
+    // equivalence against single-device training, then convergence.
+    let model = zoo::candle_uno(&zoo::CandleUnoConfig::tiny());
+    let cluster = Cluster::summit_like(3).with_memory_capacity(1 << 30);
+    let plan = GraphPipePlanner::new().plan(&model, &cluster, 8).unwrap();
+    let graph = model.graph();
+    let batch = synth_batch(graph, 8, 11);
+    let init = ModelParams::init(graph, 5);
+
+    let (ref_loss, ref_grads) = reference_step(graph, &init, &batch, 8);
+    let mut expect = init.clone();
+    expect.sgd_step(&ref_grads, 1.0);
+
+    let mut dist = init.clone();
+    let result =
+        train_iteration(graph, &plan.stage_graph, &plan.schedule, &mut dist, &batch, 1.0)
+            .unwrap();
+    assert!((result.loss - ref_loss).abs() / ref_loss < 1e-3);
+    assert!(dist.max_abs_diff(&expect) < 5e-4);
+
+    let mut params = init;
+    let losses = graphpipe::exec::train(
+        graph,
+        &plan.stage_graph,
+        &plan.schedule,
+        &mut params,
+        &batch,
+        0.05,
+        5,
+    )
+    .unwrap();
+    assert!(losses.last().unwrap() < losses.first().unwrap(), "{losses:?}");
+}
+
+#[test]
+fn simulator_and_scheduler_agree_on_memory() {
+    let model = zoo::mmt(&zoo::MmtConfig::default());
+    let cluster = Cluster::summit_like(8);
+    let plan = GraphPipePlanner::new().plan(&model, &cluster, 128).unwrap();
+    let report = graphpipe::simulate_plan(&model, &cluster, &plan).unwrap();
+    assert!(report.max_peak_memory() <= plan.peak_memory_bytes);
+    assert!(plan.peak_memory_bytes <= cluster.profile().mem_capacity);
+}
+
+#[test]
+fn ablation_sits_between_spp_and_graphpipe() {
+    // Figure 9's ordering: SPP <= Parallel <= (approximately) GraphPipe.
+    let model = zoo::candle_uno(&zoo::CandleUnoConfig::default());
+    let cluster = Cluster::summit_like(16);
+    let mini_batch = 16384;
+    let opts = PlanOptions {
+        max_micro_batches: 64,
+        ..PlanOptions::default()
+    };
+    let spp = graphpipe::evaluate(&model, &cluster, mini_batch, PlannerKind::PipeDream, &opts)
+        .unwrap()
+        .report
+        .throughput;
+    let par_plan = parallel_ablation(&model, &cluster, mini_batch).unwrap();
+    let par = graphpipe::simulate_plan(&model, &cluster, &par_plan)
+        .unwrap()
+        .throughput;
+    let gpp = graphpipe::evaluate(&model, &cluster, mini_batch, PlannerKind::GraphPipe, &opts)
+        .unwrap()
+        .report
+        .throughput;
+    assert!(par >= spp * 0.99, "Parallel {par:.0} < SPP {spp:.0}");
+    assert!(gpp >= par * 0.99, "GraphPipe {gpp:.0} < Parallel {par:.0}");
+}
