@@ -53,7 +53,9 @@ mod tests {
     fn ablation_inherits_spp_micro_batch() {
         let model = zoo::candle_uno(&CandleUnoConfig::default());
         let cluster = Cluster::summit_like(8);
-        let spp = PipeDreamPlanner::new().plan(&model, &cluster, 1024).unwrap();
+        let spp = PipeDreamPlanner::new()
+            .plan(&model, &cluster, 1024)
+            .unwrap();
         let par = parallel_ablation(&model, &cluster, 1024).unwrap();
         assert_eq!(par.max_micro_batch(), spp.max_micro_batch());
     }

@@ -20,6 +20,10 @@ use gp_partition::{Plan, PlanError, PlanOptions, Planner, SearchStats};
 use gp_sched::{assign_in_flight, schedule_tasks, Stage, StageGraph, StageId};
 use std::time::Instant;
 
+/// A reconstructed stage on the linearized chain: `(first op index,
+/// one-past-last op index, device count)`.
+type ChainCut = (u32, u32, u32);
+
 /// Sequential-pipeline planner at operator granularity.
 ///
 /// # Examples
@@ -133,7 +137,7 @@ impl PipeDreamPlanner {
         b: u64,
         mini_batch: u64,
         evals: &mut u64,
-    ) -> Option<(Vec<(u32, u32, u32)>, f64)> {
+    ) -> Option<(Vec<ChainCut>, f64)> {
         let n = order.len() as u32;
         let pre = Prefix::build(graph, cost, order, b);
         let mem_budget = cost.memory_budget();
@@ -170,22 +174,14 @@ impl PipeDreamPlanner {
                             + 2.0 * link.latency / b as f64
                             + cost.allreduce_time(seg_params, &DeviceRange::new(0, d1))
                                 / mini_batch as f64;
-                        for (ci, child) in f[j as usize][d_rest as usize]
-                            .clone()
-                            .iter()
-                            .enumerate()
+                        for (ci, child) in f[j as usize][d_rest as usize].clone().iter().enumerate()
                         {
                             // 1F1B: this stage sits child.depth stages from
                             // the sink and keeps depth+1 micro-batches.
                             let in_flight = (child.depth as u64 + 1) * b;
-                            let mem = seg_params / gp_ir::BYTES_PER_ELEMENT
-                                * BYTES_PER_PARAM_STATE
+                            let mem = seg_params / gp_ir::BYTES_PER_ELEMENT * BYTES_PER_PARAM_STATE
                                 + seg_act
-                                    * CostModel::in_flight_per_replica(
-                                        in_flight,
-                                        b,
-                                        d1 as usize,
-                                    );
+                                    * CostModel::in_flight_per_replica(in_flight, b, d1 as usize);
                             if mem > mem_budget {
                                 continue;
                             }
@@ -243,12 +239,7 @@ impl Planner for PipeDreamPlanner {
         "pipedream"
     }
 
-    fn plan(
-        &self,
-        model: &SpModel,
-        cluster: &Cluster,
-        mini_batch: u64,
-    ) -> Result<Plan, PlanError> {
+    fn plan(&self, model: &SpModel, cluster: &Cluster, mini_batch: u64) -> Result<Plan, PlanError> {
         let start = Instant::now();
         let graph = model.graph();
         let cost = CostModel::new(cluster);
@@ -261,7 +252,7 @@ impl Planner for PipeDreamPlanner {
             ));
         }
         let mut stats = SearchStats::default();
-        let mut best: Option<(Vec<(u32, u32, u32)>, f64, u64)> = None;
+        let mut best: Option<(Vec<ChainCut>, f64, u64)> = None;
         for &b in &b_all {
             stats.configs_tried += 1;
             let mut evals = 0u64;

@@ -63,6 +63,10 @@ impl Default for PiperPlanner {
     }
 }
 
+/// A reconstructed stage in bitset form: `(outer downset, inner downset,
+/// device count)` — the stage's units are `outer \ inner`.
+type DownsetCut = (u128, u128, u32);
+
 /// One Pareto entry of the suffix DP (see `pipedream.rs` for the scheme).
 #[derive(Debug, Clone, Copy)]
 struct Entry {
@@ -200,9 +204,9 @@ impl PiperPlanner {
                     evals: out.len() as u64,
                 });
             }
-            for u in 0..n {
+            for (u, &pm) in pred_mask.iter().enumerate() {
                 let bit = 1u128 << u;
-                if d & bit == 0 && pred_mask[u] & !d == 0 {
+                if d & bit == 0 && pm & !d == 0 {
                     let next = d | bit;
                     if seen.insert(next, ()).is_none() {
                         stack.push(next);
@@ -229,8 +233,7 @@ impl PiperPlanner {
             for &op in ops {
                 unit_time[u] += cost.op_time(graph, op, b, Pass::Forward)
                     + cost.op_time(graph, op, b, Pass::Backward);
-                unit_params[u] +=
-                    graph.node(op).kind.param_count() * gp_ir::BYTES_PER_ELEMENT;
+                unit_params[u] += graph.node(op).kind.param_count() * gp_ir::BYTES_PER_ELEMENT;
                 unit_act[u] += graph.stashed_bytes(op);
             }
         }
@@ -292,7 +295,7 @@ impl PiperPlanner {
         b: u64,
         mini_batch: u64,
         evals: &mut u64,
-    ) -> Result<Option<(Vec<(u128, u128, u32)>, f64)>, PlanError> {
+    ) -> Result<Option<(Vec<DownsetCut>, f64)>, PlanError> {
         let full: u128 = *downsets
             .iter()
             .max_by_key(|d| d.count_ones())
@@ -355,11 +358,7 @@ impl PiperPlanner {
                             let mem = stage_params / gp_ir::BYTES_PER_ELEMENT
                                 * BYTES_PER_PARAM_STATE
                                 + stage_act
-                                    * CostModel::in_flight_per_replica(
-                                        in_flight,
-                                        b,
-                                        dd as usize,
-                                    );
+                                    * CostModel::in_flight_per_replica(in_flight, b, dd as usize);
                             if mem > mem_budget {
                                 continue;
                             }
@@ -417,12 +416,7 @@ impl Planner for PiperPlanner {
         "piper"
     }
 
-    fn plan(
-        &self,
-        model: &SpModel,
-        cluster: &Cluster,
-        mini_batch: u64,
-    ) -> Result<Plan, PlanError> {
+    fn plan(&self, model: &SpModel, cluster: &Cluster, mini_batch: u64) -> Result<Plan, PlanError> {
         let start = Instant::now();
         let graph = model.graph();
         let cost = CostModel::new(cluster);
@@ -435,9 +429,11 @@ impl Planner for PiperPlanner {
                 "no micro-batch size candidates divide the mini-batch".to_string(),
             ));
         }
-        let mut stats = SearchStats::default();
-        stats.dp_states = downsets.len() as u64;
-        let mut best: Option<(Vec<(u128, u128, u32)>, f64, u64)> = None;
+        let mut stats = SearchStats {
+            dp_states: downsets.len() as u64,
+            ..SearchStats::default()
+        };
+        let mut best: Option<(Vec<DownsetCut>, f64, u64)> = None;
         let mut evals = 0u64;
         for &b in &b_all {
             stats.configs_tried += 1;
@@ -456,9 +452,7 @@ impl Planner for PiperPlanner {
         }
         stats.dp_evals = evals;
         let (cuts, _, b) = best.ok_or_else(|| {
-            PlanError::Infeasible(
-                "no downset partition fits the device memory budget".to_string(),
-            )
+            PlanError::Infeasible("no downset partition fits the device memory budget".to_string())
         })?;
         let mut cursor = 0u32;
         let stages: Vec<Stage> = cuts

@@ -11,14 +11,10 @@ fn bench_planners(c: &mut Criterion) {
     let mut group = c.benchmark_group("search_time/mmt2@4gpu");
     group.sample_size(10);
     group.bench_function("graphpipe", |bench| {
-        bench.iter(|| {
-            black_box(GraphPipePlanner::new().plan(&model, &cluster, 64)).unwrap()
-        })
+        bench.iter(|| black_box(GraphPipePlanner::new().plan(&model, &cluster, 64)).unwrap())
     });
     group.bench_function("pipedream", |bench| {
-        bench.iter(|| {
-            black_box(PipeDreamPlanner::new().plan(&model, &cluster, 64)).unwrap()
-        })
+        bench.iter(|| black_box(PipeDreamPlanner::new().plan(&model, &cluster, 64)).unwrap())
     });
     group.bench_function("piper", |bench| {
         bench.iter(|| black_box(PiperPlanner::new().plan(&model, &cluster, 64)).unwrap())

@@ -10,9 +10,7 @@ fn bench_simulator(c: &mut Criterion) {
     let cluster = Cluster::summit_like(8);
     let plan = GraphPipePlanner::new().plan(&model, &cluster, 128).unwrap();
     c.bench_function("simulator/mmt@8gpu", |b| {
-        b.iter(|| {
-            black_box(graphpipe::simulate_plan(&model, &cluster, &plan)).unwrap()
-        })
+        b.iter(|| black_box(graphpipe::simulate_plan(&model, &cluster, &plan)).unwrap())
     });
 }
 

@@ -10,7 +10,9 @@ fn bench_ir(c: &mut Criterion) {
         b.iter(|| black_box(zoo::mmt(&zoo::MmtConfig::default())))
     });
     let model = zoo::mmt(&zoo::MmtConfig::default());
-    c.bench_function("ir/linearize_mmt", |b| b.iter(|| black_box(model.linearize())));
+    c.bench_function("ir/linearize_mmt", |b| {
+        b.iter(|| black_box(model.linearize()))
+    });
     c.bench_function("ir/topo_order_mmt", |b| {
         b.iter(|| black_box(model.graph().topo_order()))
     });

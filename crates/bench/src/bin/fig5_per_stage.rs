@@ -8,9 +8,7 @@
 
 use graphpipe::cluster::{Cluster, DeviceRange};
 use graphpipe::ir::zoo;
-use graphpipe::sched::{
-    assign_in_flight, schedule_tasks, Stage, StageGraph, StageId,
-};
+use graphpipe::sched::{assign_in_flight, schedule_tasks, Stage, StageGraph, StageId};
 
 fn build(b: [u64; 3]) -> (gp_ir::SpModel, Cluster, StageGraph) {
     let model = zoo::mlp_chain(6, 32);

@@ -18,11 +18,19 @@ fn main() {
     let opts = PlanOptions::default();
 
     let gpp = graphpipe::evaluate(
-        &model, &cluster, mini_batch, graphpipe::PlannerKind::GraphPipe, &opts,
+        &model,
+        &cluster,
+        mini_batch,
+        graphpipe::PlannerKind::GraphPipe,
+        &opts,
     )
     .expect("GraphPipe plans the case study");
     let spp = graphpipe::evaluate(
-        &model, &cluster, mini_batch, graphpipe::PlannerKind::PipeDream, &opts,
+        &model,
+        &cluster,
+        mini_batch,
+        graphpipe::PlannerKind::PipeDream,
+        &opts,
     )
     .expect("PipeDream plans the case study");
     // "Parallel": GPP partition pinned to SPP's micro-batch size.
@@ -63,7 +71,5 @@ fn main() {
         gpp.plan.max_micro_batch(),
         (g_all - 1.0) * 100.0
     );
-    println!(
-        "\npaper: ~10% from concurrent branches, ~20% total; depth 8 (SPP) vs 4 (GPP)."
-    );
+    println!("\npaper: ~10% from concurrent branches, ~20% total; depth 8 (SPP) vs 4 (GPP).");
 }

@@ -25,7 +25,10 @@ fn main() {
     let models: Vec<(&str, SpModel)> = vec![
         ("mmt(2-branch)", zoo::mmt(&zoo::MmtConfig::two_branch())),
         ("dlrm", zoo::dlrm(&zoo::DlrmConfig::default())),
-        ("candle-uno", zoo::candle_uno(&zoo::CandleUnoConfig::default())),
+        (
+            "candle-uno",
+            zoo::candle_uno(&zoo::CandleUnoConfig::default()),
+        ),
     ];
     println!("# Table 1: solution search times (seconds)\n");
     println!(
@@ -43,7 +46,11 @@ fn main() {
     println!("{}", row(&vec!["---".to_string(); 7]));
     for (name, model) in &models {
         for devices in [4usize, 8, 16, 32] {
-            let lookup = if *name == "mmt(2-branch)" { "mmt" } else { name };
+            let lookup = if *name == "mmt(2-branch)" {
+                "mmt"
+            } else {
+                name
+            };
             let mini_batch = paper_mini_batch(lookup, devices);
             let cluster = Cluster::summit_like(devices);
             let opts = harness_options();

@@ -88,7 +88,10 @@ pub fn paper_models() -> Vec<(&'static str, SpModel)> {
     vec![
         ("mmt", zoo::mmt(&zoo::MmtConfig::default())),
         ("dlrm", zoo::dlrm(&zoo::DlrmConfig::default())),
-        ("candle-uno", zoo::candle_uno(&zoo::CandleUnoConfig::default())),
+        (
+            "candle-uno",
+            zoo::candle_uno(&zoo::CandleUnoConfig::default()),
+        ),
     ]
 }
 

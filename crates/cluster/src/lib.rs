@@ -27,9 +27,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a device (GPU) in a [`Cluster`]; dense indices.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct DeviceId(pub u32);
 
 impl DeviceId {

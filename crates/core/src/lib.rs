@@ -125,9 +125,7 @@ impl PlannerKind {
 pub fn planner(kind: PlannerKind, options: PlanOptions) -> Box<dyn Planner> {
     match kind {
         PlannerKind::GraphPipe => Box::new(GraphPipePlanner::with_options(options)),
-        PlannerKind::PipeDream => {
-            Box::new(gp_baselines::PipeDreamPlanner::with_options(options))
-        }
+        PlannerKind::PipeDream => Box::new(gp_baselines::PipeDreamPlanner::with_options(options)),
         PlannerKind::Piper => Box::new(gp_baselines::PiperPlanner::with_options(options)),
     }
 }
@@ -241,8 +239,7 @@ mod tests {
             max_micro_batches: 64,
             ..PlanOptions::default()
         };
-        let result =
-            evaluate(&model, &cluster, 1024, PlannerKind::GraphPipe, &opts).unwrap();
+        let result = evaluate(&model, &cluster, 1024, PlannerKind::GraphPipe, &opts).unwrap();
         assert!(!result.per_micro_batch.is_empty());
         let best_throughput = result.report.throughput;
         for (_, t) in &result.per_micro_batch {

@@ -188,8 +188,7 @@ impl CostModel {
             .sum();
         let static_bytes = params * BYTES_PER_PARAM_STATE;
         let act = self.stage_activation_bytes_per_sample(graph, ops);
-        static_bytes
-            + act * Self::in_flight_per_replica(in_flight_samples, micro_batch, dp_degree)
+        static_bytes + act * Self::in_flight_per_replica(in_flight_samples, micro_batch, dp_degree)
     }
 
     /// Whether a stage fits the per-device budget (Equation 2).
@@ -393,10 +392,7 @@ mod tests {
     #[test]
     fn default_boundary_link_is_conservative() {
         let cost = CostModel::new(&Cluster::summit_like(8));
-        assert_eq!(
-            cost.default_boundary_link(),
-            LinkProfile::infiniband_edr()
-        );
+        assert_eq!(cost.default_boundary_link(), LinkProfile::infiniband_edr());
         let small = CostModel::new(&Cluster::summit_like(4));
         assert_eq!(small.default_boundary_link(), LinkProfile::nvlink());
     }

@@ -18,12 +18,13 @@ pub fn synth_batch(graph: &Graph, mini_batch: u64, seed: u64) -> HashMap<OpId, T
         if !matches!(node.kind, OpKind::Input) {
             continue;
         }
-        let entries = graph.succs(node.id).iter().find_map(|&s| {
-            match graph.node(s).kind {
+        let entries = graph
+            .succs(node.id)
+            .iter()
+            .find_map(|&s| match graph.node(s).kind {
                 OpKind::EmbeddingBag { entries, .. } => Some(entries),
                 _ => None,
-            }
-        });
+            });
         let mut dims = vec![mini_batch as usize];
         dims.extend_from_slice(node.out_shape.dims());
         let tensor = match entries {
@@ -71,7 +72,10 @@ mod tests {
         let model = zoo::dlrm(&DlrmConfig::tiny());
         let g = model.graph();
         let batch = synth_batch(g, 4, 11);
-        let n_inputs = g.nodes().filter(|n| matches!(n.kind, OpKind::Input)).count();
+        let n_inputs = g
+            .nodes()
+            .filter(|n| matches!(n.kind, OpKind::Input))
+            .count();
         assert_eq!(batch.len(), n_inputs);
         // Sparse inputs carry integer indices within the table.
         for node in g.nodes() {

@@ -44,8 +44,8 @@
 mod data;
 mod module;
 mod reference;
-mod stage;
 mod runtime;
+mod stage;
 
 pub use data::{slice_batch, synth_batch};
 pub use module::{op_backward, op_forward, ModelParams, OpCache, OpParams};

@@ -18,8 +18,9 @@ pub enum OpParams {
         /// Optional `[out]` bias.
         b: Option<Tensor>,
     },
-    /// Multi-head attention projections.
-    Mha(MhaParams),
+    /// Multi-head attention projections (boxed: the eight projection
+    /// tensors dwarf every other variant).
+    Mha(Box<MhaParams>),
     /// Layer-norm scale and shift.
     LayerNorm {
         /// `[dim]` scale.
@@ -55,7 +56,7 @@ impl OpParams {
                 let scale = (1.0 / hidden as f32).sqrt();
                 let mut mat = || Tensor::rand_uniform(vec![hidden, hidden], scale, &mut rng);
                 let (wq, wk, wv, wo) = (mat(), mat(), mat(), mat());
-                OpParams::Mha(MhaParams {
+                OpParams::Mha(Box::new(MhaParams {
                     wq,
                     wk,
                     wv,
@@ -65,7 +66,7 @@ impl OpParams {
                     bv: Tensor::zeros(vec![hidden]),
                     bo: Tensor::zeros(vec![hidden]),
                     heads,
-                })
+                }))
             }
             OpKind::LayerNorm { dim } => OpParams::LayerNorm {
                 gamma: Tensor::ones(vec![dim]),
@@ -168,7 +169,7 @@ impl OpParams {
                 w: Tensor::zeros(w.shape().to_vec()),
                 b: b.as_ref().map(|b| Tensor::zeros(b.shape().to_vec())),
             },
-            OpParams::Mha(p) => OpParams::Mha(MhaParams {
+            OpParams::Mha(p) => OpParams::Mha(Box::new(MhaParams {
                 wq: Tensor::zeros(p.wq.shape().to_vec()),
                 wk: Tensor::zeros(p.wk.shape().to_vec()),
                 wv: Tensor::zeros(p.wv.shape().to_vec()),
@@ -178,7 +179,7 @@ impl OpParams {
                 bv: Tensor::zeros(p.bv.shape().to_vec()),
                 bo: Tensor::zeros(p.bo.shape().to_vec()),
                 heads: p.heads,
-            }),
+            })),
             OpParams::LayerNorm { gamma, beta } => OpParams::LayerNorm {
                 gamma: Tensor::zeros(gamma.shape().to_vec()),
                 beta: Tensor::zeros(beta.shape().to_vec()),
@@ -373,10 +374,7 @@ pub fn op_forward(
         (OpKind::Loss, _) => {
             let x = inputs[0];
             let loss = ops::l2_loss_fwd(x, mini_batch as f32);
-            (
-                Tensor::new(vec![1], vec![loss]),
-                OpCache::Input(x.clone()),
-            )
+            (Tensor::new(vec![1], vec![loss]), OpCache::Input(x.clone()))
         }
         (kind, params) => panic!("op/params mismatch: {kind:?} with {params:?}"),
     }
@@ -415,13 +413,9 @@ pub fn op_backward(
             let batch = dy.numel() / (seq * hidden);
             let dy3 = dy.reshape(vec![batch, *seq, *hidden]);
             let (dx, grads) = ops::mha_bwd(c, p, &dy3);
-            (vec![dx], OpParams::Mha(grads))
+            (vec![dx], OpParams::Mha(Box::new(grads)))
         }
-        (
-            OpKind::LayerNorm { .. },
-            OpParams::LayerNorm { gamma, .. },
-            OpCache::LayerNorm(c),
-        ) => {
+        (OpKind::LayerNorm { .. }, OpParams::LayerNorm { gamma, .. }, OpCache::LayerNorm(c)) => {
             let dy = dy.expect("non-sink ops receive a gradient");
             let (dx, dgamma, dbeta) = ops::layernorm_bwd(c, gamma, dy);
             (
@@ -465,10 +459,7 @@ pub fn op_backward(
         }
         (OpKind::Loss, _, OpCache::Input(x)) => {
             debug_assert!(dy.is_none(), "the Loss sink seeds its own gradient");
-            (
-                vec![ops::l2_loss_bwd(x, mini_batch as f32)],
-                OpParams::None,
-            )
+            (vec![ops::l2_loss_bwd(x, mini_batch as f32)], OpParams::None)
         }
         (kind, _, cache) => panic!("op/cache mismatch: {kind:?} with {cache:?}"),
     }

@@ -29,6 +29,10 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
+/// What one worker thread hands back: its `(stage, replica)` identity, the
+/// accumulated parameter gradients, and the local loss contribution.
+type ReplicaResult = ((StageId, u32), HashMap<OpId, OpParams>, f32);
+
 /// Errors raised by the threaded runtime.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExecError {
@@ -108,7 +112,9 @@ fn assemble(
             continue;
         }
         covered += e - s;
-        let piece = c.data.slice_rows(per_sample, s - c.row_start, e - c.row_start);
+        let piece = c
+            .data
+            .slice_rows(per_sample, s - c.row_start, e - c.row_start);
         if sum {
             out.add_rows(per_sample, s - lo, &piece);
         } else {
@@ -156,12 +162,8 @@ impl<'a> Worker<'a> {
             let (lo, hi) = (task.mb as usize * b, (task.mb as usize + 1) * b);
             match task.pass {
                 Pass::Forward => {
-                    let mut external = slice_batch(
-                        self.graph,
-                        &self.stage_inputs_from_batch(),
-                        lo,
-                        hi,
-                    );
+                    let mut external =
+                        slice_batch(self.graph, &self.stage_inputs_from_batch(), lo, hi);
                     self.collect_forward_inputs(lo, hi, &mut external)?;
                     runner.forward(task.mb, &external);
                     self.ship_forward_outputs(runner, task.mb, lo, hi);
@@ -231,13 +233,7 @@ impl<'a> Worker<'a> {
         Ok(())
     }
 
-    fn ship_forward_outputs(
-        &self,
-        runner: &StageRunner<'_>,
-        mb: u32,
-        lo: usize,
-        hi: usize,
-    ) {
+    fn ship_forward_outputs(&self, runner: &StageRunner<'_>, mb: u32, lo: usize, hi: usize) {
         for (op, consumers) in &self.ext_outputs {
             let chunk = runner.output(mb, *op).clone();
             for &cons in consumers {
@@ -394,11 +390,13 @@ pub fn train_iteration(
         v
     };
 
-    let mut results: Vec<((StageId, u32), HashMap<OpId, OpParams>, f32)> = Vec::new();
+    let mut results: Vec<ReplicaResult> = Vec::new();
     let outcome: Result<(), ExecError> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for &(stage, replica) in &replicas {
-            let rx = receivers.remove(&(stage, replica)).expect("receiver exists");
+            let rx = receivers
+                .remove(&(stage, replica))
+                .expect("receiver exists");
             let worker = Worker {
                 graph,
                 sg,
@@ -415,12 +413,8 @@ pub fn train_iteration(
             };
             let params_ref: &ModelParams = params;
             let handle = scope.spawn(move || {
-                let mut runner = StageRunner::new(
-                    graph,
-                    &sg.stage(stage).ops,
-                    params_ref,
-                    sg.mini_batch(),
-                );
+                let mut runner =
+                    StageRunner::new(graph, &sg.stage(stage).ops, params_ref, sg.mini_batch());
                 worker.run(&mut runner, schedule)?;
                 let grads = runner.grads().clone();
                 Ok::<_, ExecError>(((stage, replica), grads, runner.loss()))

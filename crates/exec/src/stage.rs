@@ -33,10 +33,8 @@ impl<'g> StageRunner<'g> {
         for &op in ops {
             in_stage[op.index()] = true;
         }
-        let stage_params: HashMap<OpId, OpParams> = ops
-            .iter()
-            .map(|&op| (op, params.op(op).clone()))
-            .collect();
+        let stage_params: HashMap<OpId, OpParams> =
+            ops.iter().map(|&op| (op, params.op(op).clone())).collect();
         let grads = stage_params
             .iter()
             .map(|(&op, p)| (op, p.zeros_like()))

@@ -3,9 +3,7 @@
 
 use gp_cluster::{Cluster, DeviceRange};
 use gp_cost::Pass;
-use gp_exec::{
-    reference_step, synth_batch, train, train_iteration, ModelParams,
-};
+use gp_exec::{reference_step, synth_batch, train, train_iteration, ModelParams};
 use gp_ir::zoo::{self, CandleUnoConfig, DlrmConfig, MmtConfig};
 use gp_ir::{OpId, SpModel};
 use gp_partition::{GraphPipePlanner, Planner};
@@ -52,8 +50,7 @@ fn assert_equivalent(model: &SpModel, sg: &StageGraph, mini_batch: u64) {
     let (ref_loss, ref_grads) = reference_step(g, &init, &batch, mini_batch);
 
     let mut dist_params = init.clone();
-    let result =
-        train_iteration(g, sg, &schedule, &mut dist_params, &batch, 0.0).unwrap();
+    let result = train_iteration(g, sg, &schedule, &mut dist_params, &batch, 0.0).unwrap();
     assert!(
         (result.loss - ref_loss).abs() / ref_loss.max(1e-6) < 1e-3,
         "loss mismatch: dist {} vs ref {ref_loss}",
@@ -161,8 +158,7 @@ fn execution_trace_follows_the_kfkb_order() {
     let schedule = schedule_tasks(&sg, &assign_in_flight(&sg));
     let batch = synth_batch(model.graph(), 8, 3);
     let mut params = ModelParams::init(model.graph(), 1);
-    let result =
-        train_iteration(model.graph(), &sg, &schedule, &mut params, &batch, 0.1).unwrap();
+    let result = train_iteration(model.graph(), &sg, &schedule, &mut params, &batch, 0.1).unwrap();
     // Per (stage, replica) the trace must equal the replica's slice of the
     // stage's task order.
     for s in sg.stages() {

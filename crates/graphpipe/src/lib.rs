@@ -1,0 +1,41 @@
+//! # graphpipe — graph pipeline parallelism for DNN training
+//!
+//! The user-facing facade of the GraphPipe (ASPLOS 2025) reproduction:
+//! everything in [`gp_core`] re-exported under the name downstream code,
+//! the repository examples, and the integration tests import. See the
+//! [`gp_core`] crate for the full module tour; the short version:
+//!
+//! * [`ir`] — computation-graph IR, SP decomposition, model zoo;
+//! * [`cluster`] — device profiles and interconnect topology;
+//! * [`cost`] — roofline cost/memory/communication models;
+//! * [`sched`] — the §6 micro-batch scheduler;
+//! * [`partition`] — the §5 partitioner ([`prelude::GraphPipePlanner`]);
+//! * [`baselines`] — PipeDream/Piper planners and the Figure 9 ablation;
+//! * [`sim`] — the discrete-event simulator ([`simulate_plan`]);
+//! * [`exec`] — the threaded runtime with real tensor math;
+//! * [`prelude`] — one-stop imports, plus [`planner`] and [`evaluate`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use graphpipe::prelude::*;
+//!
+//! // A small multi-branch model on a Summit-like 4-GPU cluster.
+//! let model = zoo::mmt(&zoo::MmtConfig::two_branch());
+//! let cluster = Cluster::summit_like(4);
+//!
+//! // Plan with GraphPipe and with the sequential baseline...
+//! let gpp = GraphPipePlanner::new().plan(&model, &cluster, 64)?;
+//! let spp = PipeDreamPlanner::new().plan(&model, &cluster, 64)?;
+//!
+//! // ...and execute both strategies on the same simulated runtime.
+//! let t_gpp = graphpipe::simulate_plan(&model, &cluster, &gpp)?.throughput;
+//! let t_spp = graphpipe::simulate_plan(&model, &cluster, &spp)?.throughput;
+//! assert!(t_gpp >= t_spp); // branches pay off (Figure 6c)
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use gp_core::*;

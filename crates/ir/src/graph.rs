@@ -150,9 +150,9 @@ impl Graph {
 
     /// All directed edges `(producer, consumer)`.
     pub fn edges(&self) -> impl Iterator<Item = (OpId, OpId)> + '_ {
-        self.nodes.iter().flat_map(move |n| {
-            self.succs[n.id.index()].iter().map(move |&s| (n.id, s))
-        })
+        self.nodes
+            .iter()
+            .flat_map(move |n| self.succs[n.id.index()].iter().map(move |&s| (n.id, s)))
     }
 
     /// Number of directed edges.
@@ -370,12 +370,12 @@ impl GraphBuilder {
             .iter()
             .map(|&i| &self.nodes[i.index()].out_shape)
             .collect();
-        let out_shape = kind
-            .infer_output_shape(&in_shapes)
-            .map_err(|reason| GraphError::ShapeMismatch {
-                op: name.clone(),
-                reason,
-            })?;
+        let out_shape =
+            kind.infer_output_shape(&in_shapes)
+                .map_err(|reason| GraphError::ShapeMismatch {
+                    op: name.clone(),
+                    reason,
+                })?;
         Ok(self.push(name, kind, out_shape, inputs))
     }
 

@@ -117,7 +117,10 @@ impl OpKind {
                 in_features,
                 out_features,
                 bias,
-            } => (in_features as u64) * (out_features as u64) + if bias { out_features as u64 } else { 0 },
+            } => {
+                (in_features as u64) * (out_features as u64)
+                    + if bias { out_features as u64 } else { 0 }
+            }
             OpKind::MultiHeadAttention { hidden, .. } => {
                 // Q, K, V and output projections, each hidden x hidden + bias.
                 4 * ((hidden as u64) * (hidden as u64) + hidden as u64)
@@ -306,7 +309,10 @@ impl OpKind {
 fn one_input<'s>(in_shapes: &[&'s Shape], what: &str) -> Result<&'s Shape, String> {
     match in_shapes {
         [s] => Ok(s),
-        _ => Err(format!("{what} expects exactly one input, got {}", in_shapes.len())),
+        _ => Err(format!(
+            "{what} expects exactly one input, got {}",
+            in_shapes.len()
+        )),
     }
 }
 
@@ -338,7 +344,10 @@ mod tests {
             out_features: 16,
             bias: false,
         };
-        assert_eq!(op.infer_output_shape(&[&shp(&[4, 8])]).unwrap(), shp(&[4, 16]));
+        assert_eq!(
+            op.infer_output_shape(&[&shp(&[4, 8])]).unwrap(),
+            shp(&[4, 16])
+        );
         assert!(op.infer_output_shape(&[&shp(&[4, 9])]).is_err());
         assert_eq!(op.param_count(), 8 * 16);
     }
@@ -394,7 +403,10 @@ mod tests {
             bag: 100,
         };
         assert_eq!(op.param_count(), 64_000_000);
-        assert_eq!(op.infer_output_shape(&[&shp(&[100])]).unwrap(), shp(&[6400]));
+        assert_eq!(
+            op.infer_output_shape(&[&shp(&[100])]).unwrap(),
+            shp(&[6400])
+        );
         // Backward of a gather costs about the same as forward.
         let s = shp(&[100]);
         assert_eq!(op.backward_flops(&[&s]), op.forward_flops(&[&s]));
@@ -402,7 +414,10 @@ mod tests {
 
     #[test]
     fn interaction_output_is_upper_triangle() {
-        let op = OpKind::FeatureInteraction { features: 8, dim: 64 };
+        let op = OpKind::FeatureInteraction {
+            features: 8,
+            dim: 64,
+        };
         assert_eq!(op.infer_output_shape(&[&shp(&[512])]).unwrap(), shp(&[28]));
         assert!(op.infer_output_shape(&[&shp(&[100])]).is_err());
     }

@@ -69,9 +69,7 @@ impl SpBlock {
         match self {
             SpBlock::Leaf(_) => 0,
             SpBlock::Chain(items) => items.iter().map(SpBlock::branch_points).sum(),
-            SpBlock::Branches(items) => {
-                1 + items.iter().map(SpBlock::branch_points).sum::<usize>()
-            }
+            SpBlock::Branches(items) => 1 + items.iter().map(SpBlock::branch_points).sum::<usize>(),
         }
     }
 

@@ -137,7 +137,13 @@ pub fn mmt(cfg: &MmtConfig) -> SpModel {
         blocks.push(SpBlock::Leaf(input));
         let mut cur = input;
         for layer in 0..cfg.layers_per_branch {
-            cur = transformer_layer(&mut b, &format!("branch{br}.l{layer}"), cur, cfg, &mut blocks);
+            cur = transformer_layer(
+                &mut b,
+                &format!("branch{br}.l{layer}"),
+                cur,
+                cfg,
+                &mut blocks,
+            );
         }
         branch_outs.push(cur);
         branch_blocks.push(SpBlock::Chain(blocks));
@@ -256,7 +262,11 @@ pub fn dlrm(cfg: &DlrmConfig) -> SpModel {
         let proj = b
             .linear(format!("sparse{br}.proj"), bag, cfg.hidden, true)
             .expect("consistent");
-        blocks.extend([SpBlock::Leaf(input), SpBlock::Leaf(bag), SpBlock::Leaf(proj)]);
+        blocks.extend([
+            SpBlock::Leaf(input),
+            SpBlock::Leaf(bag),
+            SpBlock::Leaf(proj),
+        ]);
         branch_outs.push(proj);
         branch_blocks.push(SpBlock::Chain(blocks));
     }
@@ -461,7 +471,12 @@ pub fn case_study(cfg: &MmtConfig) -> SpModel {
                 )
                 .expect("consistent");
             let up = b
-                .linear(format!("branch{br}.l{layer}.fc1"), mha, cfg.ffn_hidden, true)
+                .linear(
+                    format!("branch{br}.l{layer}.fc1"),
+                    mha,
+                    cfg.ffn_hidden,
+                    true,
+                )
                 .expect("consistent");
             let down = b
                 .linear(format!("branch{br}.l{layer}.fc2"), up, cfg.hidden, true)

@@ -32,9 +32,7 @@ use crate::plan::{Plan, PlanError, PlanOptions, Planner, SearchStats};
 use gp_cluster::{Cluster, DeviceRange};
 use gp_cost::{CostModel, Pass, BYTES_PER_PARAM_STATE};
 use gp_ir::{Graph, OpId, SpBlock, SpModel};
-use gp_sched::{
-    assign_in_flight, compute_in_flight, schedule_tasks, Stage, StageGraph, StageId,
-};
+use gp_sched::{assign_in_flight, compute_in_flight, schedule_tasks, Stage, StageGraph, StageId};
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Instant;
@@ -272,6 +270,10 @@ enum MemoKey {
     BranchRange(NodeIdx, u16, u16, u32, DownId),
 }
 
+/// Per-segment cost aggregates at one micro-batch size:
+/// `(fwd+bwd time, param bytes, activation bytes/sample, boundary bytes/sample)`.
+type SegmentCosts = (f64, u64, u64, u64);
+
 struct Dp<'a> {
     graph: &'a Graph,
     cost: &'a CostModel,
@@ -299,6 +301,7 @@ struct Dp<'a> {
 }
 
 impl<'a> Dp<'a> {
+    #[allow(clippy::too_many_arguments)] // one-shot constructor mirroring Algorithm 1's inputs
     fn new(
         graph: &'a Graph,
         cost: &'a CostModel,
@@ -453,7 +456,7 @@ impl<'a> Dp<'a> {
 
     /// Generic per-op-set aggregates, for non-chain intervals (merged
     /// branch groups, whole composite nodes, non-simple chains).
-    fn generic_aggregates(&mut self, node: NodeIdx, s: u16, e: u16, b: u64) -> (f64, u64, u64, u64) {
+    fn generic_aggregates(&mut self, node: NodeIdx, s: u16, e: u16, b: u64) -> SegmentCosts {
         let ops = self.interval_ops(node, s, e);
         let mut member = vec![false; self.graph.len()];
         for &op in ops.iter() {
@@ -486,7 +489,7 @@ impl<'a> Dp<'a> {
     /// memory). `raw` carries `(time_at_b, params, act, comm)` per `b`.
     fn eval_candidates(
         &mut self,
-        raw: &dyn Fn(&mut Self, u64) -> (f64, u64, u64, u64),
+        raw: &dyn Fn(&mut Self, u64) -> SegmentCosts,
         d: u32,
         down_id: DownId,
     ) -> Option<StageCand> {
@@ -507,9 +510,7 @@ impl<'a> Dp<'a> {
             let tps = time / (b as f64 * d_eff)
                 + comm as f64 / link.bandwidth
                 + 2.0 * link.latency / b as f64
-                + self
-                    .cost
-                    .allreduce_time(params, &DeviceRange::new(0, d))
+                + self.cost.allreduce_time(params, &DeviceRange::new(0, d))
                     / self.mini_batch as f64;
             if tps > self.t_max {
                 continue;
@@ -517,8 +518,8 @@ impl<'a> Dp<'a> {
             for &k in k_cands.iter() {
                 let in_flight = self.down(down_id).entry_in_flight(k, b);
                 let per_replica = CostModel::in_flight_per_replica(in_flight, b, d as usize);
-                let mem = params / gp_ir::BYTES_PER_ELEMENT * BYTES_PER_PARAM_STATE
-                    + act * per_replica;
+                let mem =
+                    params / gp_ir::BYTES_PER_ELEMENT * BYTES_PER_PARAM_STATE + act * per_replica;
                 if mem > self.mem_budget {
                     continue;
                 }
@@ -554,8 +555,8 @@ impl<'a> Dp<'a> {
                 let t = dp.chain_time(chain, b);
                 let stat = dp.chain_static(chain);
                 let (s, e) = (s as usize, e as usize);
-                let comm = stat.adj[s] + stat.adj[e.min(stat.adj.len() - 1)]
-                    + (stat.ext[e] - stat.ext[s]);
+                let comm =
+                    stat.adj[s] + stat.adj[e.min(stat.adj.len() - 1)] + (stat.ext[e] - stat.ext[s]);
                 (
                     t[e] - t[s],
                     stat.params[e] - stat.params[s],
@@ -565,21 +566,13 @@ impl<'a> Dp<'a> {
             };
             self.eval_candidates(&raw, d, down_id)
         } else {
-            let raw =
-                move |dp: &mut Self, b: u64| dp.generic_aggregates(chain, s, e, b);
+            let raw = move |dp: &mut Self, b: u64| dp.generic_aggregates(chain, s, e, b);
             self.eval_candidates(&raw, d, down_id)
         }
     }
 
     /// Builds a one-stage fragment from a candidate.
-    fn single_frag(
-        &mut self,
-        node: NodeIdx,
-        s: u16,
-        e: u16,
-        d: u32,
-        cand: StageCand,
-    ) -> Rc<Frag> {
+    fn single_frag(&mut self, node: NodeIdx, s: u16, e: u16, d: u32, cand: StageCand) -> Rc<Frag> {
         let ops = self.interval_ops(node, s, e);
         let entry = (cand.k, cand.b, cand.in_flight);
         let entries = Down::single(entry);
@@ -649,8 +642,9 @@ impl<'a> Dp<'a> {
         match self.arena.node(node) {
             ANode::Leaf(_) => {
                 let cand = {
-                    let raw =
-                        move |dp: &mut Self, b: u64| dp.generic_aggregates(node, WHOLE.0, WHOLE.1, b);
+                    let raw = move |dp: &mut Self, b: u64| {
+                        dp.generic_aggregates(node, WHOLE.0, WHOLE.1, b)
+                    };
                     self.eval_candidates(&raw, d, down_id)
                 }?;
                 Some(self.single_frag(node, WHOLE.0, WHOLE.1, d, cand))
@@ -695,14 +689,15 @@ impl<'a> Dp<'a> {
         }
         let mut best: Option<Rc<Frag>> = None;
         let mut best_score: Score = (u64::MAX, u64::MAX, usize::MAX);
-        let consider = |dp: &mut Self, cand: Rc<Frag>, best: &mut Option<Rc<Frag>>, best_score: &mut Score| {
-            let _ = dp;
-            let s = cand.score();
-            if s < *best_score {
-                *best_score = s;
-                *best = Some(cand);
-            }
-        };
+        let consider =
+            |dp: &mut Self, cand: Rc<Frag>, best: &mut Option<Rc<Frag>>, best_score: &mut Score| {
+                let _ = dp;
+                let s = cand.score();
+                if s < *best_score {
+                    *best_score = s;
+                    *best = Some(cand);
+                }
+            };
         // Option A: the whole suffix as one stage.
         if let Some(cand) = self.chain_interval_candidate(chain, start, n, d, down_id) {
             let frag = self.single_frag(chain, start, n, d, cand);
@@ -778,8 +773,7 @@ impl<'a> Dp<'a> {
                 }
                 // D3: head is [Branches, joins...] — absorbed decomposition.
                 if mid > start + 1 && self.absorbable(chain, start, mid) {
-                    if let Some(head) = self.solve_absorbed(chain, start, mid, d_head, head_down)
-                    {
+                    if let Some(head) = self.solve_absorbed(chain, start, mid, d_head, head_down) {
                         let score = (
                             head.max_entry(),
                             head.peak_mem.max(suffix.peak_mem),
@@ -826,9 +820,9 @@ impl<'a> Dp<'a> {
         }
         let branches = self.arena.children(chain)[s as usize];
         let m = self.arena.children(branches).len() as u16;
-        let absorbed =
-            self.arena
-                .absorbed_chain(branches, chain, s as usize + 1, e as usize);
+        let absorbed = self
+            .arena
+            .absorbed_chain(branches, chain, s as usize + 1, e as usize);
         let last_time = {
             let t = self.chain_time(absorbed, self.bound_b);
             *t.last().expect("non-empty")
@@ -852,8 +846,7 @@ impl<'a> Dp<'a> {
                 continue;
             };
             let others_down = self.intern(Down::single(last.exit));
-            let Some(others) =
-                self.solve_branch_range(branches, 0, m - 1, d - d_last, others_down)
+            let Some(others) = self.solve_branch_range(branches, 0, m - 1, d - d_last, others_down)
             else {
                 continue;
             };
@@ -936,20 +929,17 @@ impl<'a> Dp<'a> {
             let right_time = pre[to as usize] - pre[split as usize];
             let d_left_min = self.min_devices(left_time);
             let d_right_min = self.min_devices(right_time);
-            if d_left_min == u32::MAX || d_right_min == u32::MAX || d_left_min + d_right_min > d
-            {
+            if d_left_min == u32::MAX || d_right_min == u32::MAX || d_left_min + d_right_min > d {
                 continue;
             }
             for d1 in d_left_min..=d - d_right_min {
                 if self.charge(1) {
                     return None;
                 }
-                let Some(a) = self.solve_branch_range(branches, from, split, d1, down_id)
-                else {
+                let Some(a) = self.solve_branch_range(branches, from, split, d1, down_id) else {
                     continue;
                 };
-                let Some(b) = self.solve_branch_range(branches, split, to, d - d1, down_id)
-                else {
+                let Some(b) = self.solve_branch_range(branches, split, to, d - d1, down_id) else {
                     continue;
                 };
                 let score = (
@@ -1142,12 +1132,7 @@ impl Planner for GraphPipePlanner {
         "graphpipe"
     }
 
-    fn plan(
-        &self,
-        model: &SpModel,
-        cluster: &Cluster,
-        mini_batch: u64,
-    ) -> Result<Plan, PlanError> {
+    fn plan(&self, model: &SpModel, cluster: &Cluster, mini_batch: u64) -> Result<Plan, PlanError> {
         let start = Instant::now();
         let graph = model.graph();
         let cost = CostModel::new(cluster);
@@ -1184,8 +1169,8 @@ impl Planner for GraphPipePlanner {
             .fold(f64::INFINITY, f64::min)
             .max(1e-12);
         let search = |t_m: f64,
-                          stats: &mut SearchStats,
-                          evals_used: &mut u64|
+                      stats: &mut SearchStats,
+                      evals_used: &mut u64|
          -> Result<Option<Rc<Frag>>, PlanError> {
             stats.binary_iters += 1;
             self.search_stage_graph(
@@ -1278,8 +1263,7 @@ mod tests {
         let model = zoo::candle_uno(&CandleUnoConfig::default());
         let plan = plan_for(&model, 8, 1024).unwrap();
         assert!(
-            plan.pipeline_depth() < plan.stage_graph.len()
-                || plan.stage_graph.len() <= 2,
+            plan.pipeline_depth() < plan.stage_graph.len() || plan.stage_graph.len() <= 2,
             "depth {} vs {} stages",
             plan.pipeline_depth(),
             plan.stage_graph.len()
@@ -1319,7 +1303,9 @@ mod tests {
     fn infeasible_memory_is_reported() {
         let model = zoo::mmt(&MmtConfig::default());
         let cluster = Cluster::summit_like(4).with_memory_capacity(1 << 20);
-        let err = GraphPipePlanner::new().plan(&model, &cluster, 64).unwrap_err();
+        let err = GraphPipePlanner::new()
+            .plan(&model, &cluster, 64)
+            .unwrap_err();
         assert!(matches!(err, PlanError::Infeasible(_)), "{err:?}");
     }
 

@@ -60,13 +60,13 @@ impl PlanOptions {
             Some(list) => list
                 .iter()
                 .copied()
-                .filter(|&b| b > 0 && mini_batch % b == 0)
+                .filter(|&b| b > 0 && mini_batch.is_multiple_of(b))
                 .collect(),
             None => {
                 let mut out = Vec::new();
                 let mut b = 1;
                 while b <= mini_batch {
-                    if mini_batch % b == 0 && mini_batch / b <= self.max_micro_batches {
+                    if mini_batch.is_multiple_of(b) && mini_batch / b <= self.max_micro_batches {
                         out.push(b);
                     }
                     b *= 2;
@@ -237,8 +237,7 @@ pub trait Planner {
     ///
     /// Returns a [`PlanError`] when no strategy satisfies the memory
     /// constraint or the search exceeds its budget.
-    fn plan(&self, model: &SpModel, cluster: &Cluster, mini_batch: u64)
-        -> Result<Plan, PlanError>;
+    fn plan(&self, model: &SpModel, cluster: &Cluster, mini_batch: u64) -> Result<Plan, PlanError>;
 }
 
 #[cfg(test)]

@@ -13,9 +13,7 @@ use std::collections::VecDeque;
 use std::fmt;
 
 /// Identifier of a stage within a [`StageGraph`]; dense indices.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct StageId(pub u32);
 
 impl StageId {
@@ -88,7 +86,10 @@ impl fmt::Display for StageGraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StageGraphError::NotAPartition(op) => {
-                write!(f, "operator {op} is not covered exactly once by the stages (C1)")
+                write!(
+                    f,
+                    "operator {op} is not covered exactly once by the stages (C1)"
+                )
             }
             StageGraphError::NotConvex(s) => {
                 write!(f, "stage {s} is not a convex subgraph (C1)")
@@ -97,7 +98,10 @@ impl fmt::Display for StageGraphError {
             StageGraphError::DeviceOverlap(a, b) => {
                 write!(f, "stages {a} and {b} share devices (C3)")
             }
-            StageGraphError::DeviceCoverage { assigned, available } => write!(
+            StageGraphError::DeviceCoverage {
+                assigned,
+                available,
+            } => write!(
                 f,
                 "stages use {assigned} devices but the cluster has {available} (C3)"
             ),
@@ -182,7 +186,7 @@ impl StageGraph {
             if s.ops.is_empty() || s.kfkb == 0 {
                 return Err(StageGraphError::EmptyStage(s.id));
             }
-            if s.micro_batch == 0 || mini_batch % s.micro_batch != 0 {
+            if s.micro_batch == 0 || !mini_batch.is_multiple_of(s.micro_batch) {
                 return Err(StageGraphError::BadMicroBatch(s.id));
             }
         }
@@ -227,9 +231,10 @@ impl StageGraph {
         let n = stages.len();
         let mut preds = vec![Vec::new(); n];
         let mut succs = vec![Vec::new(); n];
-        let connect = |su: StageId, sv: StageId,
-                           preds: &mut Vec<Vec<StageId>>,
-                           succs: &mut Vec<Vec<StageId>>| {
+        let connect = |su: StageId,
+                       sv: StageId,
+                       preds: &mut Vec<Vec<StageId>>,
+                       succs: &mut Vec<Vec<StageId>>| {
             if !succs[su.index()].contains(&sv) {
                 succs[su.index()].push(sv);
                 preds[sv.index()].push(su);

@@ -55,7 +55,10 @@ impl fmt::Display for ScheduleError {
                 write!(f, "stage {s}: backward passes out of order (C4)")
             }
             ScheduleError::BackwardBeforeForward(s, mb) => {
-                write!(f, "stage {s}: backward of micro-batch {mb} precedes its forward (C4)")
+                write!(
+                    f,
+                    "stage {s}: backward of micro-batch {mb} precedes its forward (C4)"
+                )
             }
             ScheduleError::WrongTaskCount(s) => {
                 write!(f, "stage {s}: wrong number of scheduled passes")
@@ -309,7 +312,10 @@ mod tests {
         let mut s = StageSchedule::kfkb(StageId(3), 4, 2, 1);
         // Swap the two warm-up forwards.
         s.tasks.swap(0, 1);
-        assert_eq!(s.validate_c4(4), Err(ScheduleError::ForwardOrder(StageId(3))));
+        assert_eq!(
+            s.validate_c4(4),
+            Err(ScheduleError::ForwardOrder(StageId(3)))
+        );
     }
 
     #[test]
@@ -337,7 +343,10 @@ mod tests {
     #[test]
     fn c4_catches_wrong_count() {
         let s = StageSchedule::kfkb(StageId(0), 4, 1, 1);
-        assert_eq!(s.validate_c4(8), Err(ScheduleError::WrongTaskCount(StageId(0))));
+        assert_eq!(
+            s.validate_c4(8),
+            Err(ScheduleError::WrongTaskCount(StageId(0)))
+        );
     }
 
     #[test]

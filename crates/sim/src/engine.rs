@@ -98,8 +98,7 @@ pub fn simulate(
     let mut edge_bytes: Vec<Vec<(StageId, u64)>> = vec![Vec::new(); sg.len()];
     for s in sg.stages() {
         for &succ in sg.succs(s.id) {
-            let bytes =
-                cost.crossing_bytes_per_sample(graph, &s.ops, &sg.stage(succ).ops);
+            let bytes = cost.crossing_bytes_per_sample(graph, &s.ops, &sg.stage(succ).ops);
             edge_bytes[s.id.index()].push((succ, bytes));
         }
     }
@@ -175,9 +174,7 @@ pub fn simulate(
                             let bp = sg.stage(p).micro_batch;
                             let bytes_ps = edge_payload(p, t.stage);
                             let b_me = sg.stage(t.stage).micro_batch;
-                            for mb_p in
-                                covering_micro_batches(bp, b_me, t.mb)
-                            {
+                            for mb_p in covering_micro_batches(bp, b_me, t.mb) {
                                 let dep = idx.index(p, mb_p, Pass::Forward);
                                 let from = replica_device(p, mb_p);
                                 if !consider(dep, bytes_ps * b_me, from, me) {
@@ -252,8 +249,8 @@ pub fn simulate(
     let mut peak_memory = vec![0u64; n_dev];
     let mut static_mem = vec![0u64; n_dev];
     for s in sg.stages() {
-        let stat = param_bytes[s.id.index()] / gp_ir::BYTES_PER_ELEMENT
-            * gp_cost::BYTES_PER_PARAM_STATE;
+        let stat =
+            param_bytes[s.id.index()] / gp_ir::BYTES_PER_ELEMENT * gp_cost::BYTES_PER_PARAM_STATE;
         for d in s.devices.iter() {
             static_mem[d.index()] += stat;
         }
@@ -266,18 +263,12 @@ pub fn simulate(
         for mb in 0..m {
             let dev = replica_device(s.id, mb).index();
             events.push((completion[idx.index(s.id, mb, Pass::Forward)], bytes, dev));
-            events.push((
-                completion[idx.index(s.id, mb, Pass::Backward)],
-                -bytes,
-                dev,
-            ));
+            events.push((completion[idx.index(s.id, mb, Pass::Backward)], -bytes, dev));
         }
     }
     events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     let mut cur = static_mem.clone();
-    for d in 0..n_dev {
-        peak_memory[d] = cur[d];
-    }
+    peak_memory[..n_dev].copy_from_slice(&cur[..n_dev]);
     for (_, delta, dev) in events {
         cur[dev] = (cur[dev] as i64 + delta) as u64;
         peak_memory[dev] = peak_memory[dev].max(cur[dev]);

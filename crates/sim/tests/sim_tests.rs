@@ -2,19 +2,22 @@
 //! schedule semantics, deadlock detection, and the paper's headline
 //! GPP-beats-SPP behaviour.
 
+use gp_baselines::PipeDreamPlanner;
 use gp_cluster::{Cluster, DeviceRange};
 use gp_cost::{CostModel, Pass};
 use gp_ir::zoo::{self, CandleUnoConfig, MmtConfig};
 use gp_partition::{GraphPipePlanner, Plan, Planner};
-use gp_baselines::PipeDreamPlanner;
 use gp_sched::{
-    assign_in_flight, schedule_tasks, PipelineSchedule, Stage, StageGraph, StageId,
-    StageSchedule, Task,
+    assign_in_flight, schedule_tasks, PipelineSchedule, Stage, StageGraph, StageId, StageSchedule,
 };
 use gp_sim::{render_gantt, simulate, SimError};
 
 /// Builds an n-stage 1F1B chain over an MLP with one device per stage.
-fn chain_setup(n: usize, micro_batch: u64, mini_batch: u64) -> (gp_ir::SpModel, Cluster, StageGraph) {
+fn chain_setup(
+    n: usize,
+    micro_batch: u64,
+    mini_batch: u64,
+) -> (gp_ir::SpModel, Cluster, StageGraph) {
     let model = zoo::mlp_chain(2 * n, 64);
     let cluster = Cluster::tiny_test(n);
     let ops = model.linearize();
@@ -133,7 +136,9 @@ fn missing_schedule_is_reported() {
 fn simulated_memory_matches_planner_prediction() {
     let model = zoo::candle_uno(&CandleUnoConfig::default());
     let cluster = Cluster::summit_like(8);
-    let plan = GraphPipePlanner::new().plan(&model, &cluster, 1024).unwrap();
+    let plan = GraphPipePlanner::new()
+        .plan(&model, &cluster, 1024)
+        .unwrap();
     let report = simulate(model.graph(), &cluster, &plan.stage_graph, &plan.schedule).unwrap();
     // The simulator's peak per-device memory never exceeds the planner's
     // worst-stage estimate (the schedule bounds in-flight samples).
@@ -154,8 +159,7 @@ fn in_flight_bound_is_tight_on_single_replica_chains() {
     let cost = CostModel::new(&cluster);
     for s in sg.stages() {
         let act = cost.stage_activation_bytes_per_sample(model.graph(), &s.ops);
-        let static_mem = cost.stage_param_bytes(model.graph(), &s.ops)
-            / gp_ir::BYTES_PER_ELEMENT
+        let static_mem = cost.stage_param_bytes(model.graph(), &s.ops) / gp_ir::BYTES_PER_ELEMENT
             * gp_cost::BYTES_PER_PARAM_STATE;
         let predicted = static_mem + act * inflight.samples(s.id);
         let dev = s.devices.first().index();
@@ -180,8 +184,12 @@ fn gpp_beats_spp_on_multi_branch_models() {
     // sequential baseline.
     let model = zoo::candle_uno(&CandleUnoConfig::default());
     let cluster = Cluster::summit_like(8);
-    let gpp = GraphPipePlanner::new().plan(&model, &cluster, 8192).unwrap();
-    let spp = PipeDreamPlanner::new().plan(&model, &cluster, 8192).unwrap();
+    let gpp = GraphPipePlanner::new()
+        .plan(&model, &cluster, 8192)
+        .unwrap();
+    let spp = PipeDreamPlanner::new()
+        .plan(&model, &cluster, 8192)
+        .unwrap();
     let t_gpp = simulated_throughput(&model, &cluster, &gpp);
     let t_spp = simulated_throughput(&model, &cluster, &spp);
     assert!(

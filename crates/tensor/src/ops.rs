@@ -63,7 +63,7 @@ pub fn relu_bwd(x: &Tensor, dy: &Tensor) -> Tensor {
     )
 }
 
-const GELU_C: f32 = 0.797_884_56; // sqrt(2/pi)
+const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
 const GELU_A: f32 = 0.044_715;
 
 /// GeLU with the tanh approximation.
@@ -296,11 +296,7 @@ pub fn mha_fwd(x: &Tensor, p: &MhaParams) -> (Tensor, MhaCache) {
 /// Gradients of [`mha_fwd`]: returns `(dx, dparams)` where `dparams` has
 /// the same structure as [`MhaParams`] (with `heads` copied over).
 pub fn mha_bwd(cache: &MhaCache, p: &MhaParams, dy: &Tensor) -> (Tensor, MhaParams) {
-    let (n, s, h) = (
-        cache.x.shape()[0],
-        cache.x.shape()[1],
-        cache.x.shape()[2],
-    );
+    let (n, s, h) = (cache.x.shape()[0], cache.x.shape()[1], cache.x.shape()[2]);
     let heads = p.heads;
     let dh = h / heads;
     let alpha = 1.0 / (dh as f32).sqrt();
@@ -312,10 +308,7 @@ pub fn mha_bwd(cache: &MhaCache, p: &MhaParams, dy: &Tensor) -> (Tensor, MhaPara
     for i in 0..n {
         for j in 0..heads {
             let off = (i * heads + j) * s * s;
-            let pmat = Tensor::new(
-                vec![s, s],
-                cache.probs.data()[off..off + s * s].to_vec(),
-            );
+            let pmat = Tensor::new(vec![s, s], cache.probs.data()[off..off + s * s].to_vec());
             // dP = dC Vj^T ; dVj = P^T dC.
             let mut dp = Tensor::zeros(vec![s, s]);
             for a in 0..s {
@@ -332,8 +325,7 @@ pub fn mha_bwd(cache: &MhaCache, p: &MhaParams, dy: &Tensor) -> (Tensor, MhaPara
                 for c in 0..dh {
                     let mut acc = 0.0f32;
                     for a in 0..s {
-                        acc += pmat.data()[a * s + b]
-                            * dctx.data()[(i * s + a) * h + j * dh + c];
+                        acc += pmat.data()[a * s + b] * dctx.data()[(i * s + a) * h + j * dh + c];
                     }
                     dv.data_mut()[(i * s + b) * h + j * dh + c] = acc;
                 }
@@ -344,8 +336,8 @@ pub fn mha_bwd(cache: &MhaCache, p: &MhaParams, dy: &Tensor) -> (Tensor, MhaPara
                 for c in 0..dh {
                     let mut acc_q = 0.0f32;
                     for b in 0..s {
-                        acc_q += ds.data()[a * s + b]
-                            * cache.k.data()[(i * s + b) * h + j * dh + c];
+                        acc_q +=
+                            ds.data()[a * s + b] * cache.k.data()[(i * s + b) * h + j * dh + c];
                     }
                     dq.data_mut()[(i * s + a) * h + j * dh + c] = alpha * acc_q;
                 }
@@ -354,8 +346,8 @@ pub fn mha_bwd(cache: &MhaCache, p: &MhaParams, dy: &Tensor) -> (Tensor, MhaPara
                 for c in 0..dh {
                     let mut acc_k = 0.0f32;
                     for a in 0..s {
-                        acc_k += ds.data()[a * s + b]
-                            * cache.q.data()[(i * s + a) * h + j * dh + c];
+                        acc_k +=
+                            ds.data()[a * s + b] * cache.q.data()[(i * s + a) * h + j * dh + c];
                     }
                     dk.data_mut()[(i * s + b) * h + j * dh + c] = alpha * acc_k;
                 }
@@ -564,13 +556,8 @@ mod tests {
         let w = Tensor::rand_uniform(vec![4, 5], 1.0, &mut r);
         let b = Tensor::rand_uniform(vec![5], 1.0, &mut r);
         let probe = Tensor::rand_uniform(vec![3, 5], 1.0, &mut r);
-        let loss = |y: &Tensor| -> f32 {
-            y.data()
-                .iter()
-                .zip(probe.data())
-                .map(|(a, b)| a * b)
-                .sum()
-        };
+        let loss =
+            |y: &Tensor| -> f32 { y.data().iter().zip(probe.data()).map(|(a, b)| a * b).sum() };
         let y = linear_fwd(&x, &w, Some(&b));
         let _ = loss(&y);
         let (dx, dw, db) = linear_bwd(&x, &w, &probe);
@@ -584,8 +571,13 @@ mod tests {
         let mut r = rng();
         let x = Tensor::rand_uniform(vec![10], 2.0, &mut r);
         let probe = Tensor::rand_uniform(vec![10], 1.0, &mut r);
-        let loss =
-            |y: &Tensor| y.data().iter().zip(probe.data()).map(|(a, b)| a * b).sum::<f32>();
+        let loss = |y: &Tensor| {
+            y.data()
+                .iter()
+                .zip(probe.data())
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
+        };
         let d_relu = relu_bwd(&x, &probe);
         grad_check(|x| loss(&relu_fwd(x)), &x, &d_relu, 3e-2);
         let d_gelu = gelu_bwd(&x, &probe);
@@ -599,16 +591,16 @@ mod tests {
         let gamma = Tensor::rand_uniform(vec![6], 1.0, &mut r);
         let beta = Tensor::rand_uniform(vec![6], 1.0, &mut r);
         let probe = Tensor::rand_uniform(vec![2, 6], 1.0, &mut r);
-        let loss =
-            |y: &Tensor| y.data().iter().zip(probe.data()).map(|(a, b)| a * b).sum::<f32>();
+        let loss = |y: &Tensor| {
+            y.data()
+                .iter()
+                .zip(probe.data())
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
+        };
         let (_, cache) = layernorm_fwd(&x, &gamma, &beta);
         let (dx, dgamma, dbeta) = layernorm_bwd(&cache, &gamma, &probe);
-        grad_check(
-            |x| loss(&layernorm_fwd(x, &gamma, &beta).0),
-            &x,
-            &dx,
-            3e-2,
-        );
+        grad_check(|x| loss(&layernorm_fwd(x, &gamma, &beta).0), &x, &dx, 3e-2);
         grad_check(
             |g| loss(&layernorm_fwd(&x, g, &beta).0),
             &gamma,
@@ -639,8 +631,13 @@ mod tests {
         let mut r = rng();
         let x = Tensor::rand_uniform(vec![2, 4], 1.0, &mut r);
         let probe = Tensor::rand_uniform(vec![2, 4], 1.0, &mut r);
-        let loss =
-            |y: &Tensor| y.data().iter().zip(probe.data()).map(|(a, b)| a * b).sum::<f32>();
+        let loss = |y: &Tensor| {
+            y.data()
+                .iter()
+                .zip(probe.data())
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
+        };
         let y = softmax_fwd(&x, 4);
         let dx = softmax_bwd(&y, &probe, 4);
         grad_check(|x| loss(&softmax_fwd(x, 4)), &x, &dx, 3e-2);
@@ -667,8 +664,13 @@ mod tests {
         let p = mha_params(h, 2, &mut r);
         let x = Tensor::rand_uniform(vec![n, s, h], 0.5, &mut r);
         let probe = Tensor::rand_uniform(vec![n, s, h], 1.0, &mut r);
-        let loss =
-            |y: &Tensor| y.data().iter().zip(probe.data()).map(|(a, b)| a * b).sum::<f32>();
+        let loss = |y: &Tensor| {
+            y.data()
+                .iter()
+                .zip(probe.data())
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
+        };
         let (_, cache) = mha_fwd(&x, &p);
         let (dx, _) = mha_bwd(&cache, &p, &probe);
         grad_check(|x| loss(&mha_fwd(x, &p).0), &x, &dx, 5e-2);
@@ -681,8 +683,13 @@ mod tests {
         let p = mha_params(h, 2, &mut r);
         let x = Tensor::rand_uniform(vec![n, s, h], 0.5, &mut r);
         let probe = Tensor::rand_uniform(vec![n, s, h], 1.0, &mut r);
-        let loss =
-            |y: &Tensor| y.data().iter().zip(probe.data()).map(|(a, b)| a * b).sum::<f32>();
+        let loss = |y: &Tensor| {
+            y.data()
+                .iter()
+                .zip(probe.data())
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
+        };
         let (_, cache) = mha_fwd(&x, &p);
         let (_, grads) = mha_bwd(&cache, &p, &probe);
         // Spot-check two of the weight matrices and one bias.
@@ -748,8 +755,13 @@ mod tests {
         let (f, d) = (3, 2);
         let x = Tensor::rand_uniform(vec![2, f * d], 1.0, &mut r);
         let probe = Tensor::rand_uniform(vec![2, f * (f - 1) / 2], 1.0, &mut r);
-        let loss =
-            |y: &Tensor| y.data().iter().zip(probe.data()).map(|(a, b)| a * b).sum::<f32>();
+        let loss = |y: &Tensor| {
+            y.data()
+                .iter()
+                .zip(probe.data())
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
+        };
         let dx = interaction_bwd(&x, &probe, f, d);
         grad_check(|x| loss(&interaction_fwd(x, f, d)), &x, &dx, 3e-2);
     }

@@ -113,7 +113,7 @@ impl Tensor {
     /// dimension.
     pub fn rows_for(&self, cols: usize) -> usize {
         assert!(
-            cols > 0 && self.numel() % cols == 0,
+            cols > 0 && self.numel().is_multiple_of(cols),
             "numel {} not divisible by {cols}",
             self.numel()
         );

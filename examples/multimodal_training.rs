@@ -25,7 +25,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (ref_loss, _) = reference_step(graph, &params, &batch, mini_batch);
     let mut probe = params.clone();
     let result = train_iteration(
-        graph, &plan.stage_graph, &plan.schedule, &mut probe, &batch, 0.0,
+        graph,
+        &plan.stage_graph,
+        &plan.schedule,
+        &mut probe,
+        &batch,
+        0.0,
     )?;
     println!(
         "loss: distributed {:.6} vs single-device {ref_loss:.6} (diff {:.2e})",
@@ -37,7 +42,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\ntraining with the pipelined runtime (SGD, lr = 0.05):");
     for step in 0..8 {
         let r = train_iteration(
-            graph, &plan.stage_graph, &plan.schedule, &mut params, &batch, 0.05,
+            graph,
+            &plan.stage_graph,
+            &plan.schedule,
+            &mut params,
+            &batch,
+            0.05,
         )?;
         println!("  step {step}: loss {:.6}", r.loss);
     }

@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ] {
         let report = graphpipe::simulate_plan(&model, &cluster, &plan)?;
-        println!("== {label}: depth {}, {:.0} samples/s", plan.pipeline_depth(), report.throughput);
+        println!(
+            "== {label}: depth {}, {:.0} samples/s",
+            plan.pipeline_depth(),
+            report.throughput
+        );
         println!("{}", render_gantt(&report, &plan.stage_graph, 96));
     }
     Ok(())

@@ -9,7 +9,11 @@ use graphpipe::PlannerKind;
 fn every_planner_produces_valid_strategies() {
     let model = zoo::mmt(&zoo::MmtConfig::two_branch());
     let cluster = Cluster::summit_like(4);
-    for kind in [PlannerKind::GraphPipe, PlannerKind::PipeDream, PlannerKind::Piper] {
+    for kind in [
+        PlannerKind::GraphPipe,
+        PlannerKind::PipeDream,
+        PlannerKind::Piper,
+    ] {
         let plan = graphpipe::planner(kind, PlanOptions::default())
             .plan(&model, &cluster, 64)
             .unwrap_or_else(|e| panic!("{} failed: {e}", kind.label()));
@@ -42,12 +46,10 @@ fn gpp_beats_spp_on_every_multi_branch_model() {
         ..PlanOptions::default()
     };
     for (name, model, mini_batch) in cases {
-        let gp =
-            graphpipe::evaluate(&model, &cluster, mini_batch, PlannerKind::GraphPipe, &opts)
-                .unwrap();
-        let pd =
-            graphpipe::evaluate(&model, &cluster, mini_batch, PlannerKind::PipeDream, &opts)
-                .unwrap();
+        let gp = graphpipe::evaluate(&model, &cluster, mini_batch, PlannerKind::GraphPipe, &opts)
+            .unwrap();
+        let pd = graphpipe::evaluate(&model, &cluster, mini_batch, PlannerKind::PipeDream, &opts)
+            .unwrap();
         assert!(
             gp.report.throughput >= pd.report.throughput * 0.99,
             "{name}: GraphPipe {:.0} < PipeDream {:.0}",
@@ -134,9 +136,15 @@ fn planner_strategy_trains_correctly_on_the_real_runtime() {
     expect.sgd_step(&ref_grads, 1.0);
 
     let mut dist = init.clone();
-    let result =
-        train_iteration(graph, &plan.stage_graph, &plan.schedule, &mut dist, &batch, 1.0)
-            .unwrap();
+    let result = train_iteration(
+        graph,
+        &plan.stage_graph,
+        &plan.schedule,
+        &mut dist,
+        &batch,
+        1.0,
+    )
+    .unwrap();
     assert!((result.loss - ref_loss).abs() / ref_loss < 1e-3);
     assert!(dist.max_abs_diff(&expect) < 5e-4);
 
@@ -151,7 +159,10 @@ fn planner_strategy_trains_correctly_on_the_real_runtime() {
         5,
     )
     .unwrap();
-    assert!(losses.last().unwrap() < losses.first().unwrap(), "{losses:?}");
+    assert!(
+        losses.last().unwrap() < losses.first().unwrap(),
+        "{losses:?}"
+    );
 }
 
 #[test]

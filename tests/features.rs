@@ -44,7 +44,10 @@ fn kfkb_candidates_are_searched() {
         .plan(&model, &cluster, 16)
         .unwrap();
     plan.schedule.validate_c4(&plan.stage_graph).unwrap();
-    assert!(plan.stage_graph.stages().all(|s| s.kfkb == 1 || s.kfkb == 2));
+    assert!(plan
+        .stage_graph
+        .stages()
+        .all(|s| s.kfkb == 1 || s.kfkb == 2));
     let report = graphpipe::simulate_plan(&model, &cluster, &plan).unwrap();
     assert!(report.throughput > 0.0);
 }
@@ -80,8 +83,7 @@ fn explicit_2f2b_schedule_executes() {
     assert!(inflight.samples(StageId(0)) > 4);
     let schedule = schedule_tasks(&sg, &inflight);
     schedule.validate_c4(&sg).unwrap();
-    let report =
-        gp_sim::simulate(model.graph(), &cluster, &sg, &schedule).unwrap();
+    let report = gp_sim::simulate(model.graph(), &cluster, &sg, &schedule).unwrap();
     assert!(report.throughput > 0.0);
 }
 
@@ -126,10 +128,12 @@ fn single_op_branches_plan() {
         let cluster = Cluster::summit_like(devices);
         let plan = GraphPipePlanner::new().plan(&model, &cluster, 16).unwrap();
         plan.schedule.validate_c4(&plan.stage_graph).unwrap();
-        assert!(graphpipe::simulate_plan(&model, &cluster, &plan)
-            .unwrap()
-            .throughput
-            > 0.0);
+        assert!(
+            graphpipe::simulate_plan(&model, &cluster, &plan)
+                .unwrap()
+                .throughput
+                > 0.0
+        );
     }
 }
 
@@ -138,7 +142,11 @@ fn single_op_branches_plan() {
 fn single_device_is_a_single_stage() {
     let model = zoo::mmt(&zoo::MmtConfig::tiny());
     let cluster = Cluster::summit_like(1).with_memory_capacity(1 << 30);
-    for kind in [PlannerKind::GraphPipe, PlannerKind::PipeDream, PlannerKind::Piper] {
+    for kind in [
+        PlannerKind::GraphPipe,
+        PlannerKind::PipeDream,
+        PlannerKind::Piper,
+    ] {
         let plan = graphpipe::planner(kind, PlanOptions::default())
             .plan(&model, &cluster, 8)
             .unwrap();
@@ -156,8 +164,7 @@ fn evaluate_uses_explicit_candidates() {
         micro_batch_candidates: Some(vec![2, 8]),
         ..PlanOptions::default()
     };
-    let res =
-        graphpipe::evaluate(&model, &cluster, 16, PlannerKind::GraphPipe, &opts).unwrap();
+    let res = graphpipe::evaluate(&model, &cluster, 16, PlannerKind::GraphPipe, &opts).unwrap();
     let swept: Vec<u64> = res.per_micro_batch.iter().map(|(b, _)| *b).collect();
     assert_eq!(swept, vec![2, 8]);
 }
@@ -168,12 +175,12 @@ fn evaluate_uses_explicit_candidates() {
 fn spp_sequentiality_is_enforced() {
     let model = zoo::candle_uno(&zoo::CandleUnoConfig::default());
     let cluster = Cluster::summit_like(8);
-    let plan = PipeDreamPlanner::new().plan(&model, &cluster, 1024).unwrap();
+    let plan = PipeDreamPlanner::new()
+        .plan(&model, &cluster, 1024)
+        .unwrap();
     for i in 1..plan.stage_graph.len() as u32 {
         assert!(
-            plan.stage_graph
-                .preds(StageId(i))
-                .contains(&StageId(i - 1)),
+            plan.stage_graph.preds(StageId(i)).contains(&StageId(i - 1)),
             "stage {i} lacks the imposed sequential edge"
         );
     }

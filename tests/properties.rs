@@ -4,8 +4,8 @@
 //! simulator's observations, and `ComputeInFlight` must respect its
 //! structural invariants.
 
-use graphpipe::prelude::*;
 use graphpipe::ir::{GraphBuilder, OpKind, Shape, SpBlock, SpModel};
+use graphpipe::prelude::*;
 use graphpipe::sched::compute_in_flight;
 use proptest::prelude::*;
 

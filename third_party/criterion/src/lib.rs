@@ -1,0 +1,117 @@
+//! Offline stand-in for `criterion` (see `third_party/README.md`).
+//!
+//! A minimal timing harness with criterion's macro/API shape:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`criterion_group!`] and [`criterion_main!`] (benches therefore keep
+//! `harness = false`). Each benchmark is timed over a fixed number of
+//! batches and reported as mean ns/iter on stdout — no statistics, plots,
+//! or baselines, but `cargo bench` runs and reports real numbers.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub use std::hint::black_box;
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, recorded by [`Bencher::iter`].
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f`, auto-scaling the iteration count to a short wall budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and estimate a single-shot duration.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().as_nanos().max(1) as f64;
+        // Aim for ~50ms of measurement, capped to keep planners cheap.
+        let iters = ((5e7 / once) as u64).clamp(1, 10_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.ns_per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// Benchmark registry/driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(name, b.ns_per_iter);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _parent: self,
+        }
+    }
+}
+
+/// A named group; methods mirror criterion's builder surface.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark under this group's namespace.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name), b.ns_per_iter);
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, ns: f64) {
+    if ns >= 1e6 {
+        println!("bench {name:<40} {:>12.3} ms/iter", ns / 1e6);
+    } else if ns >= 1e3 {
+        println!("bench {name:<40} {:>12.3} us/iter", ns / 1e3);
+    } else {
+        println!("bench {name:<40} {:>12.1} ns/iter", ns);
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

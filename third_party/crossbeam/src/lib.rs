@@ -1,0 +1,200 @@
+//! Offline stand-in for `crossbeam` (see `third_party/README.md`).
+//!
+//! Provides `crossbeam::channel::unbounded` with crossbeam's key property
+//! that `std::sync::mpsc` lacks: both [`channel::Sender`] and
+//! [`channel::Receiver`] are `Clone + Send + Sync`, so they can sit in an
+//! `Arc<HashMap<...>>` shared by every worker thread. Built on a
+//! `Mutex<VecDeque>` + `Condvar`; disconnection is tracked by endpoint
+//! reference counts, exactly like the real crate's semantics.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer multi-consumer FIFO channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// The sending half; cloning adds a producer.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; cloning adds a consumer.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T: fmt::Debug> std::error::Error for SendError<T> {}
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`; fails only if every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(value));
+            }
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            queue.push_back(value);
+            drop(queue);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues the next value, blocking while the channel is empty.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    return Ok(value);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self
+                    .shared
+                    .ready
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Dequeues the next value if one is immediately available.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(value) = queue.pop_front() {
+                return Ok(value);
+            }
+            if self.shared.senders.load(Ordering::Acquire) == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::AcqRel);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender: wake blocked receivers so they observe the
+                // disconnect.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_and_disconnect() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn cross_thread() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            let h = std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx2.send(i).unwrap();
+                }
+            });
+            drop(tx);
+            let mut sum = 0;
+            while let Ok(v) = rx.recv() {
+                sum += v;
+            }
+            h.join().unwrap();
+            assert_eq!(sum, 4950);
+        }
+    }
+}

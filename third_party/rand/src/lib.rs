@@ -1,0 +1,218 @@
+//! Offline stand-in for `rand` (see `third_party/README.md`).
+//!
+//! Implements the slice of the rand 0.9 API the workspace uses —
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], uniform
+//! [`distr::StandardUniform`] sampling, and [`RngExt::random_range`] — on
+//! top of the SplitMix64 generator. Deterministic across platforms, which
+//! is all the tests require (seeded synthetic data and init).
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Low-level generator interface (mirrors `rand_core::RngCore`).
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing generator interface (mirrors `rand::Rng`).
+pub trait Rng: RngCore {
+    /// A uniformly distributed value of `T`.
+    fn random<T>(&mut self) -> T
+    where
+        distr::StandardUniform: distr::Distribution<T>,
+        Self: Sized,
+    {
+        distr::Distribution::sample(&distr::StandardUniform, self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Range sampling extension (mirrors the `random_range` surface).
+pub trait RngExt: RngCore {
+    /// A uniformly distributed value in `range` (half-open).
+    fn random_range<T: UniformSample>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Types samplable uniformly from a half-open range.
+pub trait UniformSample: Copy {
+    /// Uniform draw from `range`; panics on an empty range.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl UniformSample for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                // i128 holds every value and span of the <=64-bit types
+                // implemented here, so signed ranges cannot overflow.
+                let span = (range.end as i128) - (range.start as i128);
+                // Modulo bias is negligible for the small spans used here.
+                let draw = (rng.next_u64() as i128) % span;
+                (range.start as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl UniformSample for f32 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "cannot sample empty range");
+        let u = unit_f32(rng.next_u64());
+        range.start + (range.end - range.start) * u
+    }
+}
+
+impl UniformSample for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "cannot sample empty range");
+        let u = unit_f64(rng.next_u64());
+        range.start + (range.end - range.start) * u
+    }
+}
+
+fn unit_f32(bits: u64) -> f32 {
+    ((bits >> 40) as f32) / (1u64 << 24) as f32
+}
+
+fn unit_f64(bits: u64) -> f64 {
+    ((bits >> 11) as f64) / (1u64 << 53) as f64
+}
+
+/// Seedable construction (mirrors `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Deterministic generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Stand-in for `rand::rngs::StdRng`: SplitMix64.
+    ///
+    /// Passes no statistical test batteries but is plenty for seeded test
+    /// data; the interface matches, so swapping the real crate back in is
+    /// transparent.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut rng = StdRng { state: seed };
+            // Burn a few outputs so nearby seeds decorrelate.
+            for _ in 0..4 {
+                rng.next_u64();
+            }
+            rng
+        }
+    }
+}
+
+/// Distributions (mirrors `rand::distr`).
+pub mod distr {
+    use super::{unit_f32, unit_f64, RngCore};
+
+    /// A distribution over `T` (mirrors `rand::distr::Distribution`).
+    pub trait Distribution<T> {
+        /// One draw from the distribution.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The standard uniform distribution: floats in `[0, 1)`, integers over
+    /// their whole domain.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct StandardUniform;
+
+    impl Distribution<f32> for StandardUniform {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            unit_f32(rng.next_u64())
+        }
+    }
+
+    impl Distribution<f64> for StandardUniform {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            unit_f64(rng.next_u64())
+        }
+    }
+
+    impl Distribution<u32> for StandardUniform {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Distribution<u64> for StandardUniform {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x = a.random_range(0usize..17);
+            assert!(x < 17);
+            assert_eq!(x, b.random_range(0usize..17));
+        }
+        let f = a.random_range(-1.0f32..1.0);
+        assert!((-1.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn full_width_signed_ranges_do_not_overflow() {
+        // Regression: spans wider than the target type's MAX used to wrap
+        // during `start + draw` when the draw truncated negative.
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = rng.random_range(i8::MIN..i8::MAX);
+            assert!((i8::MIN..i8::MAX).contains(&x));
+            let y = rng.random_range(i64::MIN..i64::MAX);
+            assert!((i64::MIN..i64::MAX).contains(&y));
+            let z = rng.random_range(0u64..u64::MAX);
+            assert!(z < u64::MAX);
+        }
+    }
+}

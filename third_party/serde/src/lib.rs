@@ -1,0 +1,105 @@
+//! Offline stand-in for `serde` (see `third_party/README.md`).
+//!
+//! Provides the `Serialize` / `Deserialize` marker traits plus the derive
+//! macros (via the sibling `serde_derive` stub). This is enough for the
+//! workspace, which derives the traits on strategy types and asserts the
+//! bounds at the type level but never serializes to a concrete format.
+//! Swap these path deps for the real crates-io packages once a registry
+//! is reachable; no source changes will be needed.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Mirrors `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+macro_rules! impl_primitives {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_primitives!(
+    bool,
+    char,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    String,
+    ()
+);
+
+impl Serialize for str {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>, S: Default> Deserialize<'de>
+    for std::collections::HashMap<K, V, S>
+{
+}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+}
+impl<T: Serialize, S> Serialize for std::collections::HashSet<T, S> {}
+impl<'de, T: Deserialize<'de>, S: Default> Deserialize<'de> for std::collections::HashSet<T, S> {}
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::BTreeSet<T> {}
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::VecDeque<T> {}
+
+macro_rules! impl_tuples {
+    ($(($($n:ident),+)),* $(,)?) => {$(
+        impl<$($n: Serialize),+> Serialize for ($($n,)+) {}
+        impl<'de, $($n: Deserialize<'de>),+> Deserialize<'de> for ($($n,)+) {}
+    )*};
+}
+
+impl_tuples!(
+    (A),
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F),
+);
+
+/// Mirrors the `serde::ser` module far enough for path compatibility.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Mirrors the `serde::de` module far enough for path compatibility.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}

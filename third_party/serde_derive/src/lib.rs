@@ -1,0 +1,142 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The workspace vendors a minimal `serde` facade (see
+//! `third_party/README.md`); this crate provides the matching
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros. The derives
+//! emit marker-trait impls only — enough for type-level `T: Serialize`
+//! bounds; actual wire formats are out of scope until a real registry is
+//! reachable.
+//!
+//! The input is scanned token-by-token (no `syn`): the type name is the
+//! identifier following the first top-level `struct` / `enum` / `union`
+//! keyword, and generic parameters after it are captured verbatim so the
+//! impl can mirror them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Name plus raw generic parameter text (e.g. `<'a, T>`), if any.
+struct TypeHead {
+    name: String,
+    generics: String,
+    generic_idents: Vec<String>,
+}
+
+fn parse_type_head(input: TokenStream) -> TypeHead {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes, doc comments, visibility, and anything else until the
+    // `struct`/`enum`/`union` keyword.
+    for tt in iter.by_ref() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                break;
+            }
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected type name, found {other:?}"),
+    };
+    // Capture `<...>` generics if present (balanced on </>).
+    let mut generics = String::new();
+    let mut generic_idents = Vec::new();
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        let mut depth = 0i32;
+        let mut expect_param = true;
+        for tt in iter.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    depth += 1;
+                    generics.push('<');
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    generics.push('>');
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenTree::Punct(p) => {
+                    if p.as_char() == ',' && depth == 1 {
+                        expect_param = true;
+                    }
+                    generics.push(p.as_char());
+                }
+                TokenTree::Ident(id) if depth == 1 && expect_param => {
+                    expect_param = false;
+                    generic_idents.push(id.to_string());
+                    generics.push_str(&id.to_string());
+                    generics.push(' ');
+                }
+                TokenTree::Literal(l) => {
+                    generics.push_str(&l.to_string());
+                    generics.push(' ');
+                }
+                TokenTree::Ident(id) => {
+                    generics.push_str(&id.to_string());
+                    generics.push(' ');
+                }
+                TokenTree::Group(g) => {
+                    debug_assert!(g.delimiter() != Delimiter::None);
+                    generics.push_str(&g.to_string());
+                }
+            }
+        }
+    }
+    TypeHead {
+        name,
+        generics,
+        generic_idents,
+    }
+}
+
+fn impl_for(head: &TypeHead, trait_path: &str, trait_lifetime: Option<&str>) -> TokenStream {
+    // `impl<'de, T> Trait<'de> for Name<T> where T: Trait` — the where
+    // bounds keep generic containers honest without needing field parsing.
+    let mut impl_params: Vec<String> = Vec::new();
+    if let Some(lt) = trait_lifetime {
+        impl_params.push(lt.to_string());
+    }
+    if !head.generics.is_empty() {
+        let inner = head
+            .generics
+            .trim_start_matches('<')
+            .trim_end_matches('>')
+            .trim();
+        if !inner.is_empty() {
+            impl_params.push(inner.to_string());
+        }
+    }
+    let impl_generics = if impl_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", impl_params.join(", "))
+    };
+    let ty_args = if head.generic_idents.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", head.generic_idents.join(", "))
+    };
+    let trait_args = trait_lifetime
+        .map(|lt| format!("<{lt}>"))
+        .unwrap_or_default();
+    let code = format!(
+        "#[automatically_derived] impl{impl_generics} {trait_path}{trait_args} for {name}{ty_args} {{}}",
+        name = head.name,
+    );
+    code.parse().expect("derive: generated impl must parse")
+}
+
+/// Minimal `#[derive(Serialize)]`: emits `impl ::serde::Serialize for T`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let head = parse_type_head(input);
+    impl_for(&head, "::serde::Serialize", None)
+}
+
+/// Minimal `#[derive(Deserialize)]`: emits `impl<'de> ::serde::Deserialize<'de> for T`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let head = parse_type_head(input);
+    impl_for(&head, "::serde::Deserialize", Some("'de"))
+}
