@@ -1,0 +1,146 @@
+//! Load generator for the plan-serving subsystem (`gp-serve`).
+//!
+//! Replays a mixed zoo workload — including the full 21-branch CANDLE-Uno
+//! and the Mixture-of-Experts wide-branch model — against a
+//! [`PlanService`] at configurable concurrency, then prints throughput and
+//! cache behaviour.
+//!
+//! ```text
+//! serve_load [--requests N] [--concurrency C] [--workers W] [--cache CAP]
+//!            [--assert-hits]
+//! ```
+//!
+//! Defaults: 256 requests from 64 client threads against 4 planner
+//! workers and a 32-entry cache. With `--assert-hits` the binary exits
+//! non-zero unless (a) repeat requests were served from the cache or
+//! joined in flight, and (b) single-flight deduplication held, i.e. the
+//! planner ran exactly once per *distinct* request in the mix. This is the
+//! CI smoke check.
+
+use graphpipe::prelude::*;
+use graphpipe::serve::{PlanRequest, PlanService};
+use std::sync::Arc;
+
+struct Args {
+    requests: usize,
+    concurrency: usize,
+    workers: usize,
+    cache: usize,
+    assert_hits: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        requests: 256,
+        concurrency: 64,
+        workers: 4,
+        cache: 32,
+        assert_hits: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut num = |name: &str| -> usize {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} expects a positive integer"))
+        };
+        match flag.as_str() {
+            "--requests" => args.requests = num("--requests"),
+            "--concurrency" => args.concurrency = num("--concurrency"),
+            "--workers" => args.workers = num("--workers"),
+            "--cache" => args.cache = num("--cache"),
+            "--assert-hits" => args.assert_hits = true,
+            other => panic!("unknown flag {other}; see the module docs"),
+        }
+    }
+    assert!(args.requests > 0 && args.concurrency > 0);
+    args
+}
+
+/// The request mix: every model family in the zoo, at the paper's 8-GPU
+/// operating points where they exist.
+fn workload() -> Vec<PlanRequest> {
+    let opts = PlanOptions {
+        max_micro_batches: 128,
+        ..PlanOptions::default()
+    };
+    let eight = Cluster::summit_like(8);
+    let mix: Vec<(SpModel, u64)> = vec![
+        (zoo::mmt(&zoo::MmtConfig::two_branch()), 128),
+        (zoo::dlrm(&zoo::DlrmConfig::default()), 512),
+        (zoo::candle_uno(&zoo::CandleUnoConfig::default()), 8192),
+        // The full 21-branch CANDLE-Uno (ROADMAP "new workloads").
+        (zoo::candle_uno(&zoo::CandleUnoConfig::full()), 8192),
+        // The MoE-style wide-branch model (shared trunk, 8 experts).
+        (zoo::moe(&zoo::MoeConfig::default()), 256),
+        (
+            zoo::sequential_transformer(8, &zoo::MmtConfig::default()),
+            64,
+        ),
+    ];
+    mix.into_iter()
+        .map(|(model, mini_batch)| {
+            PlanRequest::new(Arc::new(model), eight.clone(), mini_batch).with_options(opts.clone())
+        })
+        .collect()
+}
+
+fn main() {
+    let args = parse_args();
+    let mix = workload();
+    let distinct = mix.len() as u64;
+    let service = Arc::new(PlanService::new(args.workers, args.cache));
+
+    println!(
+        "# serve_load: {} requests ({} distinct) from {} client threads, {} workers, cache {}",
+        args.requests, distinct, args.concurrency, args.workers, args.cache
+    );
+
+    let t0 = std::time::Instant::now();
+    let mut clients = Vec::new();
+    for c in 0..args.concurrency {
+        let service = Arc::clone(&service);
+        // Client c replays requests c, c+C, c+2C, ... round-robin over the
+        // mix, so identical requests arrive concurrently from the start.
+        let mine: Vec<PlanRequest> = (c..args.requests)
+            .step_by(args.concurrency)
+            .map(|i| mix[i % mix.len()].clone())
+            .collect();
+        clients.push(std::thread::spawn(move || {
+            for request in mine {
+                service.plan(request).expect("zoo requests are plannable");
+            }
+        }));
+    }
+    for client in clients {
+        client.join().expect("client thread");
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let stats = service.stats();
+
+    println!("\n{stats}\n");
+    println!(
+        "wall {:.3} s  throughput {:.0} req/s  hit-rate {:.1}%",
+        wall,
+        args.requests as f64 / wall,
+        stats.hit_rate() * 100.0
+    );
+
+    if args.assert_hits {
+        assert_eq!(
+            stats.requests, args.requests as u64,
+            "request accounting mismatch"
+        );
+        assert!(
+            stats.hits + stats.joins > 0,
+            "expected nonzero cache hits/joins: {stats}"
+        );
+        assert_eq!(
+            stats.planner_runs,
+            distinct.min(args.requests as u64),
+            "single-flight dedup violated: planner must run exactly once \
+             per distinct request: {stats}"
+        );
+        println!("serve-smoke assertions passed");
+    }
+}

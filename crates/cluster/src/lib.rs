@@ -218,6 +218,21 @@ impl Cluster {
         self
     }
 
+    /// Devices per node (the intra-node group size).
+    pub fn gpus_per_node(&self) -> usize {
+        self.gpus_per_node
+    }
+
+    /// The intra-node (e.g. NVLink) link profile.
+    pub fn intra_link(&self) -> LinkProfile {
+        self.intra_link
+    }
+
+    /// The inter-node (e.g. InfiniBand) link profile.
+    pub fn inter_link(&self) -> LinkProfile {
+        self.inter_link
+    }
+
     /// The node index hosting a device.
     pub fn node_of(&self, d: DeviceId) -> usize {
         d.index() / self.gpus_per_node

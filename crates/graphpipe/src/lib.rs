@@ -13,7 +13,10 @@
 //! * [`baselines`] — PipeDream/Piper planners and the Figure 9 ablation;
 //! * [`sim`] — the discrete-event simulator ([`simulate_plan`]);
 //! * [`exec`] — the threaded runtime with real tensor math;
-//! * [`prelude`] — one-stop imports, plus [`planner`] and [`evaluate`].
+//! * [`prelude`] — one-stop imports, plus [`planner`] and [`evaluate`];
+//! * [`serve`] — the plan-serving subsystem: canonical graph fingerprints,
+//!   the lossless plan artifact codec, and the cached, single-flight
+//!   [`serve::PlanService`].
 //!
 //! # Quickstart
 //!
@@ -39,3 +42,9 @@
 #![forbid(unsafe_code)]
 
 pub use gp_core::*;
+
+/// Plan serving: fingerprints, artifacts, cache, service (re-export of
+/// `gp-serve`).
+pub mod serve {
+    pub use gp_serve::*;
+}

@@ -110,6 +110,38 @@ impl OpKind {
         }
     }
 
+    /// A stable numeric encoding of the operator kind and its static
+    /// attributes: a variant tag followed by the attribute values.
+    ///
+    /// Two `OpKind`s are equal iff their structural words are equal, and the
+    /// encoding is independent of operator names, graph ids, and insertion
+    /// order — which makes it the per-node seed for canonical graph
+    /// fingerprints (see the `gp-serve` crate).
+    pub fn structural_words(&self) -> Vec<u64> {
+        match *self {
+            OpKind::Input => vec![0],
+            OpKind::Linear {
+                in_features,
+                out_features,
+                bias,
+            } => vec![1, in_features as u64, out_features as u64, bias as u64],
+            OpKind::MultiHeadAttention { seq, hidden, heads } => {
+                vec![2, seq as u64, hidden as u64, heads as u64]
+            }
+            OpKind::LayerNorm { dim } => vec![3, dim as u64],
+            OpKind::Activation(Nonlinearity::Relu) => vec![4, 0],
+            OpKind::Activation(Nonlinearity::Gelu) => vec![4, 1],
+            OpKind::EmbeddingBag { entries, dim, bag } => {
+                vec![5, entries as u64, dim as u64, bag as u64]
+            }
+            OpKind::Concat => vec![6],
+            OpKind::FeatureInteraction { features, dim } => {
+                vec![7, features as u64, dim as u64]
+            }
+            OpKind::Loss => vec![8],
+        }
+    }
+
     /// Number of learnable parameters.
     pub fn param_count(&self) -> u64 {
         match *self {

@@ -9,7 +9,11 @@
 //!   hidden 4096) and 7 sparse-feature branches (1M x 64 embedding bags of
 //!   size 100), concatenated, pairwise feature interaction, post-MLP;
 //! * [`candle_uno`] — precision-medicine model: 7 branches of 4 FFN layers
-//!   (hidden 4096), concatenated, with a small head;
+//!   (hidden 4096), concatenated, with a small head; the full 21-branch
+//!   drug-response model is [`CandleUnoConfig::full`];
+//! * [`moe`] — a Mixture-of-Experts-style wide-branch model: a shared
+//!   trunk fanning out to parallel expert FFN branches, concatenated and
+//!   mixed back down;
 //! * [`sequential_transformer`] — the Appendix A.3 sequential workload
 //!   (32 Transformer layers, no branches);
 //! * [`case_study`] — the synthetic two-branch Transformer of Figure 10
@@ -343,6 +347,18 @@ impl Default for CandleUnoConfig {
 }
 
 impl CandleUnoConfig {
+    /// The complete CANDLE-Uno model: all 21 feature-encoder branches of the
+    /// precision-medicine workload (the paper's Appendix A.2 evaluates a
+    /// 7-branch subset; the full drug-response model encodes 21 feature
+    /// types). This is the widest many-branch stress case for the
+    /// partitioner.
+    pub fn full() -> Self {
+        CandleUnoConfig {
+            branches: 21,
+            ..Self::default()
+        }
+    }
+
     /// Variant with a different branch count (Figure 7 left sweep).
     pub fn with_branches(branches: usize) -> Self {
         CandleUnoConfig {
@@ -500,6 +516,107 @@ pub fn case_study(cfg: &MmtConfig) -> SpModel {
         .expect("zoo SP tree matches its graph")
 }
 
+/// Configuration for the Mixture-of-Experts-style wide-branch model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MoeConfig {
+    /// Number of parallel expert branches.
+    pub experts: usize,
+    /// FFN blocks per expert.
+    pub layers_per_expert: usize,
+    /// Model (hidden) dimension.
+    pub hidden: usize,
+    /// Expert feed-forward hidden dimension.
+    pub ffn_hidden: usize,
+}
+
+impl Default for MoeConfig {
+    /// A wide, shallow configuration: 8 experts of 2 FFN blocks, hidden
+    /// 1024, expert FFN hidden 4096 — branch-heavy like the paper's 8-branch
+    /// sweep points, but with a *shared* trunk feeding every branch.
+    fn default() -> Self {
+        MoeConfig {
+            experts: 8,
+            layers_per_expert: 2,
+            hidden: 1024,
+            ffn_hidden: 4096,
+        }
+    }
+}
+
+impl MoeConfig {
+    /// A tiny variant for tests and CPU execution.
+    pub fn tiny() -> Self {
+        MoeConfig {
+            experts: 2,
+            layers_per_expert: 1,
+            hidden: 16,
+            ffn_hidden: 32,
+        }
+    }
+}
+
+/// Builds a Mixture-of-Experts-style wide-branch model.
+///
+/// Unlike the other branch models of the zoo, all experts share one trunk:
+/// `input -> router` feeds every expert branch, the expert outputs are
+/// concatenated and mixed back to the hidden size, then a scalar head and
+/// loss follow. This stresses the partitioner with a branch point whose
+/// upstream is a *single* operator (a fan-out), rather than per-branch
+/// inputs — the shape dense MoE layers take when every token is routed to
+/// every expert.
+pub fn moe(cfg: &MoeConfig) -> SpModel {
+    assert!(cfg.experts >= 1 && cfg.layers_per_expert >= 1);
+    let mut b = GraphBuilder::new();
+    let input = b.input("input", Shape::vector(cfg.hidden));
+    let router = b
+        .linear("router", input, cfg.hidden, true)
+        .expect("consistent");
+    let mut expert_blocks = Vec::new();
+    let mut expert_outs = Vec::new();
+    for e in 0..cfg.experts {
+        let mut blocks = Vec::new();
+        let mut cur = router;
+        for layer in 0..cfg.layers_per_expert {
+            let up = b
+                .linear(format!("expert{e}.l{layer}.up"), cur, cfg.ffn_hidden, true)
+                .expect("consistent");
+            let act = b
+                .op(
+                    format!("expert{e}.l{layer}.gelu"),
+                    OpKind::Activation(Nonlinearity::Gelu),
+                    &[up],
+                )
+                .expect("consistent");
+            let down = b
+                .linear(format!("expert{e}.l{layer}.down"), act, cfg.hidden, true)
+                .expect("consistent");
+            blocks.extend([SpBlock::Leaf(up), SpBlock::Leaf(act), SpBlock::Leaf(down)]);
+            cur = down;
+        }
+        expert_outs.push(cur);
+        expert_blocks.push(SpBlock::Chain(blocks));
+    }
+    let cat = b
+        .op("combine.concat", OpKind::Concat, &expert_outs)
+        .expect("uniform dims");
+    let mix = b
+        .linear("combine.mix", cat, cfg.hidden, true)
+        .expect("consistent");
+    let head = b.linear("head.out", mix, 1, true).expect("consistent");
+    let loss = b.loss("loss", &[head]);
+    let root = SpBlock::Chain(vec![
+        SpBlock::Leaf(input),
+        SpBlock::Leaf(router),
+        SpBlock::Branches(expert_blocks),
+        SpBlock::Leaf(cat),
+        SpBlock::Leaf(mix),
+        SpBlock::Leaf(head),
+        SpBlock::Leaf(loss),
+    ]);
+    SpModel::new("moe", b.finish().expect("zoo model is valid"), root)
+        .expect("zoo SP tree matches its graph")
+}
+
 /// A plain multi-layer perceptron chain, for unit tests and examples.
 pub fn mlp_chain(layers: usize, hidden: usize) -> SpModel {
     assert!(layers >= 1);
@@ -578,6 +695,38 @@ mod tests {
             assert!(m.graph().is_topo_order(&m.linearize()));
             assert_eq!(m.root().branch_points(), 1);
         }
+    }
+
+    #[test]
+    fn candle_uno_full_has_21_branches() {
+        let m = candle_uno(&CandleUnoConfig::full());
+        m.graph().validate().unwrap();
+        // 21 branches x (1 input + 4 layers x 2 ops) + concat + head + loss.
+        assert_eq!(m.graph().len(), 21 * (1 + 4 * 2) + 3);
+        assert_eq!(m.root().branch_points(), 1);
+        assert!(m.graph().is_topo_order(&m.linearize()));
+    }
+
+    #[test]
+    fn moe_default_matches_config() {
+        let m = moe(&MoeConfig::default());
+        m.graph().validate().unwrap();
+        // input + router + 8 experts x (2 layers x 3 ops) + concat + mix +
+        // head + loss.
+        assert_eq!(m.graph().len(), 2 + 8 * (2 * 3) + 4);
+        assert_eq!(m.root().branch_points(), 1);
+        assert!(m.graph().is_topo_order(&m.linearize()));
+        // The router fans out to every expert's first op.
+        let g = m.graph();
+        let router = g.nodes().find(|n| n.name == "router").unwrap().id;
+        assert_eq!(g.succs(router).len(), 8);
+    }
+
+    #[test]
+    fn moe_tiny_is_small() {
+        let m = moe(&MoeConfig::tiny());
+        m.graph().validate().unwrap();
+        assert!(m.graph().len() < 15);
     }
 
     #[test]

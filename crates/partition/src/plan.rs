@@ -128,7 +128,10 @@ pub struct SearchStats {
 
 /// A complete training strategy: the validated stage graph, its in-flight
 /// table, the per-stage task orders, and planner-side estimates.
-#[derive(Debug, Clone)]
+///
+/// Plans compare by value (`PartialEq`), which is what lets the `gp-serve`
+/// artifact codec assert lossless round-trips.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Plan {
     /// The stage DAG (`G_S` of §3), validated against C1–C3.
     pub stage_graph: StageGraph,

@@ -1,0 +1,42 @@
+//! Planner coverage for the zoo's stress workloads: the full 21-branch
+//! CANDLE-Uno and the shared-trunk Mixture-of-Experts model.
+
+use gp_cluster::Cluster;
+use gp_ir::zoo::{self, CandleUnoConfig, MoeConfig};
+use gp_partition::{GraphPipePlanner, Planner};
+
+#[test]
+fn plans_full_candle_uno() {
+    let model = zoo::candle_uno(&CandleUnoConfig::full());
+    let cluster = Cluster::summit_like(8);
+    let plan = GraphPipePlanner::new()
+        .plan(&model, &cluster, 1024)
+        .expect("full CANDLE-Uno is plannable at 8 GPUs");
+    plan.schedule.validate_c4(&plan.stage_graph).unwrap();
+    assert!(plan.bottleneck_tps > 0.0);
+    // The branch structure must shrink the pipeline below the stage count
+    // whenever the planner opens more than one branch stage.
+    assert!(plan.pipeline_depth() <= plan.stage_graph.len());
+}
+
+#[test]
+fn plans_moe_with_shared_trunk() {
+    let model = zoo::moe(&MoeConfig::default());
+    let cluster = Cluster::summit_like(8);
+    let plan = GraphPipePlanner::new()
+        .plan(&model, &cluster, 256)
+        .expect("MoE is plannable at 8 GPUs");
+    plan.schedule.validate_c4(&plan.stage_graph).unwrap();
+    let used: usize = plan.stage_graph.stages().map(|s| s.dp_degree()).sum();
+    assert_eq!(used, 8);
+}
+
+#[test]
+fn plans_moe_tiny_on_small_cluster() {
+    let model = zoo::moe(&MoeConfig::tiny());
+    let cluster = Cluster::summit_like(2);
+    let plan = GraphPipePlanner::new()
+        .plan(&model, &cluster, 16)
+        .expect("tiny MoE is plannable at 2 GPUs");
+    plan.schedule.validate_c4(&plan.stage_graph).unwrap();
+}

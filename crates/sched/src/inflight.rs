@@ -88,6 +88,23 @@ pub struct InFlightTable {
 }
 
 impl InFlightTable {
+    /// Reconstructs a table from per-stage sample counts (indexed by stage
+    /// id), e.g. when decoding a serialized plan artifact. Planner-produced
+    /// tables come from [`assign_in_flight`] instead.
+    pub fn from_samples(samples: Vec<u64>) -> Self {
+        InFlightTable { samples }
+    }
+
+    /// Number of stages covered by the table.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the table covers no stages.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
     /// In-flight samples of a stage.
     pub fn samples(&self, id: StageId) -> u64 {
         self.samples[id.index()]

@@ -123,7 +123,7 @@ impl std::error::Error for StageGraphError {}
 /// Stage dependency edges are *derived* from the model's data edges
 /// (condition C2): `S_i -> S_j` exists iff some operator edge crosses from
 /// `S_i` into `S_j`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StageGraph {
     stages: Vec<Stage>,
     preds: Vec<Vec<StageId>>,
@@ -314,6 +314,21 @@ impl StageGraph {
     /// The stage owning an operator.
     pub fn stage_of(&self, op: OpId) -> StageId {
         StageId(self.stage_of[op.index()])
+    }
+
+    /// All stage dependency edges `(upstream, downstream)`, in `(upstream,
+    /// downstream)` id order. Includes both data-derived edges (C2) and any
+    /// sequential edges imposed by [`StageGraph::new_sequential`] — which is
+    /// what lets a serialized stage graph be reconstructed and verified
+    /// exactly (see the `gp-serve` plan artifact codec).
+    pub fn stage_edges(&self) -> Vec<(StageId, StageId)> {
+        let mut edges: Vec<(StageId, StageId)> = self
+            .stages
+            .iter()
+            .flat_map(|s| self.succs[s.id.index()].iter().map(move |&t| (s.id, t)))
+            .collect();
+        edges.sort_unstable();
+        edges
     }
 
     /// A topological order of stage ids.

@@ -1,0 +1,571 @@
+//! The versioned, lossless plan artifact format.
+//!
+//! A *plan artifact* is the on-the-wire / on-disk form of a
+//! [`gp_partition::Plan`]: a single JSON document that a plan service can
+//! persist, ship to trainers, and decode back into the exact strategy the
+//! planner produced. The codec is hand-rolled on [`crate::json`] so it
+//! works today with the vendored serde API-stubs; when the real serde
+//! lands, only this module needs revisiting.
+//!
+//! # Format (version 1)
+//!
+//! ```json
+//! {
+//!   "format": "graphpipe-plan",
+//!   "version": 1,
+//!   "fingerprint": "<32 hex digits, optional>",
+//!   "mini_batch": 64,
+//!   "stages": [
+//!     {"id": 0, "ops": [0, 1, 2], "dev_start": 0, "dev_len": 2,
+//!      "micro_batch": 4, "kfkb": 1}
+//!   ],
+//!   "edges": [[0, 1]],
+//!   "in_flight": [8, 4],
+//!   "schedule": [{"stage": 0, "warmup": 2, "tasks": [0, 2, 1, 3]}],
+//!   "bottleneck_tps": 1.25e-6,
+//!   "peak_memory_bytes": 123456,
+//!   "stats": {"wall_secs": 0, "wall_nanos": 81342, "dp_evals": 62013,
+//!             "dp_states": 911, "binary_iters": 9, "configs_tried": 4}
+//! }
+//! ```
+//!
+//! * `tasks` packs each pass as `2 * micro_batch_index + direction`
+//!   (`0` = forward, `1` = backward), preserving order;
+//! * `edges` records the stage DAG's edge list — including any sequential
+//!   edges an SPP baseline imposed — so decoding can *verify* that the
+//!   reconstructed, re-validated stage graph is identical to the encoded
+//!   one;
+//! * `wall_secs`/`wall_nanos` split the search wall-clock duration
+//!   losslessly;
+//! * floats are written in shortest round-trip form, integers never pass
+//!   through `f64` (see [`crate::json`]), so
+//!   `decode(encode(plan)) == plan` exactly.
+//!
+//! # Compatibility rules
+//!
+//! * `format` must equal `"graphpipe-plan"`; anything else is rejected.
+//! * `version` is a single integer. Decoders accept documents whose
+//!   version equals [`VERSION`]; newer documents are rejected with
+//!   [`ArtifactError::UnsupportedVersion`] rather than misread. Adding
+//!   fields requires a version bump; unknown fields in a known version are
+//!   ignored, which is what makes minor additions backward-decodable.
+//!
+//! Decoding is *validating*: the stage graph is rebuilt through
+//! [`StageGraph::new`] (falling back to [`StageGraph::new_sequential`] for
+//! artifacts carrying imposed chain edges) against the caller's graph and
+//! cluster, and the schedule is re-checked against condition C4. A
+//! corrupted or mismatched artifact fails loudly instead of producing an
+//! invalid strategy.
+
+use crate::fingerprint::Fingerprint;
+use crate::json::{Json, JsonError};
+use gp_cluster::{Cluster, DeviceRange};
+use gp_cost::Pass;
+use gp_ir::{Graph, OpId};
+use gp_partition::{Plan, SearchStats};
+use gp_sched::{InFlightTable, PipelineSchedule, Stage, StageGraph, StageId, StageSchedule, Task};
+use std::fmt;
+use std::time::Duration;
+
+/// The artifact `format` marker.
+pub const FORMAT: &str = "graphpipe-plan";
+
+/// The artifact version this build writes and accepts.
+pub const VERSION: u64 = 1;
+
+/// Why an artifact failed to decode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArtifactError {
+    /// The document is not syntactically valid JSON.
+    Json(JsonError),
+    /// The `format` marker is missing or not [`FORMAT`].
+    BadFormat(String),
+    /// The document's version is newer than this decoder understands.
+    UnsupportedVersion(u64),
+    /// A required field is missing or has the wrong type.
+    Field(&'static str),
+    /// The stages do not form a valid stage graph over the given model and
+    /// cluster (the §3 conditions failed on rebuild).
+    Invalid(String),
+    /// The rebuilt stage graph's edges disagree with the recorded ones:
+    /// the artifact belongs to a different model/cluster than supplied.
+    EdgeMismatch,
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Json(e) => write!(f, "malformed artifact: {e}"),
+            ArtifactError::BadFormat(got) => {
+                write!(f, "not a plan artifact (format marker `{got}`)")
+            }
+            ArtifactError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "artifact version {v} is newer than supported ({VERSION})"
+                )
+            }
+            ArtifactError::Field(name) => {
+                write!(f, "artifact field `{name}` is missing or ill-typed")
+            }
+            ArtifactError::Invalid(why) => {
+                write!(f, "artifact does not describe a valid strategy: {why}")
+            }
+            ArtifactError::EdgeMismatch => write!(
+                f,
+                "artifact stage edges disagree with the supplied model/cluster"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<JsonError> for ArtifactError {
+    fn from(e: JsonError) -> Self {
+        ArtifactError::Json(e)
+    }
+}
+
+/// Encodes a plan as a version-[`VERSION`] artifact document, optionally
+/// stamping the request fingerprint into the header.
+pub fn encode_plan(plan: &Plan, fingerprint: Option<Fingerprint>) -> String {
+    let sg = &plan.stage_graph;
+    let mut members: Vec<(String, Json)> = vec![
+        ("format".into(), Json::Str(FORMAT.into())),
+        ("version".into(), Json::Int(VERSION as i128)),
+    ];
+    if let Some(fp) = fingerprint {
+        members.push(("fingerprint".into(), Json::Str(fp.to_string())));
+    }
+    members.push(("mini_batch".into(), Json::Int(sg.mini_batch() as i128)));
+    members.push((
+        "stages".into(),
+        Json::Arr(
+            sg.stages()
+                .map(|s| {
+                    Json::Obj(vec![
+                        ("id".into(), Json::Int(s.id.0 as i128)),
+                        (
+                            "ops".into(),
+                            Json::Arr(s.ops.iter().map(|o| Json::Int(o.0 as i128)).collect()),
+                        ),
+                        ("dev_start".into(), Json::Int(s.devices.first().0 as i128)),
+                        ("dev_len".into(), Json::Int(s.devices.len() as i128)),
+                        ("micro_batch".into(), Json::Int(s.micro_batch as i128)),
+                        ("kfkb".into(), Json::Int(s.kfkb as i128)),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    members.push((
+        "edges".into(),
+        Json::Arr(
+            sg.stage_edges()
+                .into_iter()
+                .map(|(a, b)| Json::Arr(vec![Json::Int(a.0 as i128), Json::Int(b.0 as i128)]))
+                .collect(),
+        ),
+    ));
+    members.push((
+        "in_flight".into(),
+        Json::Arr(
+            (0..sg.len() as u32)
+                .map(|i| Json::Int(plan.in_flight.samples(StageId(i)) as i128))
+                .collect(),
+        ),
+    ));
+    members.push((
+        "schedule".into(),
+        Json::Arr(
+            plan.schedule
+                .per_stage
+                .iter()
+                .map(|s| {
+                    Json::Obj(vec![
+                        ("stage".into(), Json::Int(s.stage.0 as i128)),
+                        ("warmup".into(), Json::Int(s.warmup as i128)),
+                        (
+                            "tasks".into(),
+                            Json::Arr(
+                                s.tasks
+                                    .iter()
+                                    .map(|t| {
+                                        let dir = match t.pass {
+                                            Pass::Forward => 0,
+                                            Pass::Backward => 1,
+                                        };
+                                        Json::Int((2 * t.mb as i128) + dir)
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    members.push(("bottleneck_tps".into(), Json::Float(plan.bottleneck_tps)));
+    members.push((
+        "peak_memory_bytes".into(),
+        Json::Int(plan.peak_memory_bytes as i128),
+    ));
+    members.push((
+        "stats".into(),
+        Json::Obj(vec![
+            (
+                "wall_secs".into(),
+                Json::Int(plan.stats.wall.as_secs() as i128),
+            ),
+            (
+                "wall_nanos".into(),
+                Json::Int(plan.stats.wall.subsec_nanos() as i128),
+            ),
+            ("dp_evals".into(), Json::Int(plan.stats.dp_evals as i128)),
+            ("dp_states".into(), Json::Int(plan.stats.dp_states as i128)),
+            (
+                "binary_iters".into(),
+                Json::Int(plan.stats.binary_iters as i128),
+            ),
+            (
+                "configs_tried".into(),
+                Json::Int(plan.stats.configs_tried as i128),
+            ),
+        ]),
+    ));
+    Json::Obj(members).to_string()
+}
+
+fn field<'j>(doc: &'j Json, name: &'static str) -> Result<&'j Json, ArtifactError> {
+    doc.get(name).ok_or(ArtifactError::Field(name))
+}
+
+fn u64_field(doc: &Json, name: &'static str) -> Result<u64, ArtifactError> {
+    field(doc, name)?.as_u64().ok_or(ArtifactError::Field(name))
+}
+
+fn u32_field(doc: &Json, name: &'static str) -> Result<u32, ArtifactError> {
+    u32::try_from(u64_field(doc, name)?).map_err(|_| ArtifactError::Field(name))
+}
+
+/// Rebuilds and validates a stage graph from its parts, requiring its
+/// derived edge list to equal `expected_edges`. Tries the plain (C2-derived)
+/// construction first, then the sequential-pipeline construction, so both
+/// GraphPipe and SPP-baseline strategies reconstruct exactly.
+pub fn rebuild_stage_graph(
+    graph: &Graph,
+    cluster: &Cluster,
+    stages: Vec<Stage>,
+    mini_batch: u64,
+    expected_edges: &[(StageId, StageId)],
+) -> Result<StageGraph, ArtifactError> {
+    let plain = StageGraph::new(graph, cluster, stages.clone(), mini_batch)
+        .map_err(|e| ArtifactError::Invalid(e.to_string()))?;
+    if plain.stage_edges() == expected_edges {
+        return Ok(plain);
+    }
+    if let Ok(seq) = StageGraph::new_sequential(graph, cluster, stages, mini_batch) {
+        if seq.stage_edges() == expected_edges {
+            return Ok(seq);
+        }
+    }
+    Err(ArtifactError::EdgeMismatch)
+}
+
+/// Decodes a version-1 artifact back into the exact [`Plan`] it encoded,
+/// re-validating every §3 condition against the caller's model graph and
+/// cluster.
+///
+/// Returns the plan together with the fingerprint stamped in the header,
+/// if any.
+///
+/// # Errors
+///
+/// Returns an [`ArtifactError`] for malformed JSON, a wrong format marker,
+/// an unsupported version, missing fields, or a strategy that does not
+/// validate against `graph`/`cluster`.
+pub fn decode_plan(
+    text: &str,
+    graph: &Graph,
+    cluster: &Cluster,
+) -> Result<(Plan, Option<Fingerprint>), ArtifactError> {
+    let doc = Json::parse(text)?;
+    let format = field(&doc, "format")?
+        .as_str()
+        .ok_or(ArtifactError::Field("format"))?;
+    if format != FORMAT {
+        return Err(ArtifactError::BadFormat(format.to_string()));
+    }
+    let version = u64_field(&doc, "version")?;
+    if version > VERSION {
+        return Err(ArtifactError::UnsupportedVersion(version));
+    }
+    let fingerprint = match doc.get("fingerprint") {
+        Some(v) => Some(
+            v.as_str()
+                .and_then(Fingerprint::parse)
+                .ok_or(ArtifactError::Field("fingerprint"))?,
+        ),
+        None => None,
+    };
+    let mini_batch = u64_field(&doc, "mini_batch")?;
+
+    // Stages.
+    let mut stages = Vec::new();
+    for s in field(&doc, "stages")?
+        .as_arr()
+        .ok_or(ArtifactError::Field("stages"))?
+    {
+        let ops = s
+            .get("ops")
+            .and_then(Json::as_arr)
+            .ok_or(ArtifactError::Field("stages.ops"))?
+            .iter()
+            .map(|o| {
+                // Bounds-check against the supplied graph so corrupted ids
+                // fail here rather than panicking inside the rebuild.
+                o.as_u64()
+                    .filter(|&v| (v as usize) < graph.len())
+                    .map(|v| OpId(v as u32))
+            })
+            .collect::<Option<Vec<OpId>>>()
+            .ok_or(ArtifactError::Field("stages.ops"))?;
+        let dev_len = u32_field(s, "dev_len")?;
+        if dev_len == 0 {
+            return Err(ArtifactError::Field("stages.dev_len"));
+        }
+        stages.push(Stage {
+            id: StageId(u32_field(s, "id")?),
+            ops,
+            devices: DeviceRange::new(u32_field(s, "dev_start")?, dev_len),
+            micro_batch: u64_field(s, "micro_batch")?,
+            kfkb: u64_field(s, "kfkb")?,
+        });
+    }
+    // Dense, in-order stage ids are a structural invariant of StageGraph.
+    for (i, s) in stages.iter().enumerate() {
+        if s.id.index() != i {
+            return Err(ArtifactError::Field("stages.id"));
+        }
+    }
+
+    // Edges.
+    let mut edges = Vec::new();
+    for e in field(&doc, "edges")?
+        .as_arr()
+        .ok_or(ArtifactError::Field("edges"))?
+    {
+        let endpoint = |v: &Json| {
+            v.as_u64()
+                .and_then(|v| u32::try_from(v).ok())
+                .map(StageId)
+                .ok_or(ArtifactError::Field("edges"))
+        };
+        match e.as_arr() {
+            Some([a, b]) => edges.push((endpoint(a)?, endpoint(b)?)),
+            _ => return Err(ArtifactError::Field("edges")),
+        }
+    }
+
+    let stage_count = stages.len();
+    let stage_graph = rebuild_stage_graph(graph, cluster, stages, mini_batch, &edges)?;
+
+    // In-flight table.
+    let in_flight_samples = field(&doc, "in_flight")?
+        .as_arr()
+        .ok_or(ArtifactError::Field("in_flight"))?
+        .iter()
+        .map(Json::as_u64)
+        .collect::<Option<Vec<u64>>>()
+        .ok_or(ArtifactError::Field("in_flight"))?;
+    if in_flight_samples.len() != stage_count {
+        return Err(ArtifactError::Field("in_flight"));
+    }
+    let in_flight = InFlightTable::from_samples(in_flight_samples);
+    // Every planner derives its table with `assign_in_flight` over the
+    // final stage graph, so a recorded table that disagrees with the
+    // recomputation is corruption, not a legitimate plan — reject it
+    // rather than let downstream memory accounting consume bogus counts.
+    if in_flight != gp_sched::assign_in_flight(&stage_graph) {
+        return Err(ArtifactError::Invalid(
+            "in_flight table disagrees with ComputeInFlight over the stage graph".to_string(),
+        ));
+    }
+
+    // Schedule.
+    let mut per_stage = Vec::new();
+    for s in field(&doc, "schedule")?
+        .as_arr()
+        .ok_or(ArtifactError::Field("schedule"))?
+    {
+        let tasks = s
+            .get("tasks")
+            .and_then(Json::as_arr)
+            .ok_or(ArtifactError::Field("schedule.tasks"))?
+            .iter()
+            .map(|t| {
+                t.as_u64()
+                    .filter(|&packed| packed / 2 <= u32::MAX as u64)
+                    .map(|packed| Task {
+                        pass: if packed % 2 == 0 {
+                            Pass::Forward
+                        } else {
+                            Pass::Backward
+                        },
+                        mb: (packed / 2) as u32,
+                    })
+            })
+            .collect::<Option<Vec<Task>>>()
+            .ok_or(ArtifactError::Field("schedule.tasks"))?;
+        per_stage.push(StageSchedule {
+            stage: StageId(u32_field(s, "stage")?),
+            warmup: u64_field(s, "warmup")?,
+            tasks,
+        });
+    }
+    if per_stage.len() != stage_count
+        || per_stage
+            .iter()
+            .enumerate()
+            .any(|(i, s)| s.stage.index() != i)
+    {
+        return Err(ArtifactError::Field("schedule"));
+    }
+    let schedule = PipelineSchedule { per_stage };
+    schedule
+        .validate_c4(&stage_graph)
+        .map_err(|e| ArtifactError::Invalid(e.to_string()))?;
+
+    let stats_doc = field(&doc, "stats")?;
+    let wall_nanos = u32_field(stats_doc, "wall_nanos")?;
+    if wall_nanos >= 1_000_000_000 {
+        // Duration would carry the overflow into the seconds, breaking the
+        // byte-identical re-encode guarantee.
+        return Err(ArtifactError::Field("wall_nanos"));
+    }
+    let stats = SearchStats {
+        wall: Duration::new(u64_field(stats_doc, "wall_secs")?, wall_nanos),
+        dp_evals: u64_field(stats_doc, "dp_evals")?,
+        dp_states: u64_field(stats_doc, "dp_states")?,
+        binary_iters: u32_field(stats_doc, "binary_iters")?,
+        configs_tried: u32_field(stats_doc, "configs_tried")?,
+    };
+
+    Ok((
+        Plan {
+            stage_graph,
+            in_flight,
+            schedule,
+            bottleneck_tps: field(&doc, "bottleneck_tps")?
+                .as_f64()
+                .ok_or(ArtifactError::Field("bottleneck_tps"))?,
+            peak_memory_bytes: u64_field(&doc, "peak_memory_bytes")?,
+            stats,
+        },
+        fingerprint,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::request_fingerprint;
+    use gp_baselines::PipeDreamPlanner;
+    use gp_ir::zoo::{self, CandleUnoConfig, MmtConfig, MoeConfig};
+    use gp_ir::SpModel;
+    use gp_partition::{GraphPipePlanner, PlanOptions, Planner};
+
+    fn round_trip(model: &SpModel, cluster: &Cluster, mini_batch: u64) {
+        let plan = GraphPipePlanner::new()
+            .plan(model, cluster, mini_batch)
+            .unwrap();
+        let fp = request_fingerprint(model, cluster, mini_batch, &PlanOptions::default(), 0);
+        let text = encode_plan(&plan, Some(fp));
+        let (decoded, got_fp) = decode_plan(&text, model.graph(), cluster).unwrap();
+        assert_eq!(got_fp, Some(fp));
+        assert_eq!(decoded, plan, "round trip lost information: {text}");
+        // Encoding is deterministic, so a second hop is byte-identical.
+        assert_eq!(encode_plan(&decoded, Some(fp)), text);
+    }
+
+    #[test]
+    fn zoo_plans_round_trip_losslessly() {
+        let four = Cluster::summit_like(4);
+        let eight = Cluster::summit_like(8);
+        round_trip(&zoo::mmt(&MmtConfig::tiny()), &four, 32);
+        round_trip(&zoo::mmt(&MmtConfig::two_branch()), &four, 64);
+        round_trip(&zoo::candle_uno(&CandleUnoConfig::tiny()), &four, 32);
+        round_trip(&zoo::candle_uno(&CandleUnoConfig::default()), &eight, 1024);
+        round_trip(&zoo::candle_uno(&CandleUnoConfig::full()), &eight, 1024);
+        round_trip(&zoo::moe(&MoeConfig::tiny()), &four, 32);
+        round_trip(&zoo::moe(&MoeConfig::default()), &eight, 256);
+        round_trip(&zoo::mlp_chain(4, 64), &four, 32);
+    }
+
+    #[test]
+    fn sequential_baseline_plans_round_trip() {
+        // PipeDream imposes sequential edges; decode must reconstruct them
+        // through the new_sequential fallback.
+        let model = zoo::candle_uno(&CandleUnoConfig::tiny());
+        let cluster = Cluster::summit_like(4);
+        let plan = PipeDreamPlanner::new().plan(&model, &cluster, 32).unwrap();
+        let text = encode_plan(&plan, None);
+        let (decoded, fp) = decode_plan(&text, model.graph(), &cluster).unwrap();
+        assert_eq!(fp, None);
+        assert_eq!(decoded, plan);
+    }
+
+    #[test]
+    fn rejects_foreign_and_future_documents() {
+        let model = zoo::mlp_chain(2, 8);
+        let cluster = Cluster::summit_like(2);
+        assert!(matches!(
+            decode_plan("{\"format\":\"other\"}", model.graph(), &cluster),
+            Err(ArtifactError::BadFormat(_))
+        ));
+        assert!(matches!(
+            decode_plan(
+                "{\"format\":\"graphpipe-plan\",\"version\":99}",
+                model.graph(),
+                &cluster
+            ),
+            Err(ArtifactError::UnsupportedVersion(99))
+        ));
+        assert!(matches!(
+            decode_plan("not json", model.graph(), &cluster),
+            Err(ArtifactError::Json(_))
+        ));
+        assert!(matches!(
+            decode_plan(
+                "{\"format\":\"graphpipe-plan\",\"version\":1}",
+                model.graph(),
+                &cluster
+            ),
+            Err(ArtifactError::Field("mini_batch"))
+        ));
+    }
+
+    #[test]
+    fn rejects_artifact_for_a_different_model() {
+        let model = zoo::mlp_chain(4, 64);
+        let other = zoo::mlp_chain(6, 64);
+        let cluster = Cluster::summit_like(4);
+        let plan = GraphPipePlanner::new().plan(&model, &cluster, 32).unwrap();
+        let text = encode_plan(&plan, None);
+        // Decoding against a graph with different operators must fail the
+        // rebuild validation rather than hand back a bogus strategy.
+        assert!(decode_plan(&text, other.graph(), &cluster).is_err());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(ArtifactError::EdgeMismatch.to_string().contains("edges"));
+        assert!(ArtifactError::UnsupportedVersion(7)
+            .to_string()
+            .contains('7'));
+        assert!(ArtifactError::Field("stages")
+            .to_string()
+            .contains("stages"));
+    }
+}

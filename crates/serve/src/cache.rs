@@ -1,0 +1,154 @@
+//! The decoded-plan LRU cache behind [`crate::PlanService`].
+
+use crate::fingerprint::Fingerprint;
+use gp_partition::Plan;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct Entry {
+    plan: Arc<Plan>,
+    /// [`crate::fingerprint::numbering_signature`] of the graph the plan
+    /// was computed for; consulted before reuse, since plans carry raw
+    /// operator ids.
+    numbering: u64,
+    last_used: u64,
+}
+
+/// A least-recently-used cache of decoded plans keyed by request
+/// fingerprint.
+///
+/// Eviction scans for the oldest stamp, which is `O(capacity)` per insert
+/// beyond capacity — plan caches are small (tens to hundreds of entries)
+/// and a plan *miss* costs milliseconds of DP search, so simplicity wins
+/// over an intrusive list.
+pub struct PlanCache {
+    capacity: usize,
+    entries: HashMap<Fingerprint, Entry>,
+    clock: u64,
+    evictions: u64,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "plan cache needs capacity >= 1");
+        PlanCache {
+            capacity,
+            entries: HashMap::new(),
+            clock: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up a plan and the numbering signature of the graph it was
+    /// planned for, refreshing recency on hit.
+    pub fn get(&mut self, fingerprint: &Fingerprint) -> Option<(Arc<Plan>, u64)> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(fingerprint).map(|e| {
+            e.last_used = clock;
+            (Arc::clone(&e.plan), e.numbering)
+        })
+    }
+
+    /// Inserts (or replaces) a plan and its graph's numbering signature,
+    /// evicting the least-recently-used entry when full.
+    pub fn insert(&mut self, fingerprint: Fingerprint, plan: Arc<Plan>, numbering: u64) {
+        self.clock += 1;
+        if !self.entries.contains_key(&fingerprint) && self.entries.len() >= self.capacity {
+            if let Some(&oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                self.entries.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            fingerprint,
+            Entry {
+                plan,
+                numbering,
+                last_used: self.clock,
+            },
+        );
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_cluster::Cluster;
+    use gp_ir::zoo;
+    use gp_partition::{GraphPipePlanner, Planner};
+
+    fn some_plan() -> Arc<Plan> {
+        let model = zoo::mlp_chain(2, 8);
+        Arc::new(
+            GraphPipePlanner::new()
+                .plan(&model, &Cluster::summit_like(2), 8)
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let plan = some_plan();
+        let mut cache = PlanCache::new(2);
+        let (a, b, c) = (Fingerprint(1), Fingerprint(2), Fingerprint(3));
+        cache.insert(a, Arc::clone(&plan), 7);
+        cache.insert(b, Arc::clone(&plan), 7);
+        assert!(cache.get(&a).is_some()); // refresh a; b is now oldest
+        cache.insert(c, Arc::clone(&plan), 7);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get(&b).is_none());
+        assert!(cache.get(&a).is_some());
+        assert!(cache.get(&c).is_some());
+    }
+
+    #[test]
+    fn reinsert_does_not_evict() {
+        let plan = some_plan();
+        let mut cache = PlanCache::new(1);
+        let a = Fingerprint(1);
+        cache.insert(a, Arc::clone(&plan), 7);
+        cache.insert(a, Arc::clone(&plan), 7);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.capacity(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = PlanCache::new(0);
+    }
+}

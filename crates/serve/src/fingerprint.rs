@@ -1,0 +1,478 @@
+//! Canonical structural fingerprints for planning requests.
+//!
+//! The plan cache ([`crate::PlanService`]) is keyed by a 128-bit
+//! [`Fingerprint`] over everything that determines a planner's output:
+//!
+//! * the **model graph**, hashed structurally — per-node labels are
+//!   refined Weisfeiler–Leman style from operator kinds, output shapes and
+//!   neighbourhoods, so the hash is invariant under node-*insertion order*
+//!   (renumbering the same model yields the same fingerprint) while
+//!   different topologies or operator configurations diverge;
+//! * the **series-parallel decomposition**, since planners consume the SP
+//!   tree, not the raw DAG (two trees over the same graph can plan
+//!   differently);
+//! * the **cluster specification** (device profile, topology, links);
+//! * the **planner choice and options** and the **mini-batch size**.
+//!
+//! Operator and model *names* are deliberately excluded: renaming layers
+//! does not change the plan.
+//!
+//! # Examples
+//!
+//! ```
+//! use gp_ir::zoo::{self, MmtConfig};
+//! use gp_cluster::Cluster;
+//! use gp_partition::PlanOptions;
+//! use gp_serve::fingerprint::request_fingerprint;
+//!
+//! let model = zoo::mmt(&MmtConfig::tiny());
+//! let cluster = Cluster::summit_like(4);
+//! let opts = PlanOptions::default();
+//! let a = request_fingerprint(&model, &cluster, 64, &opts, 0);
+//! let b = request_fingerprint(&model, &cluster, 64, &opts, 0);
+//! assert_eq!(a, b);
+//! assert_ne!(a, request_fingerprint(&model, &cluster, 128, &opts, 0));
+//! ```
+
+use gp_cluster::{Cluster, DeviceId};
+use gp_ir::{Graph, SpBlock, SpModel};
+use gp_partition::PlanOptions;
+use std::fmt;
+
+/// A 128-bit structural hash identifying a planning request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fingerprint(pub u128);
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl Fingerprint {
+    /// Parses the 32-hex-digit form produced by `Display` (artifact
+    /// headers).
+    pub fn parse(text: &str) -> Option<Fingerprint> {
+        if text.len() != 32 || !text.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        u128::from_str_radix(text, 16).ok().map(Fingerprint)
+    }
+}
+
+/// One 64-bit lane of the fingerprint: FNV-1a over words, with a
+/// splitmix64 finalizer applied to every absorbed word so that small input
+/// deltas diffuse across the state.
+#[derive(Clone, Copy)]
+struct Lane {
+    state: u64,
+}
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl Lane {
+    fn new(seed: u64) -> Lane {
+        Lane {
+            state: 0xcbf2_9ce4_8422_2325 ^ splitmix64(seed),
+        }
+    }
+
+    fn word(&mut self, w: u64) {
+        self.state = (self.state ^ splitmix64(w)).wrapping_mul(FNV_PRIME);
+    }
+
+    fn words(&mut self, ws: &[u64]) {
+        self.word(ws.len() as u64);
+        for &w in ws {
+            self.word(w);
+        }
+    }
+
+    fn finish(self) -> u64 {
+        splitmix64(self.state)
+    }
+}
+
+/// A pair of independent lanes forming the 128-bit digest.
+struct Digest {
+    lo: Lane,
+    hi: Lane,
+}
+
+impl Digest {
+    fn new(domain: u64) -> Digest {
+        Digest {
+            lo: Lane::new(domain),
+            hi: Lane::new(domain ^ 0x5851_f42d_4c95_7f2d),
+        }
+    }
+
+    fn word(&mut self, w: u64) {
+        self.lo.word(w);
+        self.hi.word(w ^ 0xa5a5_a5a5_a5a5_a5a5);
+    }
+
+    fn words(&mut self, ws: &[u64]) {
+        self.word(ws.len() as u64);
+        for &w in ws {
+            self.word(w);
+        }
+    }
+
+    fn f64_bits(&mut self, f: f64) {
+        self.word(f.to_bits());
+    }
+
+    fn finish(self) -> u128 {
+        ((self.hi.finish() as u128) << 64) | self.lo.finish() as u128
+    }
+}
+
+/// Combines already-final 64-bit labels without order sensitivity.
+fn sorted_fold(labels: &mut [u64]) -> Vec<u64> {
+    labels.sort_unstable();
+    labels.to_vec()
+}
+
+/// Per-node canonical labels of a graph: Weisfeiler–Leman refinement
+/// seeded from each operator's structural words and output shape, then
+/// iterated so every label absorbs its predecessors **in input order**
+/// (input position is semantically meaningful and independent of insertion
+/// order) and its successors **as a sorted multiset** (successor order is
+/// an insertion-order artifact).
+///
+/// The number of rounds equals the graph's longest path length, so every
+/// label sees the whole of its past and future light-cone.
+fn canonical_labels(graph: &Graph) -> Vec<u64> {
+    let n = graph.len();
+    let mut labels: Vec<u64> = graph
+        .nodes()
+        .map(|node| {
+            let mut lane = Lane::new(0x6e6f_6465);
+            lane.words(&node.kind.structural_words());
+            lane.words(
+                &node
+                    .out_shape
+                    .dims()
+                    .iter()
+                    .map(|&d| d as u64)
+                    .collect::<Vec<u64>>(),
+            );
+            lane.finish()
+        })
+        .collect();
+    // Longest path length bounds how far structural information must
+    // travel; one extra round as a safety margin.
+    let order = graph.topo_order();
+    let mut depth = vec![0usize; n];
+    let mut rounds = 1usize;
+    for &id in &order {
+        for &s in graph.succs(id) {
+            depth[s.index()] = depth[s.index()].max(depth[id.index()] + 1);
+            rounds = rounds.max(depth[s.index()] + 1);
+        }
+    }
+    let mut next = vec![0u64; n];
+    for _ in 0..rounds {
+        for node in graph.nodes() {
+            let i = node.id.index();
+            let mut lane = Lane::new(0x0072_6f75_6e64);
+            lane.word(labels[i]);
+            lane.word(graph.preds(node.id).len() as u64);
+            for &p in graph.preds(node.id) {
+                lane.word(labels[p.index()]);
+            }
+            let mut succs: Vec<u64> = graph
+                .succs(node.id)
+                .iter()
+                .map(|&s| labels[s.index()])
+                .collect();
+            lane.words(&sorted_fold(&mut succs));
+            next[i] = lane.finish();
+        }
+        std::mem::swap(&mut labels, &mut next);
+    }
+    labels
+}
+
+/// Folds the SP tree into the digest using canonical node labels for
+/// leaves. `Chain` children are position-sensitive (series order matters);
+/// `Branches` children are folded as a sorted multiset (branch listing
+/// order is an insertion artifact — planners treat branches as an
+/// unordered set of independent subgraphs).
+fn sp_hash(block: &SpBlock, labels: &[u64]) -> u64 {
+    match block {
+        SpBlock::Leaf(op) => {
+            let mut lane = Lane::new(0x6c65_6166);
+            lane.word(labels[op.index()]);
+            lane.finish()
+        }
+        SpBlock::Chain(items) => {
+            let mut lane = Lane::new(0x6368_6169);
+            for item in items {
+                lane.word(sp_hash(item, labels));
+            }
+            lane.finish()
+        }
+        SpBlock::Branches(items) => {
+            let mut hashes: Vec<u64> = items.iter().map(|b| sp_hash(b, labels)).collect();
+            let mut lane = Lane::new(0x6272_6368);
+            lane.words(&sorted_fold(&mut hashes));
+            lane.finish()
+        }
+    }
+}
+
+/// An *order-sensitive* signature of a graph's concrete numbering: a hash
+/// over `(kind, shape, predecessor ids)` in id order. Two graphs with
+/// equal signatures are identical labelled graphs (same operators with the
+/// same ids and the same wiring), so a plan computed for one indexes
+/// exactly the same operators in the other.
+///
+/// This is the counterpart of the canonical [`model_fingerprint`]: the
+/// fingerprint is deliberately invariant under renumbering (the cache
+/// key), while this signature is deliberately *not* (the safety check
+/// before serving a cached plan, whose stage op lists are raw ids).
+pub fn numbering_signature(graph: &Graph) -> u64 {
+    let mut lane = Lane::new(0x006e_756d_6265_7231);
+    lane.word(graph.len() as u64);
+    for node in graph.nodes() {
+        lane.words(&node.kind.structural_words());
+        lane.words(
+            &node
+                .out_shape
+                .dims()
+                .iter()
+                .map(|&d| d as u64)
+                .collect::<Vec<u64>>(),
+        );
+        lane.words(
+            &graph
+                .preds(node.id)
+                .iter()
+                .map(|p| p.0 as u64)
+                .collect::<Vec<u64>>(),
+        );
+    }
+    lane.finish()
+}
+
+/// The canonical fingerprint of a model (graph + SP decomposition),
+/// independent of node-insertion order and operator names.
+pub fn model_fingerprint(model: &SpModel) -> Fingerprint {
+    let graph = model.graph();
+    let labels = canonical_labels(graph);
+    let mut digest = Digest::new(0x006d_6f64_656c);
+    digest.word(graph.len() as u64);
+    digest.word(graph.edge_count() as u64);
+    let mut all = labels.clone();
+    digest.words(&sorted_fold(&mut all));
+    digest.word(sp_hash(model.root(), &labels));
+    Fingerprint(digest.finish())
+}
+
+fn absorb_cluster(digest: &mut Digest, cluster: &Cluster) {
+    digest.word(cluster.device_count() as u64);
+    digest.word(cluster.gpus_per_node() as u64);
+    let p = cluster.profile();
+    digest.words(&p.name.bytes().map(u64::from).collect::<Vec<u64>>());
+    digest.f64_bits(p.peak_flops);
+    digest.f64_bits(p.mem_bandwidth);
+    digest.word(p.mem_capacity);
+    digest.f64_bits(p.kernel_overhead);
+    digest.f64_bits(p.efficiency_half_sat);
+    for link in [cluster.intra_link(), cluster.inter_link()] {
+        digest.f64_bits(link.bandwidth);
+        digest.f64_bits(link.latency);
+    }
+    // Belt and braces: the node assignment derives from gpus_per_node
+    // today, but hash it anyway so future irregular topologies can't alias.
+    for d in 0..cluster.device_count() as u32 {
+        digest.word(cluster.node_of(DeviceId(d)) as u64);
+    }
+}
+
+fn absorb_options(digest: &mut Digest, options: &PlanOptions) {
+    digest.f64_bits(options.epsilon);
+    match &options.micro_batch_candidates {
+        None => digest.word(0),
+        Some(list) => {
+            digest.word(1);
+            digest.words(list);
+        }
+    }
+    digest.word(options.max_micro_batches);
+    digest.words(&options.kfkb_candidates);
+    digest.word(options.per_stage_micro_batch as u64);
+    digest.word(options.eval_budget);
+}
+
+/// The full cache key of a planning request.
+///
+/// `planner_tag` distinguishes planners that share everything else (the
+/// [`crate::ServePlanner`] discriminant).
+pub fn request_fingerprint(
+    model: &SpModel,
+    cluster: &Cluster,
+    mini_batch: u64,
+    options: &PlanOptions,
+    planner_tag: u64,
+) -> Fingerprint {
+    let mut digest = Digest::new(0x0072_6571_7565_7374);
+    let model_fp = model_fingerprint(model).0;
+    digest.word(model_fp as u64);
+    digest.word((model_fp >> 64) as u64);
+    absorb_cluster(&mut digest, cluster);
+    digest.word(mini_batch);
+    absorb_options(&mut digest, options);
+    digest.word(planner_tag);
+    Fingerprint(digest.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_ir::zoo::{self, CandleUnoConfig, MmtConfig, MoeConfig};
+    use gp_ir::{GraphBuilder, OpKind, Shape};
+
+    /// The diamond graph built in two different insertion orders: ids
+    /// permute, structure and input order do not. The two arms are
+    /// *asymmetric* (bias on vs off) so a hash that leaked numeric ids or
+    /// pred/succ construction order would diverge.
+    fn diamond(swap: bool) -> SpModel {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", Shape::vector(8));
+        let (a, c) = if swap {
+            let c = b.linear("b", x, 8, false).unwrap();
+            let a = b.linear("a", x, 8, true).unwrap();
+            (a, c)
+        } else {
+            let a = b.linear("a", x, 8, true).unwrap();
+            let c = b.linear("b", x, 8, false).unwrap();
+            (a, c)
+        };
+        let cat = b.op("cat", OpKind::Concat, &[a, c]).unwrap();
+        let loss = b.loss("loss", &[cat]);
+        let root = SpBlock::Chain(vec![
+            SpBlock::Leaf(x),
+            SpBlock::Branches(vec![SpBlock::Leaf(a), SpBlock::Leaf(c)]),
+            SpBlock::Leaf(cat),
+            SpBlock::Leaf(loss),
+        ]);
+        SpModel::new("diamond", b.finish().unwrap(), root).unwrap()
+    }
+
+    #[test]
+    fn insertion_order_does_not_change_fingerprint() {
+        assert_eq!(
+            model_fingerprint(&diamond(false)),
+            model_fingerprint(&diamond(true))
+        );
+    }
+
+    #[test]
+    fn numbering_signature_distinguishes_renumberings() {
+        // Same fingerprint, different concrete numbering: the signature
+        // must tell them apart (it guards cached-plan reuse) while staying
+        // stable for the identical construction.
+        let (a, b) = (diamond(false), diamond(true));
+        assert_eq!(
+            numbering_signature(a.graph()),
+            numbering_signature(diamond(false).graph())
+        );
+        assert_ne!(
+            numbering_signature(a.graph()),
+            numbering_signature(b.graph())
+        );
+    }
+
+    #[test]
+    fn operator_names_do_not_change_fingerprint() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("renamed_input", Shape::vector(8));
+        let h = b.linear("other_name", x, 8, false).unwrap();
+        let l = b.loss("l", &[h]);
+        let m1 = SpModel::new(
+            "m1",
+            b.finish().unwrap(),
+            SpBlock::Chain(vec![SpBlock::Leaf(x), SpBlock::Leaf(h), SpBlock::Leaf(l)]),
+        )
+        .unwrap();
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", Shape::vector(8));
+        let h = b.linear("fc", x, 8, false).unwrap();
+        let l = b.loss("loss", &[h]);
+        let m2 = SpModel::new(
+            "m2",
+            b.finish().unwrap(),
+            SpBlock::Chain(vec![SpBlock::Leaf(x), SpBlock::Leaf(h), SpBlock::Leaf(l)]),
+        )
+        .unwrap();
+        assert_eq!(model_fingerprint(&m1), model_fingerprint(&m2));
+    }
+
+    #[test]
+    fn distinct_models_have_distinct_fingerprints() {
+        let models = [
+            model_fingerprint(&zoo::mmt(&MmtConfig::tiny())),
+            model_fingerprint(&zoo::mmt(&MmtConfig::two_branch())),
+            model_fingerprint(&zoo::candle_uno(&CandleUnoConfig::tiny())),
+            model_fingerprint(&zoo::candle_uno(&CandleUnoConfig::default())),
+            model_fingerprint(&zoo::candle_uno(&CandleUnoConfig::full())),
+            model_fingerprint(&zoo::moe(&MoeConfig::tiny())),
+            model_fingerprint(&zoo::moe(&MoeConfig::default())),
+            model_fingerprint(&zoo::mlp_chain(4, 32)),
+            model_fingerprint(&zoo::mlp_chain(5, 32)),
+            model_fingerprint(&zoo::mlp_chain(4, 33)),
+        ];
+        for (i, a) in models.iter().enumerate() {
+            for b in &models[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn every_request_component_is_load_bearing() {
+        let model = zoo::mmt(&MmtConfig::tiny());
+        let cluster = Cluster::summit_like(4);
+        let opts = PlanOptions::default();
+        let base = request_fingerprint(&model, &cluster, 64, &opts, 0);
+        assert_ne!(
+            base,
+            request_fingerprint(&model, &Cluster::summit_like(8), 64, &opts, 0)
+        );
+        assert_ne!(
+            base,
+            request_fingerprint(
+                &model,
+                &Cluster::summit_like(4).with_memory_capacity(1 << 30),
+                64,
+                &opts,
+                0
+            )
+        );
+        assert_ne!(base, request_fingerprint(&model, &cluster, 32, &opts, 0));
+        let tweaked = PlanOptions {
+            max_micro_batches: 128,
+            ..PlanOptions::default()
+        };
+        assert_ne!(base, request_fingerprint(&model, &cluster, 64, &tweaked, 0));
+        assert_ne!(base, request_fingerprint(&model, &cluster, 64, &opts, 1));
+    }
+
+    #[test]
+    fn fingerprint_text_round_trips() {
+        let fp = model_fingerprint(&zoo::mlp_chain(2, 8));
+        assert_eq!(Fingerprint::parse(&fp.to_string()), Some(fp));
+        assert_eq!(Fingerprint::parse("xyz"), None);
+        assert_eq!(Fingerprint::parse(""), None);
+    }
+}

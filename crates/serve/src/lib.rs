@@ -1,0 +1,76 @@
+//! # gp-serve — the concurrent plan-serving subsystem
+//!
+//! GraphPipe's value is the *plan*: the §5 partitioner spends tens of
+//! thousands of DP evaluations per query, yet the result is a small, pure
+//! function of `(model, cluster, planner, options, mini-batch)`. This crate
+//! turns planning into a service, the PipeDream-style profiler → planner →
+//! runtime split realized for the reproduction:
+//!
+//! * [`fingerprint`] — **canonical cache keys.** A 128-bit structural hash
+//!   over the model graph (Weisfeiler–Leman-refined, so it is invariant
+//!   under node-insertion order and operator renaming), its SP
+//!   decomposition, the cluster spec, the planner choice and options, and
+//!   the mini-batch size. See
+//!   [`fingerprint::request_fingerprint`] for the exact definition.
+//! * [`artifact`] — **a lossless, versioned plan format.** Hand-rolled
+//!   JSON encode/decode for [`gp_partition::Plan`] with a
+//!   `format`/`version` header, integer-exact numbers, shortest-round-trip
+//!   floats, and *validating* decoding (the stage graph is rebuilt and
+//!   re-checked against §3's C1–C4). `decode(encode(plan)) == plan`,
+//!   exactly. Built on the in-crate [`json`] document model; swapping in
+//!   real serde later only touches that seam.
+//! * [`PlanCache`] — an LRU of decoded plans keyed by fingerprint.
+//! * [`PlanService`] — a thread-pool-backed service (crossbeam channels +
+//!   parking_lot, the same stack as `gp-exec`) that deduplicates
+//!   concurrent identical requests (single-flight), serves repeats from
+//!   the cache without touching the DP path, and reports hit/miss/latency
+//!   counters as [`ServeStats`].
+//!
+//! Plans carry raw operator ids, so before any plan is reused — cache hit
+//! or single-flight fan-out — the receiving request's graph must match the
+//! plan's recorded *numbering signature*
+//! ([`fingerprint::numbering_signature`], an order-sensitive exact-graph
+//! hash). A fingerprint collision — or an isomorphic model with
+//! renumbered operators — therefore degrades to a fresh planner run
+//! instead of returning a plan that indexes the wrong operators.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use gp_cluster::Cluster;
+//! use gp_ir::zoo::{self, CandleUnoConfig};
+//! use gp_serve::{artifact, PlanRequest, PlanService};
+//!
+//! let service = PlanService::new(2, 32);
+//! let model = Arc::new(zoo::candle_uno(&CandleUnoConfig::tiny()));
+//! let request = PlanRequest::new(Arc::clone(&model), Cluster::summit_like(4), 32);
+//! let fingerprint = request.fingerprint();
+//!
+//! // First query plans; the repeat is a cache hit.
+//! let plan = service.plan(request.clone())?;
+//! let cached = service.plan(request)?;
+//! assert_eq!(plan, cached);
+//! assert_eq!(service.stats().planner_runs, 1);
+//!
+//! // Persist the strategy and restore it, losslessly.
+//! let text = artifact::encode_plan(&plan, Some(fingerprint));
+//! let (restored, fp) = artifact::decode_plan(&text, model.graph(), &Cluster::summit_like(4))
+//!     .expect("artifact decodes");
+//! assert_eq!(&restored, &*plan);
+//! assert_eq!(fp, Some(fingerprint));
+//! # Ok::<(), gp_serve::ServeError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod artifact;
+mod cache;
+pub mod fingerprint;
+pub mod json;
+mod service;
+
+pub use cache::PlanCache;
+pub use fingerprint::Fingerprint;
+pub use service::{PlanRequest, PlanService, PlanTicket, ServeError, ServePlanner, ServeStats};

@@ -266,7 +266,10 @@ pub fn simulate(
             events.push((completion[idx.index(s.id, mb, Pass::Backward)], -bytes, dev));
         }
     }
-    events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    // Total order: releases before charges at equal times (so peaks are not
+    // overstated), then by device — independent of construction order, so
+    // reports byte-compare across runs and cached-plan replays.
+    events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
     let mut cur = static_mem.clone();
     peak_memory[..n_dev].copy_from_slice(&cur[..n_dev]);
     for (_, delta, dev) in events {
@@ -292,7 +295,15 @@ pub fn simulate(
             }
         }
     }
-    timeline.sort_by(|a, b| a.start.total_cmp(&b.start));
+    // Sort by a total key — ties on start time are broken by (device,
+    // stage, mb, pass) rather than construction order, so the timeline (and
+    // everything rendered from it, e.g. Gantt charts) is byte-for-byte
+    // deterministic for a given strategy.
+    timeline.sort_by(|a, b| {
+        let ka = (a.device, a.stage, a.mb, a.pass as u8);
+        let kb = (b.device, b.stage, b.mb, b.pass as u8);
+        a.start.total_cmp(&b.start).then(ka.cmp(&kb))
+    });
 
     // Warm-up: the moment every stage has begun working.
     let mut first_start = vec![f64::INFINITY; sg.len()];

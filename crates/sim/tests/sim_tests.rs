@@ -225,3 +225,28 @@ fn gantt_renders_all_devices() {
     assert!(gantt.contains("gpu0"));
     assert!(gantt.contains("bubble"));
 }
+
+#[test]
+fn reports_are_byte_deterministic() {
+    // Repeated simulations of the same strategy must produce identical
+    // timelines and renderings — including tie-breaks between task spans
+    // starting at the same instant on branch stages — so golden tests and
+    // cached-plan replays can byte-compare.
+    let model = zoo::candle_uno(&CandleUnoConfig::tiny());
+    let cluster = Cluster::summit_like(4);
+    let plan = GraphPipePlanner::new().plan(&model, &cluster, 32).unwrap();
+    let a = simulate(model.graph(), &cluster, &plan.stage_graph, &plan.schedule).unwrap();
+    let b = simulate(model.graph(), &cluster, &plan.stage_graph, &plan.schedule).unwrap();
+    assert_eq!(format!("{:?}", a.timeline), format!("{:?}", b.timeline));
+    assert_eq!(
+        render_gantt(&a, &plan.stage_graph, 80),
+        render_gantt(&b, &plan.stage_graph, 80)
+    );
+    // The timeline is ordered by the total key (start, device, stage, mb,
+    // pass), not by construction order.
+    for w in a.timeline.windows(2) {
+        let ka = (w[0].device, w[0].stage, w[0].mb, w[0].pass as u8);
+        let kb = (w[1].device, w[1].stage, w[1].mb, w[1].pass as u8);
+        assert!(w[0].start < w[1].start || (w[0].start == w[1].start && ka <= kb));
+    }
+}

@@ -1,0 +1,92 @@
+//! Golden tests pinning the GraphPipe planner's outputs across the zoo at
+//! 8 and 16 GPUs (the first slice of the ROADMAP "baseline parity" item).
+//!
+//! Each line pins the simulated makespan and the planner's search-stat
+//! counters for one (model, devices) cell. The values are exact: the
+//! planner and simulator are deterministic (see
+//! `reports_are_byte_deterministic` in `gp-sim`), so any diff here is a
+//! behaviour change — either an intentional planner improvement (re-pin
+//! the table after reviewing it) or a regression.
+//!
+//! Wall-clock search time is *not* pinned (it is machine-dependent); the
+//! deterministic counters `dp_evals`/`dp_states`/`binary_iters`/
+//! `configs_tried` stand in for it, mirroring Table 1's cost accounting.
+
+use graphpipe::prelude::*;
+use std::fmt::Write as _;
+
+/// Mini-batch per model at 8 and 16 devices: the Appendix A.2 operating
+/// points for the paper models, and matching-scale choices for the two
+/// ROADMAP additions (full CANDLE-Uno, MoE).
+fn cells() -> Vec<(&'static str, SpModel, [u64; 2])> {
+    vec![
+        ("mmt", zoo::mmt(&zoo::MmtConfig::default()), [128, 256]),
+        ("dlrm", zoo::dlrm(&zoo::DlrmConfig::default()), [512, 1024]),
+        (
+            "candle-uno",
+            zoo::candle_uno(&zoo::CandleUnoConfig::default()),
+            [8192, 16384],
+        ),
+        (
+            "candle-uno-full",
+            zoo::candle_uno(&zoo::CandleUnoConfig::full()),
+            [8192, 16384],
+        ),
+        ("moe", zoo::moe(&zoo::MoeConfig::default()), [256, 512]),
+    ]
+}
+
+fn actual_table() -> String {
+    let opts = PlanOptions {
+        max_micro_batches: 128,
+        ..PlanOptions::default()
+    };
+    let mut out = String::new();
+    for (name, model, mini_batches) in cells() {
+        for (devices, mini_batch) in [8usize, 16].into_iter().zip(mini_batches) {
+            let cluster = Cluster::summit_like(devices);
+            let plan = GraphPipePlanner::with_options(opts.clone())
+                .plan(&model, &cluster, mini_batch)
+                .unwrap_or_else(|e| panic!("{name}@{devices}: {e}"));
+            let report = graphpipe::simulate_plan(&model, &cluster, &plan)
+                .unwrap_or_else(|e| panic!("{name}@{devices}: {e}"));
+            let _ = writeln!(
+                out,
+                "{name} gpus={devices} b={mini_batch} makespan={:.9e} stages={} depth={} \
+                 micro={} evals={} states={} iters={} configs={}",
+                report.iteration_time,
+                plan.stage_graph.len(),
+                plan.pipeline_depth(),
+                plan.max_micro_batch(),
+                plan.stats.dp_evals,
+                plan.stats.dp_states,
+                plan.stats.binary_iters,
+                plan.stats.configs_tried,
+            );
+        }
+    }
+    out
+}
+
+const EXPECTED: &str = "\
+mmt gpus=8 b=128 makespan=1.400232949e0 stages=4 depth=2 micro=64 evals=62122 states=3395 iters=8 configs=34
+mmt gpus=16 b=256 makespan=1.401588110e0 stages=4 depth=2 micro=64 evals=926293 states=16544 iters=8 configs=46
+dlrm gpus=8 b=512 makespan=4.009272153e-2 stages=6 depth=2 micro=256 evals=37292 states=6950 iters=7 configs=29
+dlrm gpus=16 b=1024 makespan=3.913955829e-2 stages=15 depth=2 micro=1024 evals=487946 states=35041 iters=7 configs=36
+candle-uno gpus=8 b=8192 makespan=2.140994895e-1 stages=8 depth=2 micro=4096 evals=26118 states=5056 iters=8 configs=63
+candle-uno gpus=16 b=16384 makespan=2.708418455e-1 stages=8 depth=2 micro=2048 evals=268150 states=21848 iters=8 configs=64
+candle-uno-full gpus=8 b=8192 makespan=6.886048953e-1 stages=8 depth=2 micro=4096 evals=96881 states=14224 iters=8 configs=63
+candle-uno-full gpus=16 b=16384 makespan=7.418773963e-1 stages=8 depth=2 micro=2048 evals=994472 states=68447 iters=8 configs=64
+moe gpus=8 b=256 makespan=7.019171528e-3 stages=6 depth=3 micro=256 evals=46349 states=8173 iters=9 configs=37
+moe gpus=16 b=512 makespan=7.006966486e-3 stages=10 depth=3 micro=512 evals=554730 states=36046 iters=9 configs=46
+";
+
+#[test]
+fn planner_outputs_match_golden_table() {
+    let actual = actual_table();
+    assert_eq!(
+        actual.trim(),
+        EXPECTED.trim(),
+        "\n--- actual table (paste over EXPECTED if the change is intended) ---\n{actual}"
+    );
+}

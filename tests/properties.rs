@@ -120,6 +120,34 @@ proptest! {
         }
     }
 
+    /// Plan artifacts are lossless: for any random SP model and cluster,
+    /// `decode(encode(plan)) == plan` exactly, with the fingerprint carried
+    /// through the header (the gp-serve codec guarantee).
+    #[test]
+    fn plan_artifacts_round_trip(
+        branches in 1usize..5,
+        layers in 1usize..5,
+        width in prop::sample::select(vec![64usize, 128, 256]),
+        devices in 2usize..7,
+        log_b in 2u32..6,
+    ) {
+        use graphpipe::serve::{artifact, fingerprint::request_fingerprint};
+        let model = random_model(branches, layers, width);
+        let cluster = Cluster::summit_like(devices);
+        let mini_batch = 1u64 << log_b;
+        let plan = GraphPipePlanner::new()
+            .plan(&model, &cluster, mini_batch)
+            .expect("tiny models always fit");
+        let fp = request_fingerprint(&model, &cluster, mini_batch, &PlanOptions::default(), 0);
+        let text = artifact::encode_plan(&plan, Some(fp));
+        let (decoded, decoded_fp) = artifact::decode_plan(&text, model.graph(), &cluster)
+            .expect("own artifacts decode");
+        prop_assert_eq!(decoded_fp, Some(fp));
+        prop_assert_eq!(&decoded, &plan, "artifact was lossy: {}", text);
+        // Re-encoding the decoded plan is byte-identical.
+        prop_assert_eq!(artifact::encode_plan(&decoded, Some(fp)), text);
+    }
+
     /// Schedules generated for any warm-up/k combination satisfy C4 and
     /// peak exactly at the requested warm-up length.
     #[test]
