@@ -1,0 +1,243 @@
+//! Planner performance profile: search wall time and DP-search counters
+//! for every zoo model at 8/16/32/64 GPUs, emitted as `BENCH_planner.json`.
+//!
+//! This is the perf-trajectory artifact for the ROADMAP's "partition hot
+//! path" item: run it before and after planner changes and diff the wall
+//! times (the counters are deterministic and double as a drift check).
+//!
+//! Flags:
+//!
+//! * `--smoke` — small fixed-budget subset with pinned plan fingerprints;
+//!   exits non-zero when any fingerprint drifts (CI uses this);
+//! * `--parallel N` — plan with [`ParallelPlanner`] over `N` threads
+//!   instead of the sequential planner (plans are identical by
+//!   construction; only the wall time moves);
+//! * `--models a,b` / `--gpus 8,16` — restrict the sweep;
+//! * `--out PATH` — where to write the JSON (default `BENCH_planner.json`).
+
+use gp_bench::harness::{harness_options, paper_mini_batch};
+use graphpipe::prelude::*;
+use graphpipe::serve::fingerprint::plan_fingerprint;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct CellResult {
+    model: &'static str,
+    gpus: usize,
+    mini_batch: u64,
+    wall_secs: f64,
+    stats: SearchStats,
+    stages: usize,
+    depth: usize,
+    fingerprint: String,
+}
+
+/// The smoke subset: cheap cells with pinned plan fingerprints. The
+/// fingerprint is the gp-serve artifact fingerprint of the produced plan
+/// (stage graph + in-flight + schedule, wall-clock excluded), so any
+/// behaviour change in the planner shows up as drift here before the
+/// golden tables are even consulted.
+const SMOKE_CELLS: &[(&str, usize, &str)] = &[
+    ("mmt", 8, "dbe8f9292f23daa2c5112aba6cdc24ba"),
+    ("dlrm", 8, "f336e9529283a14591873c7cf2635b27"),
+    ("candle-uno", 8, "fba1571a980719c51f9d01f9b9395f08"),
+    ("candle-uno-full", 8, "850498fc6a04cb51a9cd5c868102ac2c"),
+    ("moe", 8, "78f0d19fb603f82016a6c888640ddc79"),
+];
+
+/// Eval budget for the smoke run: far above the smoke cells' real cost
+/// (~300k evals total) yet a hard ceiling against search regressions.
+const SMOKE_EVAL_BUDGET: u64 = 4_000_000;
+
+fn model_by_name(name: &str) -> SpModel {
+    match name {
+        "mmt" => zoo::mmt(&zoo::MmtConfig::default()),
+        "dlrm" => zoo::dlrm(&zoo::DlrmConfig::default()),
+        "candle-uno" => zoo::candle_uno(&zoo::CandleUnoConfig::default()),
+        "candle-uno-full" => zoo::candle_uno(&zoo::CandleUnoConfig::full()),
+        "moe" => zoo::moe(&zoo::MoeConfig::default()),
+        other => panic!("unknown model {other}"),
+    }
+}
+
+fn run_cell(name: &'static str, gpus: usize, opts: &PlanOptions, parallel: usize) -> CellResult {
+    let model = model_by_name(name);
+    let cluster = Cluster::summit_like(gpus);
+    let mini_batch = paper_mini_batch(name, gpus);
+    let t0 = Instant::now();
+    let plan = if parallel > 1 {
+        ParallelPlanner::with_options(opts.clone(), parallel).plan(&model, &cluster, mini_batch)
+    } else {
+        GraphPipePlanner::with_options(opts.clone()).plan(&model, &cluster, mini_batch)
+    }
+    .unwrap_or_else(|e| panic!("{name}@{gpus}: {e}"));
+    let wall_secs = t0.elapsed().as_secs_f64();
+    CellResult {
+        model: name,
+        gpus,
+        mini_batch,
+        wall_secs,
+        stats: plan.stats,
+        stages: plan.stage_graph.len(),
+        depth: plan.pipeline_depth(),
+        fingerprint: plan_fingerprint(&plan).to_string(),
+    }
+}
+
+fn emit_json(results: &[CellResult], parallel: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"planner_profile\",\n");
+    let _ = writeln!(out, "  \"parallelism\": {},", parallel.max(1));
+    out.push_str("  \"cells\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let s = &r.stats;
+        let _ = write!(
+            out,
+            "    {{\"model\": \"{}\", \"gpus\": {}, \"mini_batch\": {}, \
+             \"wall_secs\": {:.6}, \"dp_evals\": {}, \"dp_states\": {}, \
+             \"memo_hits\": {}, \"memo_hit_rate\": {:.4}, \
+             \"work_bound_prunes\": {}, \"memory_prunes\": {}, \
+             \"binary_iters\": {}, \"configs_tried\": {}, \
+             \"stages\": {}, \"depth\": {}, \"fingerprint\": \"{}\"}}",
+            r.model,
+            r.gpus,
+            r.mini_batch,
+            r.wall_secs,
+            s.dp_evals,
+            s.dp_states,
+            s.memo_hits,
+            s.memo_hit_rate(),
+            s.work_bound_prunes,
+            s.memory_prunes,
+            s.binary_iters,
+            s.configs_tried,
+            r.stages,
+            r.depth,
+            r.fingerprint,
+        );
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut parallel = 1usize;
+    let mut models: Vec<String> = vec![
+        "mmt".into(),
+        "dlrm".into(),
+        "candle-uno".into(),
+        "candle-uno-full".into(),
+        "moe".into(),
+    ];
+    let mut gpus: Vec<usize> = vec![8, 16, 32, 64];
+    let mut out_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--parallel" => {
+                parallel = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--parallel N");
+            }
+            "--models" => {
+                models = it
+                    .next()
+                    .expect("--models a,b")
+                    .split(',')
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--gpus" => {
+                gpus = it
+                    .next()
+                    .expect("--gpus 8,16")
+                    .split(',')
+                    .map(|v| v.parse().expect("gpu count"))
+                    .collect();
+            }
+            "--out" => out_path = Some(it.next().expect("--out PATH").clone()),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    // The tracked perf-trajectory artifact for full sweeps; the smoke
+    // variant stays out of the checkout (CI runs it on every push).
+    let out_path = out_path.unwrap_or_else(|| {
+        if smoke {
+            "target/planner_smoke.json".to_string()
+        } else {
+            "BENCH_planner.json".to_string()
+        }
+    });
+
+    let static_names: &[&'static str] = &["mmt", "dlrm", "candle-uno", "candle-uno-full", "moe"];
+    let as_static = |m: &str| -> &'static str {
+        static_names
+            .iter()
+            .copied()
+            .find(|s| *s == m)
+            .unwrap_or_else(|| panic!("unknown model {m}"))
+    };
+
+    if smoke {
+        let opts = PlanOptions {
+            eval_budget: SMOKE_EVAL_BUDGET,
+            ..harness_options()
+        };
+        let mut drifted = false;
+        let mut results = Vec::new();
+        for &(name, g, expected) in SMOKE_CELLS {
+            let r = run_cell(as_static(name), g, &opts, parallel);
+            let ok = r.fingerprint == expected;
+            println!(
+                "{:<16} gpus={:<2} wall={:.3}s evals={} hit-rate={:.1}% fp={} {}",
+                r.model,
+                r.gpus,
+                r.wall_secs,
+                r.stats.dp_evals,
+                r.stats.memo_hit_rate() * 100.0,
+                r.fingerprint,
+                if ok { "ok" } else { "DRIFT" },
+            );
+            if !ok {
+                eprintln!("  expected {expected}");
+                drifted = true;
+            }
+            results.push(r);
+        }
+        std::fs::write(&out_path, emit_json(&results, parallel)).expect("write json");
+        if drifted {
+            eprintln!("plan fingerprint drift detected (see above)");
+            std::process::exit(1);
+        }
+        println!("smoke ok: {} cells, fingerprints stable", results.len());
+        return;
+    }
+
+    let opts = harness_options();
+    let mut results = Vec::new();
+    for m in &models {
+        let name = as_static(m);
+        for &g in &gpus {
+            let r = run_cell(name, g, &opts, parallel);
+            println!(
+                "{:<16} gpus={:<2} wall={:>8.3}s evals={:>10} states={:>8} hit-rate={:.1}% stages={} depth={}",
+                r.model,
+                r.gpus,
+                r.wall_secs,
+                r.stats.dp_evals,
+                r.stats.dp_states,
+                r.stats.memo_hit_rate() * 100.0,
+                r.stages,
+                r.depth,
+            );
+            results.push(r);
+        }
+    }
+    std::fs::write(&out_path, emit_json(&results, parallel)).expect("write json");
+    println!("wrote {out_path}");
+}

@@ -9,9 +9,18 @@ use graphpipe::prelude::*;
 use std::time::Instant;
 
 fn time_plan(planner: &dyn Planner, model: &SpModel, cluster: &Cluster, b: u64) -> Option<f64> {
+    time_plan_stats(planner, model, cluster, b).map(|(t, _)| t)
+}
+
+fn time_plan_stats(
+    planner: &dyn Planner,
+    model: &SpModel,
+    cluster: &Cluster,
+    b: u64,
+) -> Option<(f64, SearchStats)> {
     let t0 = Instant::now();
     match planner.plan(model, cluster, b) {
-        Ok(_) => Some(t0.elapsed().as_secs_f64()),
+        Ok(plan) => Some((t0.elapsed().as_secs_f64(), plan.stats)),
         Err(PlanError::SearchExplosion { .. }) => None,
         Err(other) => {
             eprintln!("warning: {} failed: {other}", planner.name());
@@ -44,6 +53,7 @@ fn main() {
         ])
     );
     println!("{}", row(&vec!["---".to_string(); 7]));
+    let mut counter_rows: Vec<String> = Vec::new();
     for (name, model) in &models {
         for devices in [4usize, 8, 16, 32] {
             let lookup = if *name == "mmt(2-branch)" {
@@ -54,12 +64,25 @@ fn main() {
             let mini_batch = paper_mini_batch(lookup, devices);
             let cluster = Cluster::summit_like(devices);
             let opts = harness_options();
-            let gp = time_plan(
+            let gp_cell = time_plan_stats(
                 &GraphPipePlanner::with_options(opts.clone()),
                 model,
                 &cluster,
                 mini_batch,
             );
+            let gp = gp_cell.as_ref().map(|&(t, _)| t);
+            if let Some((_, s)) = &gp_cell {
+                counter_rows.push(row(&[
+                    name.to_string(),
+                    devices.to_string(),
+                    s.dp_evals.to_string(),
+                    s.dp_states.to_string(),
+                    s.memo_hits.to_string(),
+                    format!("{:.1}%", s.memo_hit_rate() * 100.0),
+                    s.work_bound_prunes.to_string(),
+                    s.memory_prunes.to_string(),
+                ]));
+            }
             let pd = time_plan(
                 &PipeDreamPlanner::with_options(opts.clone()),
                 model,
@@ -92,5 +115,25 @@ fn main() {
                 ])
             );
         }
+    }
+    // The §5 search-cost accounting behind GraphPipe's column: how much of
+    // the work the memo absorbed and the bounds pruned.
+    println!("\n# GraphPipe search counters\n");
+    println!(
+        "{}",
+        row(&[
+            "model".into(),
+            "GPUs".into(),
+            "dp_evals".into(),
+            "dp_states".into(),
+            "memo_hits".into(),
+            "hit-rate".into(),
+            "work-bound prunes".into(),
+            "memory prunes".into(),
+        ])
+    );
+    println!("{}", row(&vec!["---".to_string(); 8]));
+    for r in counter_rows {
+        println!("{r}");
     }
 }

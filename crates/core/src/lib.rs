@@ -88,7 +88,7 @@ pub mod prelude {
     pub use crate::ir::zoo;
     pub use crate::ir::{Graph, OpId, SpModel};
     pub use crate::partition::{
-        GraphPipePlanner, Plan, PlanError, PlanOptions, Planner, SearchStats,
+        GraphPipePlanner, ParallelPlanner, Plan, PlanError, PlanOptions, Planner, SearchStats,
     };
     pub use crate::sim::{render_gantt, SimReport};
     pub use crate::{evaluate, planner, simulate_plan, EvalResult, PlannerKind};

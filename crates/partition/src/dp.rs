@@ -27,6 +27,48 @@
 //! of the device-split range at each chain cut — are pruned by a
 //! work-conservation bound. The sequential baselines optimize min-max
 //! directly and get no such pruning.
+//!
+//! # Arena / slab memo layout
+//!
+//! The DP state is arena-indexed, `Send`, and allocation-light:
+//!
+//! * the SP tree lives in a flat [`Arena`] (`NodeIdx = u32`), with
+//!   on-demand "absorbed" chain variants appended to it;
+//! * solved fragments live in a slab (`FragId = u32`). A [`Frag`] is
+//!   either a single proto-stage or the O(1) concatenation of two earlier
+//!   fragments, so combining candidates never copies stage vectors — the
+//!   winning fragment is flattened into a [`Solution`] once per DP run;
+//! * downstream boundary configurations ([`Down`]) are interned into a
+//!   flat `Vec` and addressed by `DownId = u32`;
+//! * the memo is a dense table, not a hash map: every `(node, interval)`
+//!   subproblem owns a precomputed *slot* (chains: one per suffix;
+//!   branches: one per `[from, to)` range), and each slot holds dense
+//!   `[d - 1] -> FragId` columns per interned `DownId`. Lookups are pure
+//!   indexing; `reset` between binary-search probes is dropping the state
+//!   wholesale;
+//! * the per-chain prefix-time / static-cost caches are flat arrays
+//!   indexed by `NodeIdx` (× micro-batch candidate), and op-membership
+//!   tests use a stamped scratch array instead of per-call hash sets.
+//!
+//! # Determinism & the parallel search
+//!
+//! A single DP run is a pure function of `(graph, cost, SP tree, t_max,
+//! micro-batch candidates, eval budget)`: candidate enumeration order,
+//! tie-breaking, and `Down` interning order are all fixed, and the run
+//! shares no state with other runs. The binary search's probe *sequence*
+//! is in turn a deterministic function of per-probe feasibility. The
+//! parallel planner ([`crate::ParallelPlanner`]) exploits exactly this: it
+//! speculatively evaluates probe targets (the geometric bracket ladder,
+//! plus the upcoming midpoints of the bisection's decision tree) and
+//! micro-batch configurations on scoped worker threads, then **replays the
+//! sequential probe order**, consuming speculative results instead of
+//! computing them. Merged [`SearchStats`] counters are accumulated in
+//! replay order, so the returned [`Plan`] — strategy *and* deterministic
+//! counters — is identical to the sequential planner's; only `stats.wall`
+//! differs. Speculative runs execute under the full eval budget; if the
+//! replay finds that the sequential search would have run out of budget
+//! mid-run, that run is re-executed with the exact remaining budget so
+//! even [`PlanError::SearchExplosion`] accounting is bit-identical.
 
 use crate::plan::{Plan, PlanError, PlanOptions, Planner, SearchStats};
 use gp_cluster::{Cluster, DeviceRange};
@@ -34,7 +76,6 @@ use gp_cost::{CostModel, Pass, BYTES_PER_PARAM_STATE};
 use gp_ir::{Graph, OpId, SpBlock, SpModel};
 use gp_sched::{assign_in_flight, compute_in_flight, schedule_tasks, Stage, StageGraph, StageId};
 use std::collections::HashMap;
-use std::rc::Rc;
 use std::time::Instant;
 
 // ---------------------------------------------------------------- arena --
@@ -51,7 +92,8 @@ enum ANode {
 /// Flat storage for the SP tree, with on-demand "absorbed" chain variants.
 struct Arena {
     nodes: Vec<ANode>,
-    ops: Vec<Rc<Vec<OpId>>>,
+    /// Full operator list per node, in forward topological order.
+    ops: Vec<Vec<OpId>>,
     root: NodeIdx,
     absorb_cache: HashMap<(NodeIdx, NodeIdx, usize, usize), NodeIdx>,
 }
@@ -89,7 +131,7 @@ impl Arena {
         };
         let idx = self.nodes.len() as NodeIdx;
         self.nodes.push(node);
-        self.ops.push(Rc::new(ops));
+        self.ops.push(ops);
         idx
     }
 
@@ -97,8 +139,8 @@ impl Arena {
         &self.nodes[idx as usize]
     }
 
-    fn node_ops(&self, idx: NodeIdx) -> Rc<Vec<OpId>> {
-        Rc::clone(&self.ops[idx as usize])
+    fn node_ops(&self, idx: NodeIdx) -> &[OpId] {
+        &self.ops[idx as usize]
     }
 
     fn children(&self, idx: NodeIdx) -> &[NodeIdx] {
@@ -180,6 +222,11 @@ impl Down {
         Down::from_entries(v)
     }
 
+    /// Largest in-flight requirement among the entries.
+    fn max_entry(&self) -> u64 {
+        self.0.iter().map(|e| e.2).max().unwrap_or(0)
+    }
+
     /// Minimal in-flight samples for a stage with schedule `(k, b)` feeding
     /// these boundaries (the sink keeps `k*b` samples resident).
     fn entry_in_flight(&self, k: u64, b: u64) -> u64 {
@@ -195,10 +242,16 @@ impl Down {
 
 // ------------------------------------------------------------- fragments --
 
-/// A stage in the making: ops + device count, placed later.
-#[derive(Debug, Clone)]
+/// Sentinel meaning "the whole node" for non-chain intervals.
+const WHOLE: (u16, u16) = (0, u16::MAX);
+
+/// A stage in the making: an op interval of an arena node plus a device
+/// count; placed (and its ops resolved) once the search settles.
+#[derive(Debug, Clone, Copy)]
 struct ProtoStage {
-    ops: Rc<Vec<OpId>>,
+    node: NodeIdx,
+    s: u16,
+    e: u16,
     d: u32,
     b: u64,
     k: u64,
@@ -209,15 +262,30 @@ struct ProtoStage {
 /// is minimized").
 type Score = (u64, u64, usize);
 
-/// A solved DP subproblem: the stages of a model fragment in forward
-/// topological order, with boundary bookkeeping.
-#[derive(Debug)]
+type FragId = u32;
+
+/// Fragment structure: a leaf stage, or the concatenation of two earlier
+/// fragments (both series and parallel composition append stage lists, so
+/// one node kind covers both).
+#[derive(Debug, Clone, Copy)]
+enum FragRepr {
+    Single(ProtoStage),
+    Cat(FragId, FragId),
+}
+
+/// A solved DP subproblem in the fragment slab: stages are reachable
+/// through `repr` (flattened only for the winning fragment), with the
+/// boundary bookkeeping and score components cached inline.
+#[derive(Debug, Clone, Copy)]
 struct Frag {
-    stages: Vec<ProtoStage>,
-    /// `(k, b, i)` of the fragment's entry stages (what upstream sees).
-    entries: Down,
-    /// Interned id of `entries`.
+    repr: FragRepr,
+    /// Number of stages in the fragment.
+    len: u32,
+    /// Interned `(k, b, i)` set of the fragment's entry stages (what
+    /// upstream sees).
     entries_id: DownId,
+    /// Largest entry in-flight requirement (first score component).
+    max_entry: u64,
     /// `(k, b, i)` of the stage containing the fragment's last chain
     /// element (what side branches feeding an absorbed join see).
     exit: (u64, u64, u64),
@@ -226,13 +294,85 @@ struct Frag {
 }
 
 impl Frag {
-    fn max_entry(&self) -> u64 {
-        self.entries.0.iter().map(|e| e.2).max().unwrap_or(0)
+    fn score(&self) -> Score {
+        (self.max_entry, self.peak_mem, self.len as usize)
+    }
+}
+
+// ------------------------------------------------------------ dense memo --
+
+/// Encoded memo cell: not yet computed.
+const MEMO_EMPTY: u32 = u32::MAX;
+/// Encoded memo cell: computed, no feasible fragment.
+const MEMO_NONE: u32 = u32::MAX - 1;
+
+/// Dense memoization table: `rows[slot][down]` is a lazily allocated
+/// `[d - 1] -> encoded FragId` column of length `d_max`. Slots are
+/// precomputed per `(node, interval)` (see [`Dp::sync_arena`]); lookups
+/// and inserts are pure indexing.
+struct MemoTable {
+    rows: Vec<Vec<Option<Box<[u32]>>>>,
+    d_max: usize,
+    /// Cells moved off `MEMO_EMPTY` — the distinct-state count.
+    filled: u64,
+}
+
+impl MemoTable {
+    fn new(d_max: usize) -> MemoTable {
+        MemoTable {
+            rows: Vec::new(),
+            d_max,
+            filled: 0,
+        }
     }
 
-    fn score(&self) -> Score {
-        (self.max_entry(), self.peak_mem, self.stages.len())
+    fn get(&self, slot: u32, down: DownId, d: u32) -> u32 {
+        match self.rows[slot as usize]
+            .get(down as usize)
+            .and_then(|c| c.as_deref())
+        {
+            Some(col) => col[(d - 1) as usize],
+            None => MEMO_EMPTY,
+        }
     }
+
+    fn set(&mut self, slot: u32, down: DownId, d: u32, value: u32) {
+        debug_assert_ne!(value, MEMO_EMPTY);
+        let row = &mut self.rows[slot as usize];
+        if row.len() <= down as usize {
+            row.resize(down as usize + 1, None);
+        }
+        let col = row[down as usize]
+            .get_or_insert_with(|| vec![MEMO_EMPTY; self.d_max].into_boxed_slice());
+        let cell = &mut col[(d - 1) as usize];
+        if *cell == MEMO_EMPTY {
+            self.filled += 1;
+        }
+        *cell = value;
+    }
+}
+
+/// Memo slots owned by one arena node: a chain with `n` elements owns `n`
+/// suffix slots; a branches node with `m` children owns `m*(m+1)/2`
+/// interval slots (the whole-node subproblem is the `[0, m)` slot);
+/// leaves are solved inline and own none.
+fn node_slot_count(node: &ANode) -> u32 {
+    match node {
+        ANode::Leaf(_) => 0,
+        ANode::Chain(cs) => cs.len() as u32,
+        ANode::Branches(cs) => {
+            let m = cs.len() as u32;
+            m * (m + 1) / 2
+        }
+    }
+}
+
+/// Local slot of the branch interval `[from, to)` within a branches node
+/// of `m` children (row-major over `from`, triangular).
+fn range_slot(m: u16, from: u16, to: u16) -> u32 {
+    debug_assert!(from < to && to <= m);
+    let (m, from, to) = (m as u32, from as u32, to as u32);
+    from * (2 * m - from + 1) / 2 + (to - from - 1)
 }
 
 // ---------------------------------------------------------------- engine --
@@ -260,14 +400,12 @@ struct StageCand {
     mem: u64,
 }
 
-/// Sentinel meaning "the whole node" for non-chain intervals.
-const WHOLE: (u16, u16) = (0, u16::MAX);
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum MemoKey {
-    Node(NodeIdx, u32, DownId),
-    ChainSuffix(NodeIdx, u16, u32, DownId),
-    BranchRange(NodeIdx, u16, u16, u32, DownId),
+/// A segment whose per-micro-batch costs are needed: a simple-chain
+/// interval served by prefix arrays, or a generic op-set interval.
+#[derive(Debug, Clone, Copy)]
+enum Seg {
+    SimpleChain { chain: NodeIdx, s: u16, e: u16 },
+    Generic { node: NodeIdx, s: u16, e: u16 },
 }
 
 /// Per-segment cost aggregates at one micro-batch size:
@@ -281,62 +419,95 @@ struct Dp<'a> {
     mini_batch: u64,
     t_max: f64,
     mem_budget: u64,
-    b_cands: Rc<Vec<u64>>,
-    k_cands: Rc<Vec<u64>>,
+    b_cands: Vec<u64>,
+    k_cands: Vec<u64>,
     /// Largest micro-batch candidate: at it, per-sample compute time is
     /// minimal, making work-conservation bounds sound for every candidate.
     bound_b: u64,
+    /// Index of `bound_b` in `b_cands`.
+    bound_bi: usize,
     downs: Vec<Down>,
     down_ids: HashMap<Down, DownId>,
-    memo: HashMap<MemoKey, Option<Rc<Frag>>>,
-    chain_static: HashMap<NodeIdx, Rc<ChainStatic>>,
-    /// Per-(chain, b) prefix of element fwd+bwd times for one micro-batch.
-    chain_time: HashMap<(NodeIdx, u64), Rc<Vec<f64>>>,
+    frags: Vec<Frag>,
+    memo: MemoTable,
+    /// First memo slot of each arena node.
+    slot_base: Vec<u32>,
+    /// Per-node chain statics (`None` until computed).
+    chain_static: Vec<Option<Box<ChainStatic>>>,
+    /// Per-(node, b-candidate) prefix of element fwd+bwd times for one
+    /// micro-batch, at `node * b_cands.len() + b_index`.
+    chain_time: Vec<Option<Box<[f64]>>>,
     /// Per-branches-node prefix of per-branch times at `bound_b`.
-    branch_time: HashMap<NodeIdx, Rc<Vec<f64>>>,
-    interval_ops: HashMap<(NodeIdx, u16, u16), Rc<Vec<OpId>>>,
+    branch_time: Vec<Option<Box<[f64]>>>,
+    /// Stamped op-membership scratch (replaces per-call bitmaps).
+    member_stamp: Vec<u64>,
+    cur_stamp: u64,
     evals: u64,
     budget: u64,
     exploded: bool,
+    memo_hits: u64,
+    work_bound_prunes: u64,
+    memory_prunes: u64,
 }
 
 impl<'a> Dp<'a> {
-    #[allow(clippy::too_many_arguments)] // one-shot constructor mirroring Algorithm 1's inputs
-    fn new(
-        graph: &'a Graph,
-        cost: &'a CostModel,
-        root: &SpBlock,
-        mini_batch: u64,
-        t_max: f64,
-        b_cands: Vec<u64>,
-        k_cands: Vec<u64>,
-        budget: u64,
-    ) -> Dp<'a> {
+    fn new(ctx: &'a SearchCtx<'a>, t_max: f64, b_cands: Vec<u64>, budget: u64) -> Dp<'a> {
         let bound_b = b_cands.iter().copied().max().unwrap_or(1);
-        let (b_cands, k_cands) = (Rc::new(b_cands), Rc::new(k_cands));
+        let bound_bi = b_cands.iter().position(|&b| b == bound_b).unwrap_or(0);
         let mut dp = Dp {
-            graph,
-            cost,
-            arena: Arena::build(root),
-            mini_batch,
+            graph: ctx.graph,
+            cost: &ctx.cost,
+            arena: Arena::build(ctx.root),
+            mini_batch: ctx.mini_batch,
             t_max,
-            mem_budget: cost.memory_budget(),
+            mem_budget: ctx.cost.memory_budget(),
             b_cands,
-            k_cands,
+            k_cands: ctx.options.kfkb_candidates.clone(),
             bound_b,
+            bound_bi,
             downs: Vec::new(),
             down_ids: HashMap::new(),
-            memo: HashMap::new(),
-            chain_static: HashMap::new(),
-            chain_time: HashMap::new(),
-            branch_time: HashMap::new(),
-            interval_ops: HashMap::new(),
+            frags: Vec::new(),
+            memo: MemoTable::new(ctx.devices as usize),
+            slot_base: Vec::new(),
+            chain_static: Vec::new(),
+            chain_time: Vec::new(),
+            branch_time: Vec::new(),
+            member_stamp: vec![0; ctx.graph.len()],
+            cur_stamp: 0,
             evals: 0,
             budget,
             exploded: false,
+            memo_hits: 0,
+            work_bound_prunes: 0,
+            memory_prunes: 0,
         };
         dp.intern(Down::default()); // id 0 = the global sink
+        dp.sync_arena();
         dp
+    }
+
+    /// Extends the per-node caches and memo slots after arena growth
+    /// (absorbed chains are appended during solving).
+    fn sync_arena(&mut self) {
+        let b_count = self.b_cands.len().max(1);
+        while self.slot_base.len() < self.arena.nodes.len() {
+            let idx = self.slot_base.len();
+            let base = match idx {
+                0 => 0,
+                _ => self.slot_base[idx - 1] + node_slot_count(&self.arena.nodes[idx - 1]),
+            };
+            self.slot_base.push(base);
+            let slots = node_slot_count(&self.arena.nodes[idx]);
+            for _ in 0..slots {
+                self.memo.rows.push(Vec::new());
+            }
+            self.chain_static.push(None);
+            for _ in 0..b_count {
+                self.chain_time.push(None);
+            }
+            self.branch_time.push(None);
+        }
     }
 
     fn intern(&mut self, down: Down) -> DownId {
@@ -349,8 +520,14 @@ impl<'a> Dp<'a> {
         id
     }
 
-    fn down(&self, id: DownId) -> &Down {
-        &self.downs[id as usize]
+    fn push_frag(&mut self, frag: Frag) -> FragId {
+        let id = self.frags.len() as FragId;
+        self.frags.push(frag);
+        id
+    }
+
+    fn frag(&self, id: FragId) -> &Frag {
+        &self.frags[id as usize]
     }
 
     fn charge(&mut self, units: u64) -> bool {
@@ -361,17 +538,48 @@ impl<'a> Dp<'a> {
         self.exploded
     }
 
+    // ----------------------------------------------------- memo plumbing --
+
+    /// Global memo slot of a chain suffix `[start..n)`.
+    fn chain_slot(&self, chain: NodeIdx, start: u16) -> u32 {
+        self.slot_base[chain as usize] + start as u32
+    }
+
+    /// Global memo slot of a branch interval `[from..to)`.
+    fn branch_slot(&self, branches: NodeIdx, from: u16, to: u16) -> u32 {
+        let m = self.arena.children(branches).len() as u16;
+        self.slot_base[branches as usize] + range_slot(m, from, to)
+    }
+
+    fn memo_get(&mut self, slot: u32, down: DownId, d: u32) -> Option<Option<FragId>> {
+        match self.memo.get(slot, down, d) {
+            MEMO_EMPTY => None,
+            MEMO_NONE => {
+                self.memo_hits += 1;
+                Some(None)
+            }
+            id => {
+                self.memo_hits += 1;
+                Some(Some(id))
+            }
+        }
+    }
+
+    fn memo_set(&mut self, slot: u32, down: DownId, d: u32, value: Option<FragId>) {
+        self.memo.set(slot, down, d, value.unwrap_or(MEMO_NONE));
+    }
+
     // -------------------------------------------------- segment metrics --
 
-    fn chain_static(&mut self, chain: NodeIdx) -> Rc<ChainStatic> {
-        if let Some(cs) = self.chain_static.get(&chain) {
-            return Rc::clone(cs);
+    fn ensure_chain_static(&mut self, chain: NodeIdx) {
+        if self.chain_static[chain as usize].is_some() {
+            return;
         }
-        let children = self.arena.children(chain).to_vec();
-        let n = children.len();
+        let n = self.arena.children(chain).len();
         let mut elem_of: HashMap<OpId, usize> = HashMap::new();
-        for (i, &c) in children.iter().enumerate() {
-            for &op in self.arena.node_ops(c).iter() {
+        for i in 0..n {
+            let c = self.arena.children(chain)[i];
+            for &op in self.arena.node_ops(c) {
                 elem_of.insert(op, i);
             }
         }
@@ -380,11 +588,12 @@ impl<'a> Dp<'a> {
         let mut ext = vec![0u64; n + 1];
         let mut adj = vec![0u64; n + 1];
         let mut simple = true;
-        for (i, &c) in children.iter().enumerate() {
+        for i in 0..n {
+            let c = self.arena.children(chain)[i];
             let mut p = 0u64;
             let mut a = 0u64;
             let mut x = 0u64;
-            for &op in self.arena.node_ops(c).iter() {
+            for &op in self.arena.node_ops(c) {
                 p += self.graph.node(op).kind.param_count() * gp_ir::BYTES_PER_ELEMENT;
                 a += self.graph.stashed_bytes(op);
                 let bytes = self.graph.node(op).output_bytes();
@@ -406,78 +615,171 @@ impl<'a> Dp<'a> {
             act[i + 1] = act[i] + a;
             ext[i + 1] = ext[i] + x;
         }
-        let cs = Rc::new(ChainStatic {
+        self.chain_static[chain as usize] = Some(Box::new(ChainStatic {
             params,
             act,
             ext,
             adj,
             simple,
-        });
-        self.chain_static.insert(chain, Rc::clone(&cs));
-        cs
+        }));
     }
 
-    fn chain_time(&mut self, chain: NodeIdx, b: u64) -> Rc<Vec<f64>> {
-        if let Some(t) = self.chain_time.get(&(chain, b)) {
-            return Rc::clone(t);
+    fn b_index(&self, b: u64) -> usize {
+        self.b_cands
+            .iter()
+            .position(|&x| x == b)
+            .expect("micro-batch size comes from the candidate list")
+    }
+
+    /// Fills the prefix of element fwd+bwd times for `chain` at `b`.
+    fn ensure_chain_time(&mut self, chain: NodeIdx, bi: usize) {
+        let idx = chain as usize * self.b_cands.len().max(1) + bi;
+        if self.chain_time[idx].is_some() {
+            return;
         }
-        let children = self.arena.children(chain).to_vec();
-        let mut prefix = Vec::with_capacity(children.len() + 1);
+        let b = self.b_cands[bi];
+        let n = self.arena.children(chain).len();
+        let mut prefix = Vec::with_capacity(n + 1);
         prefix.push(0.0);
-        for &c in &children {
+        for i in 0..n {
+            let c = self.arena.children(chain)[i];
             let mut t = 0.0;
-            for &op in self.arena.node_ops(c).iter() {
+            for &op in self.arena.node_ops(c) {
                 t += self.cost.op_time(self.graph, op, b, Pass::Forward)
                     + self.cost.op_time(self.graph, op, b, Pass::Backward);
             }
-            prefix.push(prefix.last().expect("non-empty") + t);
+            prefix.push(prefix[i] + t);
         }
-        let prefix = Rc::new(prefix);
-        self.chain_time.insert((chain, b), Rc::clone(&prefix));
-        prefix
+        self.chain_time[idx] = Some(prefix.into_boxed_slice());
     }
 
-    fn interval_ops(&mut self, node: NodeIdx, s: u16, e: u16) -> Rc<Vec<OpId>> {
-        if (s, e) == WHOLE {
-            return self.arena.node_ops(node);
+    /// Prefix time value for `chain` at micro-batch candidate `bi`
+    /// (`ensure_chain_time` must have run).
+    fn chain_time_at(&self, chain: NodeIdx, bi: usize, i: usize) -> f64 {
+        self.chain_time[chain as usize * self.b_cands.len().max(1) + bi]
+            .as_ref()
+            .expect("chain_time filled")[i]
+    }
+
+    /// Fills the prefix of per-branch total times (at `bound_b`).
+    fn ensure_branch_time(&mut self, branches: NodeIdx) {
+        if self.branch_time[branches as usize].is_some() {
+            return;
         }
-        if let Some(ops) = self.interval_ops.get(&(node, s, e)) {
-            return Rc::clone(ops);
+        let n = self.arena.children(branches).len();
+        let mut prefix = Vec::with_capacity(n + 1);
+        prefix.push(0.0);
+        for i in 0..n {
+            let c = self.arena.children(branches)[i];
+            let mut t = 0.0;
+            for &op in self.arena.node_ops(c) {
+                t += self
+                    .cost
+                    .op_time(self.graph, op, self.bound_b, Pass::Forward)
+                    + self
+                        .cost
+                        .op_time(self.graph, op, self.bound_b, Pass::Backward);
+            }
+            prefix.push(prefix[i] + t);
         }
-        let children = self.arena.children(node).to_vec();
-        let ops: Vec<OpId> = children[s as usize..e as usize]
-            .iter()
-            .flat_map(|&c| self.arena.node_ops(c).iter().copied().collect::<Vec<_>>())
-            .collect();
-        let ops = Rc::new(ops);
-        self.interval_ops.insert((node, s, e), Rc::clone(&ops));
-        ops
+        self.branch_time[branches as usize] = Some(prefix.into_boxed_slice());
+    }
+
+    fn branch_time_at(&self, branches: NodeIdx, i: usize) -> f64 {
+        self.branch_time[branches as usize]
+            .as_ref()
+            .expect("branch_time filled")[i]
+    }
+
+    /// Cost aggregates of a segment at micro-batch size `b`.
+    fn segment_costs(&mut self, seg: Seg, b: u64) -> SegmentCosts {
+        match seg {
+            Seg::SimpleChain { chain, s, e } => {
+                let bi = self.b_index(b);
+                self.ensure_chain_time(chain, bi);
+                let stat = self.chain_static[chain as usize]
+                    .as_ref()
+                    .expect("chain_static filled");
+                let (s, e) = (s as usize, e as usize);
+                let comm =
+                    stat.adj[s] + stat.adj[e.min(stat.adj.len() - 1)] + (stat.ext[e] - stat.ext[s]);
+                (
+                    self.chain_time_at(chain, bi, e) - self.chain_time_at(chain, bi, s),
+                    stat.params[e] - stat.params[s],
+                    stat.act[e] - stat.act[s],
+                    comm,
+                )
+            }
+            Seg::Generic { node, s, e } => self.generic_aggregates(node, s, e, b),
+        }
     }
 
     /// Generic per-op-set aggregates, for non-chain intervals (merged
-    /// branch groups, whole composite nodes, non-simple chains).
+    /// branch groups, whole composite nodes, non-simple chains). Uses the
+    /// stamped membership scratch: no per-call allocation.
     fn generic_aggregates(&mut self, node: NodeIdx, s: u16, e: u16, b: u64) -> SegmentCosts {
-        let ops = self.interval_ops(node, s, e);
-        let mut member = vec![false; self.graph.len()];
-        for &op in ops.iter() {
-            member[op.index()] = true;
-        }
-        let mut time = 0.0;
-        let (mut params, mut act, mut comm) = (0u64, 0u64, 0u64);
-        for &op in ops.iter() {
-            time += self.cost.op_time(self.graph, op, b, Pass::Forward)
-                + self.cost.op_time(self.graph, op, b, Pass::Backward);
-            params += self.graph.node(op).kind.param_count() * gp_ir::BYTES_PER_ELEMENT;
-            act += self.graph.stashed_bytes(op);
-            let bytes = self.graph.node(op).output_bytes();
-            for &succ in self.graph.succs(op) {
-                if !member[succ.index()] {
-                    comm += bytes;
+        self.cur_stamp += 1;
+        let stamp = self.cur_stamp;
+        let whole = (s, e) == WHOLE;
+        let (cs, ce) = if whole {
+            (0, self.arena.children(node).len())
+        } else {
+            (s as usize, e as usize)
+        };
+        // Pass 1: mark members.
+        if whole {
+            for &op in self.arena.node_ops(node) {
+                self.member_stamp[op.index()] = stamp;
+            }
+        } else {
+            for i in cs..ce {
+                let c = self.arena.children(node)[i];
+                for &op in self.arena.node_ops(c) {
+                    self.member_stamp[op.index()] = stamp;
                 }
             }
-            for &pred in self.graph.preds(op) {
-                if !member[pred.index()] {
-                    comm += self.graph.node(pred).output_bytes();
+        }
+        // Pass 2: aggregate.
+        let mut time = 0.0;
+        let (mut params, mut act, mut comm) = (0u64, 0u64, 0u64);
+        let visit = |dp: &Self, op: OpId| -> (f64, u64, u64, u64) {
+            let t = dp.cost.op_time(dp.graph, op, b, Pass::Forward)
+                + dp.cost.op_time(dp.graph, op, b, Pass::Backward);
+            let p = dp.graph.node(op).kind.param_count() * gp_ir::BYTES_PER_ELEMENT;
+            let a = dp.graph.stashed_bytes(op);
+            let bytes = dp.graph.node(op).output_bytes();
+            let mut x = 0u64;
+            for &succ in dp.graph.succs(op) {
+                if dp.member_stamp[succ.index()] != stamp {
+                    x += bytes;
+                }
+            }
+            for &pred in dp.graph.preds(op) {
+                if dp.member_stamp[pred.index()] != stamp {
+                    x += dp.graph.node(pred).output_bytes();
+                }
+            }
+            (t, p, a, x)
+        };
+        if whole {
+            for i in 0..self.arena.node_ops(node).len() {
+                let op = self.arena.node_ops(node)[i];
+                let (t, p, a, x) = visit(self, op);
+                time += t;
+                params += p;
+                act += a;
+                comm += x;
+            }
+        } else {
+            for i in cs..ce {
+                let c = self.arena.children(node)[i];
+                for j in 0..self.arena.node_ops(c).len() {
+                    let op = self.arena.node_ops(c)[j];
+                    let (t, p, a, x) = visit(self, op);
+                    time += t;
+                    params += p;
+                    act += a;
+                    comm += x;
                 }
             }
         }
@@ -486,18 +788,12 @@ impl<'a> Dp<'a> {
 
     /// The base case of Algorithm 1: one segment as a single stage with
     /// `d`-way data parallelism; best `(b, k)` candidate by (in-flight,
-    /// memory). `raw` carries `(time_at_b, params, act, comm)` per `b`.
-    fn eval_candidates(
-        &mut self,
-        raw: &dyn Fn(&mut Self, u64) -> SegmentCosts,
-        d: u32,
-        down_id: DownId,
-    ) -> Option<StageCand> {
-        let b_cands = Rc::clone(&self.b_cands);
-        let k_cands = Rc::clone(&self.k_cands);
+    /// memory).
+    fn eval_candidates(&mut self, seg: Seg, d: u32, down_id: DownId) -> Option<StageCand> {
         let mut best: Option<StageCand> = None;
-        for &b in b_cands.iter() {
-            let (time, params, act, comm) = raw(self, b);
+        for bi in 0..self.b_cands.len() {
+            let b = self.b_cands[bi];
+            let (time, params, act, comm) = self.segment_costs(seg, b);
             if self.charge(1) {
                 return None;
             }
@@ -515,12 +811,14 @@ impl<'a> Dp<'a> {
             if tps > self.t_max {
                 continue;
             }
-            for &k in k_cands.iter() {
-                let in_flight = self.down(down_id).entry_in_flight(k, b);
+            for ki in 0..self.k_cands.len() {
+                let k = self.k_cands[ki];
+                let in_flight = self.downs[down_id as usize].entry_in_flight(k, b);
                 let per_replica = CostModel::in_flight_per_replica(in_flight, b, d as usize);
                 let mem =
                     params / gp_ir::BYTES_PER_ELEMENT * BYTES_PER_PARAM_STATE + act * per_replica;
                 if mem > self.mem_budget {
+                    self.memory_prunes += 1;
                     continue;
                 }
                 let cand = StageCand {
@@ -549,71 +847,64 @@ impl<'a> Dp<'a> {
         d: u32,
         down_id: DownId,
     ) -> Option<StageCand> {
-        let stat = self.chain_static(chain);
-        if stat.simple {
-            let raw = move |dp: &mut Self, b: u64| {
-                let t = dp.chain_time(chain, b);
-                let stat = dp.chain_static(chain);
-                let (s, e) = (s as usize, e as usize);
-                let comm =
-                    stat.adj[s] + stat.adj[e.min(stat.adj.len() - 1)] + (stat.ext[e] - stat.ext[s]);
-                (
-                    t[e] - t[s],
-                    stat.params[e] - stat.params[s],
-                    stat.act[e] - stat.act[s],
-                    comm,
-                )
-            };
-            self.eval_candidates(&raw, d, down_id)
+        self.ensure_chain_static(chain);
+        let simple = self.chain_static[chain as usize]
+            .as_ref()
+            .expect("chain_static filled")
+            .simple;
+        let seg = if simple {
+            Seg::SimpleChain { chain, s, e }
         } else {
-            let raw = move |dp: &mut Self, b: u64| dp.generic_aggregates(chain, s, e, b);
-            self.eval_candidates(&raw, d, down_id)
-        }
+            Seg::Generic { node: chain, s, e }
+        };
+        self.eval_candidates(seg, d, down_id)
     }
 
     /// Builds a one-stage fragment from a candidate.
-    fn single_frag(&mut self, node: NodeIdx, s: u16, e: u16, d: u32, cand: StageCand) -> Rc<Frag> {
-        let ops = self.interval_ops(node, s, e);
+    fn single_frag(&mut self, node: NodeIdx, s: u16, e: u16, d: u32, cand: StageCand) -> FragId {
         let entry = (cand.k, cand.b, cand.in_flight);
-        let entries = Down::single(entry);
-        let entries_id = self.intern(entries.clone());
-        Rc::new(Frag {
-            stages: vec![ProtoStage {
-                ops,
+        let entries_id = self.intern(Down::single(entry));
+        self.push_frag(Frag {
+            repr: FragRepr::Single(ProtoStage {
+                node,
+                s,
+                e,
                 d,
                 b: cand.b,
                 k: cand.k,
-            }],
-            entries,
+            }),
+            len: 1,
             entries_id,
+            max_entry: cand.in_flight,
             exit: entry,
             peak_mem: cand.mem,
         })
     }
 
-    fn concat(&mut self, head: &Frag, tail: &Frag) -> Rc<Frag> {
-        let mut stages = head.stages.clone();
-        stages.extend(tail.stages.iter().cloned());
-        Rc::new(Frag {
-            stages,
-            entries: head.entries.clone(),
-            entries_id: head.entries_id,
-            exit: tail.exit,
-            peak_mem: head.peak_mem.max(tail.peak_mem),
+    fn concat(&mut self, head: FragId, tail: FragId) -> FragId {
+        let (h, t) = (*self.frag(head), *self.frag(tail));
+        self.push_frag(Frag {
+            repr: FragRepr::Cat(head, tail),
+            len: h.len + t.len,
+            entries_id: h.entries_id,
+            max_entry: h.max_entry,
+            exit: t.exit,
+            peak_mem: h.peak_mem.max(t.peak_mem),
         })
     }
 
-    fn merge_parallel(&mut self, a: &Frag, b: &Frag) -> Rc<Frag> {
-        let entries = a.entries.union(&b.entries);
-        let entries_id = self.intern(entries.clone());
-        let mut stages = a.stages.clone();
-        stages.extend(b.stages.iter().cloned());
-        Rc::new(Frag {
-            stages,
-            entries,
+    fn merge_parallel(&mut self, a: FragId, b: FragId) -> FragId {
+        let (fa, fb) = (*self.frag(a), *self.frag(b));
+        let union = self.downs[fa.entries_id as usize].union(&self.downs[fb.entries_id as usize]);
+        let max_entry = union.max_entry();
+        let entries_id = self.intern(union);
+        self.push_frag(Frag {
+            repr: FragRepr::Cat(a, b),
+            len: fa.len + fb.len,
             entries_id,
-            exit: b.exit,
-            peak_mem: a.peak_mem.max(b.peak_mem),
+            max_entry,
+            exit: fb.exit,
+            peak_mem: fa.peak_mem.max(fb.peak_mem),
         })
     }
 
@@ -633,31 +924,42 @@ impl<'a> Dp<'a> {
         }
     }
 
+    fn consider(&self, cand: FragId, best: &mut Option<FragId>, best_score: &mut Score) {
+        let s = self.frag(cand).score();
+        if s < *best_score {
+            *best_score = s;
+            *best = Some(cand);
+        }
+    }
+
     // ----------------------------------------------------------- solving --
 
-    fn solve(&mut self, node: NodeIdx, d: u32, down_id: DownId) -> Option<Rc<Frag>> {
+    fn solve(&mut self, node: NodeIdx, d: u32, down_id: DownId) -> Option<FragId> {
         if self.exploded {
             return None;
         }
         match self.arena.node(node) {
             ANode::Leaf(_) => {
-                let cand = {
-                    let raw = move |dp: &mut Self, b: u64| {
-                        dp.generic_aggregates(node, WHOLE.0, WHOLE.1, b)
-                    };
-                    self.eval_candidates(&raw, d, down_id)
-                }?;
+                let cand = self.eval_candidates(
+                    Seg::Generic {
+                        node,
+                        s: WHOLE.0,
+                        e: WHOLE.1,
+                    },
+                    d,
+                    down_id,
+                )?;
                 Some(self.single_frag(node, WHOLE.0, WHOLE.1, d, cand))
             }
             ANode::Chain(_) => self.solve_chain(node, 0, d, down_id),
             ANode::Branches(_) => {
-                let key = MemoKey::Node(node, d, down_id);
-                if let Some(cached) = self.memo.get(&key) {
-                    return cached.clone();
-                }
                 let m = self.arena.children(node).len() as u16;
+                let slot = self.branch_slot(node, 0, m);
+                if let Some(cached) = self.memo_get(slot, down_id, d) {
+                    return cached;
+                }
                 let best = self.solve_branch_range(node, 0, m, d, down_id);
-                self.memo.insert(key, best.clone());
+                self.memo_set(slot, down_id, d, best);
                 best
             }
         }
@@ -670,64 +972,61 @@ impl<'a> Dp<'a> {
         start: u16,
         d: u32,
         down_id: DownId,
-    ) -> Option<Rc<Frag>> {
+    ) -> Option<FragId> {
         if self.exploded {
             return None;
         }
-        let key = MemoKey::ChainSuffix(chain, start, d, down_id);
-        if let Some(cached) = self.memo.get(&key) {
-            return cached.clone();
+        let slot = self.chain_slot(chain, start);
+        if let Some(cached) = self.memo_get(slot, down_id, d) {
+            return cached;
         }
         let n = self.arena.children(chain).len() as u16;
         debug_assert!(start < n);
-        let time = self.chain_time(chain, self.bound_b);
+        self.ensure_chain_time(chain, self.bound_bi);
+        let bi = self.bound_bi;
         // Work bound: the whole suffix must fit d devices at the target.
-        let suffix_time = time[n as usize] - time[start as usize];
+        let suffix_time = self.chain_time_at(chain, bi, n as usize)
+            - self.chain_time_at(chain, bi, start as usize);
         if !self.work_bound_ok(suffix_time, d) {
-            self.memo.insert(key, None);
+            self.work_bound_prunes += 1;
+            self.memo_set(slot, down_id, d, None);
             return None;
         }
-        let mut best: Option<Rc<Frag>> = None;
+        let mut best: Option<FragId> = None;
         let mut best_score: Score = (u64::MAX, u64::MAX, usize::MAX);
-        let consider =
-            |dp: &mut Self, cand: Rc<Frag>, best: &mut Option<Rc<Frag>>, best_score: &mut Score| {
-                let _ = dp;
-                let s = cand.score();
-                if s < *best_score {
-                    *best_score = s;
-                    *best = Some(cand);
-                }
-            };
         // Option A: the whole suffix as one stage.
         if let Some(cand) = self.chain_interval_candidate(chain, start, n, d, down_id) {
             let frag = self.single_frag(chain, start, n, d, cand);
-            consider(self, frag, &mut best, &mut best_score);
+            self.consider(frag, &mut best, &mut best_score);
         }
         // Option B: the suffix is a single composite element — delegate.
         if n - start == 1 {
             let child = self.arena.children(chain)[start as usize];
             if !self.arena.is_leaf(child) {
                 if let Some(f) = self.solve(child, d, down_id) {
-                    consider(self, f, &mut best, &mut best_score);
+                    self.consider(f, &mut best, &mut best_score);
                 }
             }
-            self.memo.insert(key, best.clone());
+            self.memo_set(slot, down_id, d, best);
             return best;
         }
         // Option C: the whole suffix is [Branches, joins...] — absorb.
         if self.absorbable(chain, start, n) {
             if let Some(f) = self.solve_absorbed(chain, start, n, d, down_id) {
-                consider(self, f, &mut best, &mut best_score);
+                self.consider(f, &mut best, &mut best_score);
             }
         }
         // Option D: split at `mid`; solve the downstream part first. The
         // work bound confines the device split to a (usually tiny) window.
         for mid in start + 1..n {
-            let head_time = time[mid as usize] - time[start as usize];
-            let suf_time = time[n as usize] - time[mid as usize];
+            let head_time = self.chain_time_at(chain, bi, mid as usize)
+                - self.chain_time_at(chain, bi, start as usize);
+            let suf_time = self.chain_time_at(chain, bi, n as usize)
+                - self.chain_time_at(chain, bi, mid as usize);
             let d_head_min = self.min_devices(head_time);
             let d_suf_min = self.min_devices(suf_time);
             if d_head_min == u32::MAX || d_suf_min == u32::MAX || d_head_min + d_suf_min > d {
+                self.work_bound_prunes += 1;
                 continue;
             }
             for d_suf in d_suf_min..=d - d_head_min {
@@ -738,56 +1037,58 @@ impl<'a> Dp<'a> {
                 let Some(suffix) = self.solve_chain(chain, mid, d_suf, down_id) else {
                     continue;
                 };
-                let head_down = suffix.entries_id;
+                let (suf_entries, suf_peak, suf_len) = {
+                    let f = self.frag(suffix);
+                    (f.entries_id, f.peak_mem, f.len as usize)
+                };
                 // D1: head segment as a single stage (score-first).
                 if let Some(cand) =
-                    self.chain_interval_candidate(chain, start, mid, d_head, head_down)
+                    self.chain_interval_candidate(chain, start, mid, d_head, suf_entries)
                 {
-                    let score = (
-                        cand.in_flight,
-                        cand.mem.max(suffix.peak_mem),
-                        1 + suffix.stages.len(),
-                    );
+                    let score = (cand.in_flight, cand.mem.max(suf_peak), 1 + suf_len);
                     if score < best_score {
                         let head = self.single_frag(chain, start, mid, d_head, cand);
-                        let combined = self.concat(&head, &suffix);
-                        consider(self, combined, &mut best, &mut best_score);
+                        let combined = self.concat(head, suffix);
+                        self.consider(combined, &mut best, &mut best_score);
                     }
                 }
                 // D2: head is one Branches element — parallel decomposition.
                 if mid == start + 1 {
                     let child = self.arena.children(chain)[start as usize];
                     if self.arena.is_branches(child) {
-                        if let Some(head) = self.solve(child, d_head, head_down) {
+                        if let Some(head) = self.solve(child, d_head, suf_entries) {
+                            let hf = *self.frag(head);
                             let score = (
-                                head.max_entry(),
-                                head.peak_mem.max(suffix.peak_mem),
-                                head.stages.len() + suffix.stages.len(),
+                                hf.max_entry,
+                                hf.peak_mem.max(suf_peak),
+                                hf.len as usize + suf_len,
                             );
                             if score < best_score {
-                                let combined = self.concat(&head, &suffix);
-                                consider(self, combined, &mut best, &mut best_score);
+                                let combined = self.concat(head, suffix);
+                                self.consider(combined, &mut best, &mut best_score);
                             }
                         }
                     }
                 }
                 // D3: head is [Branches, joins...] — absorbed decomposition.
                 if mid > start + 1 && self.absorbable(chain, start, mid) {
-                    if let Some(head) = self.solve_absorbed(chain, start, mid, d_head, head_down) {
+                    if let Some(head) = self.solve_absorbed(chain, start, mid, d_head, suf_entries)
+                    {
+                        let hf = *self.frag(head);
                         let score = (
-                            head.max_entry(),
-                            head.peak_mem.max(suffix.peak_mem),
-                            head.stages.len() + suffix.stages.len(),
+                            hf.max_entry,
+                            hf.peak_mem.max(suf_peak),
+                            hf.len as usize + suf_len,
                         );
                         if score < best_score {
-                            let combined = self.concat(&head, &suffix);
-                            consider(self, combined, &mut best, &mut best_score);
+                            let combined = self.concat(head, suffix);
+                            self.consider(combined, &mut best, &mut best_score);
                         }
                     }
                 }
             }
         }
-        self.memo.insert(key, best.clone());
+        self.memo_set(slot, down_id, d, best);
         best
     }
 
@@ -814,7 +1115,7 @@ impl<'a> Dp<'a> {
         e: u16,
         d: u32,
         down_id: DownId,
-    ) -> Option<Rc<Frag>> {
+    ) -> Option<FragId> {
         if d < 2 {
             return None;
         }
@@ -823,20 +1124,19 @@ impl<'a> Dp<'a> {
         let absorbed = self
             .arena
             .absorbed_chain(branches, chain, s as usize + 1, e as usize);
-        let last_time = {
-            let t = self.chain_time(absorbed, self.bound_b);
-            *t.last().expect("non-empty")
-        };
-        let others_time = {
-            let pre = self.branch_time_prefix(branches);
-            pre[(m - 1) as usize]
-        };
+        self.sync_arena();
+        self.ensure_chain_time(absorbed, self.bound_bi);
+        let last_len = self.arena.children(absorbed).len();
+        let last_time = self.chain_time_at(absorbed, self.bound_bi, last_len);
+        self.ensure_branch_time(branches);
+        let others_time = self.branch_time_at(branches, (m - 1) as usize);
         let d_last_min = self.min_devices(last_time);
         let d_others_min = self.min_devices(others_time);
         if d_last_min == u32::MAX || d_others_min == u32::MAX || d_last_min + d_others_min > d {
+            self.work_bound_prunes += 1;
             return None;
         }
-        let mut best: Option<Rc<Frag>> = None;
+        let mut best: Option<FragId> = None;
         let mut best_score: Score = (u64::MAX, u64::MAX, usize::MAX);
         for d_last in d_last_min..=d - d_others_min {
             if self.charge(1) {
@@ -845,48 +1145,25 @@ impl<'a> Dp<'a> {
             let Some(last) = self.solve(absorbed, d_last, down_id) else {
                 continue;
             };
-            let others_down = self.intern(Down::single(last.exit));
+            let lf = *self.frag(last);
+            let others_down = self.intern(Down::single(lf.exit));
             let Some(others) = self.solve_branch_range(branches, 0, m - 1, d - d_last, others_down)
             else {
                 continue;
             };
+            let of = *self.frag(others);
             let score = (
-                others.max_entry().max(last.max_entry()),
-                others.peak_mem.max(last.peak_mem),
-                others.stages.len() + last.stages.len(),
+                of.max_entry.max(lf.max_entry),
+                of.peak_mem.max(lf.peak_mem),
+                (of.len + lf.len) as usize,
             );
             if score < best_score {
-                let merged = self.merge_parallel(&others, &last);
-                best_score = merged.score();
+                let merged = self.merge_parallel(others, last);
+                best_score = self.frag(merged).score();
                 best = Some(merged);
             }
         }
         best
-    }
-
-    /// Prefix of per-branch total times (at `bound_b`) for a Branches node.
-    fn branch_time_prefix(&mut self, branches: NodeIdx) -> Rc<Vec<f64>> {
-        if let Some(pre) = self.branch_time.get(&branches) {
-            return Rc::clone(pre);
-        }
-        let children = self.arena.children(branches).to_vec();
-        let mut prefix = Vec::with_capacity(children.len() + 1);
-        prefix.push(0.0);
-        for &c in &children {
-            let mut t = 0.0;
-            for &op in self.arena.node_ops(c).iter() {
-                t += self
-                    .cost
-                    .op_time(self.graph, op, self.bound_b, Pass::Forward)
-                    + self
-                        .cost
-                        .op_time(self.graph, op, self.bound_b, Pass::Backward);
-            }
-            prefix.push(prefix.last().expect("non-empty") + t);
-        }
-        let prefix = Rc::new(prefix);
-        self.branch_time.insert(branches, Rc::clone(&prefix));
-        prefix
     }
 
     /// Parallel decomposition over branches `[from..to)`: single stage for
@@ -899,7 +1176,7 @@ impl<'a> Dp<'a> {
         to: u16,
         d: u32,
         down_id: DownId,
-    ) -> Option<Rc<Frag>> {
+    ) -> Option<FragId> {
         if self.exploded || to == from {
             return None;
         }
@@ -907,29 +1184,37 @@ impl<'a> Dp<'a> {
             let child = self.arena.children(branches)[from as usize];
             return self.solve(child, d, down_id);
         }
-        let key = MemoKey::BranchRange(branches, from, to, d, down_id);
-        if let Some(cached) = self.memo.get(&key) {
-            return cached.clone();
+        let slot = self.branch_slot(branches, from, to);
+        if let Some(cached) = self.memo_get(slot, down_id, d) {
+            return cached;
         }
-        let mut best: Option<Rc<Frag>> = None;
+        let mut best: Option<FragId> = None;
         let mut best_score: Score = (u64::MAX, u64::MAX, usize::MAX);
         // The whole group as one (data-parallel) stage.
-        if let Some(cand) = {
-            let raw = move |dp: &mut Self, b: u64| dp.generic_aggregates(branches, from, to, b);
-            self.eval_candidates(&raw, d, down_id)
-        } {
+        if let Some(cand) = self.eval_candidates(
+            Seg::Generic {
+                node: branches,
+                s: from,
+                e: to,
+            },
+            d,
+            down_id,
+        ) {
             let frag = self.single_frag(branches, from, to, d, cand);
-            best_score = frag.score();
+            best_score = self.frag(frag).score();
             best = Some(frag);
         }
         // Binary splits with work-bound device windows.
-        let pre = self.branch_time_prefix(branches);
+        self.ensure_branch_time(branches);
         for split in from + 1..to {
-            let left_time = pre[split as usize] - pre[from as usize];
-            let right_time = pre[to as usize] - pre[split as usize];
+            let left_time = self.branch_time_at(branches, split as usize)
+                - self.branch_time_at(branches, from as usize);
+            let right_time = self.branch_time_at(branches, to as usize)
+                - self.branch_time_at(branches, split as usize);
             let d_left_min = self.min_devices(left_time);
             let d_right_min = self.min_devices(right_time);
             if d_left_min == u32::MAX || d_right_min == u32::MAX || d_left_min + d_right_min > d {
+                self.work_bound_prunes += 1;
                 continue;
             }
             for d1 in d_left_min..=d - d_right_min {
@@ -942,20 +1227,417 @@ impl<'a> Dp<'a> {
                 let Some(b) = self.solve_branch_range(branches, split, to, d - d1, down_id) else {
                     continue;
                 };
+                let (fa, fb) = (*self.frag(a), *self.frag(b));
                 let score = (
-                    a.max_entry().max(b.max_entry()),
-                    a.peak_mem.max(b.peak_mem),
-                    a.stages.len() + b.stages.len(),
+                    fa.max_entry.max(fb.max_entry),
+                    fa.peak_mem.max(fb.peak_mem),
+                    (fa.len + fb.len) as usize,
                 );
                 if score < best_score {
-                    let merged = self.merge_parallel(&a, &b);
-                    best_score = merged.score();
+                    let merged = self.merge_parallel(a, b);
+                    best_score = self.frag(merged).score();
                     best = Some(merged);
                 }
             }
         }
-        self.memo.insert(key, best.clone());
+        self.memo_set(slot, down_id, d, best);
         best
+    }
+
+    // -------------------------------------------------------- extraction --
+
+    /// Resolves a proto-stage's op interval into concrete operator ids.
+    fn resolve_ops(&self, node: NodeIdx, s: u16, e: u16) -> Vec<OpId> {
+        if (s, e) == WHOLE {
+            return self.arena.node_ops(node).to_vec();
+        }
+        self.arena.children(node)[s as usize..e as usize]
+            .iter()
+            .flat_map(|&c| self.arena.node_ops(c).iter().copied())
+            .collect()
+    }
+
+    fn collect_stages(&self, id: FragId, out: &mut Vec<SolvedStage>) {
+        match self.frag(id).repr {
+            FragRepr::Single(ps) => out.push(SolvedStage {
+                ops: self.resolve_ops(ps.node, ps.s, ps.e),
+                d: ps.d,
+                b: ps.b,
+                k: ps.k,
+            }),
+            FragRepr::Cat(a, b) => {
+                self.collect_stages(a, out);
+                self.collect_stages(b, out);
+            }
+        }
+    }
+
+    /// Flattens the winning fragment into an owned, `Send` solution.
+    fn extract(&self, id: FragId) -> Solution {
+        let f = self.frag(id);
+        let mut stages = Vec::with_capacity(f.len as usize);
+        self.collect_stages(id, &mut stages);
+        Solution {
+            stages,
+            peak_mem: f.peak_mem,
+            max_entry: f.max_entry,
+        }
+    }
+}
+
+// ----------------------------------------------------- search primitives --
+
+/// A solved stage of a finished DP run, with ops resolved.
+#[derive(Debug, Clone)]
+pub(crate) struct SolvedStage {
+    pub(crate) ops: Vec<OpId>,
+    pub(crate) d: u32,
+    pub(crate) b: u64,
+    pub(crate) k: u64,
+}
+
+/// The owned, thread-transferable result of one successful DP run.
+#[derive(Debug, Clone)]
+pub(crate) struct Solution {
+    pub(crate) stages: Vec<SolvedStage>,
+    pub(crate) peak_mem: u64,
+    pub(crate) max_entry: u64,
+}
+
+impl Solution {
+    /// PickBetter key of Algorithm 1: less memory wins across
+    /// configurations; ties broken by in-flight pressure.
+    fn pick_key(&self) -> (u64, Score) {
+        (
+            self.peak_mem,
+            (self.max_entry, self.peak_mem, self.stages.len()),
+        )
+    }
+}
+
+/// The outcome of one DP run (one micro-batch configuration at one probe
+/// target), including its budget so the replay can decide whether the run
+/// is valid for the sequential budget trajectory.
+#[derive(Debug, Clone)]
+pub(crate) struct RunResult {
+    pub(crate) solution: Option<Solution>,
+    pub(crate) evals: u64,
+    pub(crate) distinct_states: u64,
+    pub(crate) memo_hits: u64,
+    pub(crate) work_bound_prunes: u64,
+    pub(crate) memory_prunes: u64,
+    pub(crate) exploded: bool,
+    pub(crate) budget: u64,
+}
+
+/// Everything a DP run needs, shared (immutably) across worker threads.
+pub(crate) struct SearchCtx<'a> {
+    pub(crate) graph: &'a Graph,
+    pub(crate) cost: CostModel,
+    pub(crate) root: &'a SpBlock,
+    pub(crate) devices: u32,
+    pub(crate) mini_batch: u64,
+    pub(crate) b_all: Vec<u64>,
+    pub(crate) options: &'a PlanOptions,
+    /// Work-conservation lower bound on the achievable TPS.
+    t_base: f64,
+    /// Loosest target worth probing (`cost.max_tps` of the whole model).
+    t_hi0: f64,
+}
+
+impl<'a> SearchCtx<'a> {
+    pub(crate) fn new(
+        model: &'a SpModel,
+        cluster: &Cluster,
+        mini_batch: u64,
+        options: &'a PlanOptions,
+    ) -> Result<SearchCtx<'a>, PlanError> {
+        let graph = model.graph();
+        let cost = CostModel::new(cluster);
+        let devices = cluster.device_count() as u32;
+        let b_all = options.micro_batch_sizes(mini_batch);
+        if b_all.is_empty() {
+            return Err(PlanError::Infeasible(
+                "no micro-batch size candidates divide the mini-batch".to_string(),
+            ));
+        }
+        let t_hi0 = cost.max_tps(graph);
+        // The optimum can never beat the work-conservation bound
+        // min_b total(b) / (b * |V_D|).
+        let t_base = b_all
+            .iter()
+            .map(|&b| Self::total_time(graph, &cost, b) / (b as f64 * devices as f64))
+            .fold(f64::INFINITY, f64::min)
+            .max(1e-12);
+        Ok(SearchCtx {
+            graph,
+            cost,
+            root: model.root(),
+            devices,
+            mini_batch,
+            b_all,
+            options,
+            t_base,
+            t_hi0,
+        })
+    }
+
+    fn total_time(graph: &Graph, cost: &CostModel, b: u64) -> f64 {
+        graph
+            .nodes()
+            .map(|n| {
+                cost.op_time(graph, n.id, b, Pass::Forward)
+                    + cost.op_time(graph, n.id, b, Pass::Backward)
+            })
+            .sum()
+    }
+
+    /// The geometric bracket ladder: `2 * t_base * 2^j` while within the
+    /// loosest worthwhile target. Fully precomputable, which is what lets
+    /// the parallel provider speculate the bracket phase.
+    pub(crate) fn ladder(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut t = 2.0 * self.t_base;
+        while t <= 4.0 * self.t_hi0 {
+            out.push(t);
+            t *= 2.0;
+        }
+        out
+    }
+
+    /// The micro-batch candidate lists of a probe at target `t` (one DP
+    /// run each), plus how many sizes the work-conservation pre-filter
+    /// discarded. Skipping sizes whose bound already exceeds the target is
+    /// sound: the whole model's work must fit `d * t_max`.
+    pub(crate) fn run_specs(&self, t: f64) -> (Vec<Vec<u64>>, u64) {
+        let feasible: Vec<u64> = self
+            .b_all
+            .iter()
+            .copied()
+            .filter(|&b| {
+                Self::total_time(self.graph, &self.cost, b) / (b as f64 * self.devices as f64) <= t
+            })
+            .collect();
+        let filtered = (self.b_all.len() - feasible.len()) as u64;
+        let specs = if self.options.per_stage_micro_batch {
+            if feasible.is_empty() {
+                Vec::new()
+            } else {
+                vec![feasible]
+            }
+        } else {
+            feasible.into_iter().map(|b| vec![b]).collect()
+        };
+        (specs, filtered)
+    }
+}
+
+/// Runs one DP to completion: one `(t_max, micro-batch candidates)`
+/// configuration under `budget` evals.
+pub(crate) fn run_dp(ctx: &SearchCtx<'_>, t_max: f64, b_cands: Vec<u64>, budget: u64) -> RunResult {
+    let mut dp = Dp::new(ctx, t_max, b_cands, budget);
+    let root = dp.arena.root;
+    let sol = dp.solve(root, ctx.devices, 0);
+    RunResult {
+        solution: sol.map(|id| dp.extract(id)),
+        evals: dp.evals,
+        distinct_states: dp.memo.filled,
+        memo_hits: dp.memo_hits,
+        work_bound_prunes: dp.work_bound_prunes,
+        memory_prunes: dp.memory_prunes,
+        exploded: dp.exploded,
+        budget,
+    }
+}
+
+// ----------------------------------------------------------- the driver --
+
+/// Supplies probe results to the search driver. Implementations must
+/// return, for target `t`, one [`RunResult`] per [`SearchCtx::run_specs`]
+/// entry (in order). Each run records the budget it executed under; the
+/// replay re-runs any run whose budget diverged from the sequential
+/// trajectory in a way that mattered.
+pub(crate) trait ProbeProvider {
+    /// Computes (or retrieves a speculatively computed) probe, giving up
+    /// ownership of its runs. `remaining` is the eval budget the
+    /// sequential search would have left at this point — an on-demand
+    /// provider should honor it (making the replay's re-run path dead
+    /// code); a speculative provider cannot know it in advance and uses
+    /// the full budget instead.
+    fn take(&mut self, t: f64, remaining: u64) -> Vec<RunResult>;
+
+    /// Hints targets that may be consumed soon (in likelihood order). A
+    /// speculative provider evaluates a prefix of them concurrently.
+    fn prefetch(&mut self, _targets: &[f64]) {}
+
+    /// How many bisection levels ahead the driver should reveal to
+    /// `prefetch` (0 disables speculation).
+    fn spec_depth(&self) -> u32 {
+        0
+    }
+}
+
+/// The sequential provider: computes every probe on demand, nothing
+/// speculative.
+struct SequentialProvider<'c, 'a> {
+    ctx: &'c SearchCtx<'a>,
+}
+
+impl ProbeProvider for SequentialProvider<'_, '_> {
+    fn take(&mut self, t: f64, remaining: u64) -> Vec<RunResult> {
+        // Mirror the in-probe budget trajectory exactly: run `i` executes
+        // under what remains after runs `0..i`, so the replay never needs
+        // to re-run anything on the sequential path — and an explosion
+        // aborts the probe immediately (the replay errors out at that run
+        // without looking past it).
+        let (specs, _) = self.ctx.run_specs(t);
+        let mut used = 0u64;
+        let mut runs = Vec::with_capacity(specs.len());
+        for b_cands in specs {
+            let run = run_dp(self.ctx, t, b_cands, remaining.saturating_sub(used));
+            used += run.evals;
+            let exploded = run.exploded;
+            runs.push(run);
+            if exploded {
+                break;
+            }
+        }
+        runs
+    }
+}
+
+/// Replays one probe in sequential order, merging its runs into the
+/// stats/budget trajectory. Runs that the sequential search would have
+/// executed under a *smaller* remaining budget than they were given — and
+/// that would have mattered (explosion, or more evals than remain) — are
+/// re-executed with the exact remaining budget, so explosion accounting is
+/// bit-identical to a fully sequential search.
+fn replay_probe(
+    ctx: &SearchCtx<'_>,
+    t: f64,
+    runs: Vec<RunResult>,
+    stats: &mut SearchStats,
+    evals_used: &mut u64,
+) -> Result<Option<Solution>, PlanError> {
+    stats.binary_iters += 1;
+    let (specs, filtered) = ctx.run_specs(t);
+    stats.work_bound_prunes += filtered;
+    // A provider may truncate after an exploded run (nothing past it is
+    // ever consumed); otherwise the counts must agree.
+    debug_assert!(
+        runs.len() == specs.len() || runs.last().is_some_and(|r| r.exploded),
+        "provider returned {} runs for {} specs",
+        runs.len(),
+        specs.len()
+    );
+    let mut best: Option<Solution> = None;
+    for (run, b_cands) in runs.into_iter().zip(specs) {
+        stats.configs_tried += 1;
+        let remaining = ctx.options.eval_budget.saturating_sub(*evals_used);
+        let run = if (run.exploded || run.evals > remaining) && run.budget != remaining {
+            run_dp(ctx, t, b_cands, remaining)
+        } else {
+            run
+        };
+        *evals_used += run.evals;
+        stats.dp_evals += run.evals;
+        stats.dp_states = stats.dp_states.max(run.distinct_states);
+        stats.memo_hits += run.memo_hits;
+        stats.work_bound_prunes += run.work_bound_prunes;
+        stats.memory_prunes += run.memory_prunes;
+        if run.exploded {
+            return Err(PlanError::SearchExplosion { evals: *evals_used });
+        }
+        if let Some(sol) = run.solution {
+            let better = match &best {
+                None => true,
+                Some(cur) => sol.pick_key() < cur.pick_key(),
+            };
+            if better {
+                best = Some(sol);
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// The future midpoints of the bisection's decision tree over `[lo, hi)`,
+/// to `depth` levels: after probing `mid(lo, hi)` the next target is the
+/// midpoint of either half, so the whole frontier is known in advance.
+fn bisect_targets(lo: f64, hi: f64, epsilon: f64, depth: u32, out: &mut Vec<f64>) {
+    if depth == 0 || hi - lo <= epsilon * hi {
+        return;
+    }
+    let mid = 0.5 * (lo + hi);
+    out.push(mid);
+    bisect_targets(lo, mid, epsilon, depth - 1, out);
+    bisect_targets(mid, hi, epsilon, depth - 1, out);
+}
+
+/// Algorithm 1 lines 2–11: geometric bracketing from the
+/// work-conservation bound, then bisection to `epsilon`. The probe
+/// sequence is replayed strictly sequentially regardless of how the
+/// provider computed the probes, which is the determinism contract of the
+/// parallel planner.
+pub(crate) fn drive_search(
+    ctx: &SearchCtx<'_>,
+    provider: &mut dyn ProbeProvider,
+) -> Result<(Solution, SearchStats), PlanError> {
+    let mut stats = SearchStats::default();
+    let mut evals_used = 0u64;
+    let epsilon = ctx.options.epsilon;
+    let ladder = ctx.ladder();
+    let mut best: Option<Solution> = None;
+    let mut t_lo = ctx.t_base;
+    let mut t_hi = 2.0 * ctx.t_base;
+    let mut rung = 0usize;
+    while best.is_none() && rung < ladder.len() {
+        // Speculate only a couple of rungs ahead: the bracket almost
+        // always resolves within two probes, and high rungs (loose
+        // targets) are the most expensive ones to evaluate wastefully.
+        provider.prefetch(&ladder[rung..ladder.len().min(rung + 2)]);
+        let t = ladder[rung];
+        t_hi = t;
+        let remaining = ctx.options.eval_budget.saturating_sub(evals_used);
+        let runs = provider.take(t, remaining);
+        best = replay_probe(ctx, t, runs, &mut stats, &mut evals_used)?;
+        if best.is_none() {
+            t_lo = t;
+            rung += 1;
+        }
+    }
+    if best.is_some() {
+        // Refine within the bracket [t_lo, t_hi].
+        while t_hi - t_lo > epsilon * t_hi {
+            let depth = provider.spec_depth();
+            if depth > 0 {
+                let mut targets = Vec::new();
+                bisect_targets(t_lo, t_hi, epsilon, depth, &mut targets);
+                provider.prefetch(&targets);
+            }
+            for _ in 0..depth.max(1) {
+                if t_hi - t_lo <= epsilon * t_hi {
+                    break;
+                }
+                let t_m = 0.5 * (t_lo + t_hi);
+                let remaining = ctx.options.eval_budget.saturating_sub(evals_used);
+                let runs = provider.take(t_m, remaining);
+                match replay_probe(ctx, t_m, runs, &mut stats, &mut evals_used)? {
+                    Some(sol) => {
+                        best = Some(sol);
+                        t_hi = t_m;
+                    }
+                    None => t_lo = t_m,
+                }
+            }
+        }
+    }
+    match best {
+        Some(sol) => Ok((sol, stats)),
+        None => Err(PlanError::Infeasible(format!(
+            "no partition fits the {} MiB device memory budget",
+            ctx.cost.memory_budget() >> 20
+        ))),
     }
 }
 
@@ -963,6 +1645,10 @@ impl<'a> Dp<'a> {
 
 /// The GraphPipe planner: topology-aware stage partitioning with the §6
 /// micro-batch scheduler in the loop.
+///
+/// With [`PlanOptions::parallelism`] above one the search runs on the
+/// speculative parallel driver (see [`crate::ParallelPlanner`]); the
+/// produced plan is identical either way.
 ///
 /// # Examples
 ///
@@ -999,86 +1685,8 @@ impl GraphPipePlanner {
         &self.options
     }
 
-    /// One `SearchStageGraph` invocation (Algorithm 1 lines 13–20): try
-    /// every candidate schedule configuration at target `t_max`, keep the
-    /// one with the smallest memory footprint.
-    #[allow(clippy::too_many_arguments)]
-    fn search_stage_graph(
-        &self,
-        graph: &Graph,
-        cost: &CostModel,
-        root_block: &SpBlock,
-        devices: u32,
-        mini_batch: u64,
-        t_max: f64,
-        b_all: &[u64],
-        stats: &mut SearchStats,
-        evals_used: &mut u64,
-    ) -> Result<Option<Rc<Frag>>, PlanError> {
-        // Skip micro-batch sizes whose work-conservation bound already
-        // exceeds the target: the whole model's work must fit d * t_max.
-        let feasible_b: Vec<u64> = b_all
-            .iter()
-            .copied()
-            .filter(|&b| {
-                let total: f64 = graph
-                    .nodes()
-                    .map(|n| {
-                        cost.op_time(graph, n.id, b, Pass::Forward)
-                            + cost.op_time(graph, n.id, b, Pass::Backward)
-                    })
-                    .sum();
-                total / (b as f64 * devices as f64) <= t_max
-            })
-            .collect();
-        let runs: Vec<Vec<u64>> = if self.options.per_stage_micro_batch {
-            if feasible_b.is_empty() {
-                Vec::new()
-            } else {
-                vec![feasible_b]
-            }
-        } else {
-            feasible_b.iter().map(|&b| vec![b]).collect()
-        };
-        let mut best: Option<Rc<Frag>> = None;
-        for b_cands in runs {
-            stats.configs_tried += 1;
-            let mut dp = Dp::new(
-                graph,
-                cost,
-                root_block,
-                mini_batch,
-                t_max,
-                b_cands,
-                self.options.kfkb_candidates.clone(),
-                self.options.eval_budget.saturating_sub(*evals_used),
-            );
-            let root = dp.arena.root;
-            let sol = dp.solve(root, devices, 0);
-            *evals_used += dp.evals;
-            stats.dp_evals += dp.evals;
-            stats.dp_states += dp.memo.len() as u64;
-            if dp.exploded {
-                return Err(PlanError::SearchExplosion { evals: *evals_used });
-            }
-            if let Some(f) = sol {
-                // PickBetter of Algorithm 1: less memory wins across
-                // configurations; ties broken by in-flight pressure.
-                let better = match &best {
-                    None => true,
-                    Some(cur) => (f.peak_mem, f.score()) < (cur.peak_mem, cur.score()),
-                };
-                if better {
-                    best = Some(f);
-                }
-            }
-        }
-        Ok(best)
-    }
-
-    fn frag_to_plan(
-        &self,
-        frag: &Frag,
+    fn solution_to_plan(
+        solution: &Solution,
         model: &SpModel,
         cluster: &Cluster,
         cost: &CostModel,
@@ -1088,21 +1696,21 @@ impl GraphPipePlanner {
         // Place wide (data-parallel) stages first so their replicas stay
         // within a node: a 4-way stage allreduces over NVLink instead of
         // straddling the node boundary onto InfiniBand.
-        let mut order: Vec<usize> = (0..frag.stages.len()).collect();
-        order.sort_by_key(|&i| std::cmp::Reverse(frag.stages[i].d));
-        let mut ranges: Vec<Option<DeviceRange>> = vec![None; frag.stages.len()];
+        let mut order: Vec<usize> = (0..solution.stages.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(solution.stages[i].d));
+        let mut ranges: Vec<Option<DeviceRange>> = vec![None; solution.stages.len()];
         let mut cursor = 0u32;
         for &i in &order {
-            ranges[i] = Some(DeviceRange::new(cursor, frag.stages[i].d));
-            cursor += frag.stages[i].d;
+            ranges[i] = Some(DeviceRange::new(cursor, solution.stages[i].d));
+            cursor += solution.stages[i].d;
         }
-        let stages: Vec<Stage> = frag
+        let stages: Vec<Stage> = solution
             .stages
             .iter()
             .enumerate()
             .map(|(i, ps)| Stage {
                 id: StageId(i as u32),
-                ops: (*ps.ops).clone(),
+                ops: ps.ops.clone(),
                 devices: ranges[i].expect("every stage placed"),
                 micro_batch: ps.b,
                 kfkb: ps.k,
@@ -1134,89 +1742,17 @@ impl Planner for GraphPipePlanner {
 
     fn plan(&self, model: &SpModel, cluster: &Cluster, mini_batch: u64) -> Result<Plan, PlanError> {
         let start = Instant::now();
-        let graph = model.graph();
-        let cost = CostModel::new(cluster);
-        let devices = cluster.device_count() as u32;
-        let b_all = self.options.micro_batch_sizes(mini_batch);
-        if b_all.is_empty() {
-            return Err(PlanError::Infeasible(
-                "no micro-batch size candidates divide the mini-batch".to_string(),
-            ));
-        }
-        let mut stats = SearchStats::default();
-        let mut evals_used = 0u64;
-        let t_hi0 = cost.max_tps(graph);
-
-        // Binary search (Algorithm 1 lines 2–11), bracketed from below: the
-        // optimum can never beat the work-conservation bound
-        // min_b total(b) / (b * |V_D|), so we climb geometrically from that
-        // bound until the first feasible target, then refine. Every probe
-        // therefore runs with tight work-bound pruning windows — this is
-        // what keeps GraphPipe's search fast relative to the min-max
-        // baselines (§7.2).
-        let t_base = b_all
-            .iter()
-            .map(|&b| {
-                let total: f64 = graph
-                    .nodes()
-                    .map(|n| {
-                        cost.op_time(graph, n.id, b, Pass::Forward)
-                            + cost.op_time(graph, n.id, b, Pass::Backward)
-                    })
-                    .sum();
-                total / (b as f64 * devices as f64)
-            })
-            .fold(f64::INFINITY, f64::min)
-            .max(1e-12);
-        let search = |t_m: f64,
-                      stats: &mut SearchStats,
-                      evals_used: &mut u64|
-         -> Result<Option<Rc<Frag>>, PlanError> {
-            stats.binary_iters += 1;
-            self.search_stage_graph(
-                graph,
-                &cost,
-                model.root(),
-                devices,
-                mini_batch,
-                t_m,
-                &b_all,
-                stats,
-                evals_used,
-            )
-        };
-        let mut t_hi = 2.0 * t_base;
-        let mut t_lo = t_base;
-        let mut best: Option<Rc<Frag>> = None;
-        while best.is_none() && t_hi <= 4.0 * t_hi0 {
-            best = search(t_hi, &mut stats, &mut evals_used)?;
-            if best.is_none() {
-                t_lo = t_hi;
-                t_hi *= 2.0;
-            }
-        }
-        if let Some(found) = &best {
-            let _ = found;
-            // Refine within the bracket [t_lo, t_hi].
-            while t_hi - t_lo > self.options.epsilon * t_hi {
-                let t_m = 0.5 * (t_lo + t_hi);
-                match search(t_m, &mut stats, &mut evals_used)? {
-                    Some(f) => {
-                        best = Some(f);
-                        t_hi = t_m;
-                    }
-                    None => t_lo = t_m,
-                }
-            }
-        }
-        let Some(best) = best else {
-            return Err(PlanError::Infeasible(format!(
-                "no partition fits the {} MiB device memory budget",
-                cost.memory_budget() >> 20
-            )));
+        let ctx = SearchCtx::new(model, cluster, mini_batch, &self.options)?;
+        let (solution, mut stats) = if self.options.parallelism > 1 {
+            let mut provider =
+                crate::parallel::SpeculativeProvider::new(&ctx, self.options.parallelism);
+            drive_search(&ctx, &mut provider)?
+        } else {
+            let mut provider = SequentialProvider { ctx: &ctx };
+            drive_search(&ctx, &mut provider)?
         };
         stats.wall = start.elapsed();
-        self.frag_to_plan(&best, model, cluster, &cost, mini_batch, stats)
+        Self::solution_to_plan(&solution, model, cluster, &ctx.cost, mini_batch, stats)
     }
 }
 
@@ -1249,6 +1785,48 @@ mod tests {
     }
 
     #[test]
+    fn dp_state_is_send() {
+        // The whole point of the arena refactor: a DP run can live on a
+        // worker thread. (Compile-time check.)
+        fn assert_send<T: Send>() {}
+        assert_send::<Dp<'static>>();
+        assert_send::<RunResult>();
+        assert_send::<Solution>();
+    }
+
+    #[test]
+    fn branch_range_slots_are_triangular_and_unique() {
+        for m in 1u16..8 {
+            let mut seen = vec![false; (m as usize) * (m as usize + 1) / 2];
+            for from in 0..m {
+                for to in from + 1..=m {
+                    let slot = range_slot(m, from, to) as usize;
+                    assert!(!seen[slot], "m={m} ({from},{to}) collides");
+                    seen[slot] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "m={m} leaves holes");
+        }
+    }
+
+    #[test]
+    fn memo_table_counts_distinct_cells_once() {
+        let mut memo = MemoTable::new(4);
+        memo.rows.push(Vec::new());
+        memo.rows.push(Vec::new());
+        assert_eq!(memo.get(0, 0, 1), MEMO_EMPTY);
+        memo.set(0, 0, 1, 7);
+        memo.set(0, 0, 1, 9); // overwrite: not a new state
+        memo.set(0, 3, 4, MEMO_NONE);
+        memo.set(1, 0, 2, 0);
+        assert_eq!(memo.filled, 3);
+        assert_eq!(memo.get(0, 0, 1), 9);
+        assert_eq!(memo.get(0, 3, 4), MEMO_NONE);
+        assert_eq!(memo.get(1, 0, 2), 0);
+        assert_eq!(memo.get(1, 1, 1), MEMO_EMPTY);
+    }
+
+    #[test]
     fn plans_sequential_chain() {
         let model = zoo::mlp_chain(8, 512);
         let plan = plan_for(&model, 4, 32).unwrap();
@@ -1272,7 +1850,7 @@ mod tests {
 
     #[test]
     fn case_study_produces_depth_below_stage_count() {
-        let model = zoo::case_study(&MmtConfig::default());
+        let model = zoo::case_study(&zoo::MmtConfig::default());
         let plan = plan_for(&model, 8, 64).unwrap();
         assert!(plan.stage_graph.len() >= 2);
         assert!(plan.pipeline_depth() <= plan.stage_graph.len());
@@ -1326,6 +1904,19 @@ mod tests {
         assert!(plan.stats.dp_evals > 0);
         assert!(plan.stats.binary_iters > 0);
         plan.schedule.validate_c4(&plan.stage_graph).unwrap();
+    }
+
+    #[test]
+    fn search_counters_are_populated() {
+        let model = zoo::dlrm(&DlrmConfig::default());
+        let plan = plan_for(&model, 8, 512).unwrap();
+        assert!(plan.stats.memo_hits > 0);
+        assert!(plan.stats.work_bound_prunes > 0);
+        assert!(plan.stats.dp_states > 0);
+        // dp_states is a per-run peak now: it cannot exceed total evals.
+        assert!(plan.stats.dp_states <= plan.stats.dp_evals);
+        let rate = plan.stats.memo_hit_rate();
+        assert!(rate > 0.0 && rate < 1.0, "{rate}");
     }
 
     #[test]

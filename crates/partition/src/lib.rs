@@ -28,7 +28,9 @@
 #![forbid(unsafe_code)]
 
 mod dp;
+mod parallel;
 mod plan;
 
 pub use dp::GraphPipePlanner;
+pub use parallel::ParallelPlanner;
 pub use plan::{Plan, PlanError, PlanOptions, Planner, SearchStats};

@@ -31,6 +31,12 @@ pub struct PlanOptions {
     /// Abort the search after this many DP evaluations (guards against
     /// exponential blow-ups; primarily exercised by the Piper baseline).
     pub eval_budget: u64,
+    /// Worker threads used to evaluate binary-search targets and
+    /// micro-batch configurations speculatively (`1` = sequential). The
+    /// produced plan is byte-identical for every value — parallelism only
+    /// changes wall-clock time — so this knob is deliberately excluded
+    /// from `gp-serve` request fingerprints.
+    pub parallelism: usize,
 }
 
 impl Default for PlanOptions {
@@ -42,6 +48,7 @@ impl Default for PlanOptions {
             kfkb_candidates: vec![1],
             per_stage_micro_batch: false,
             eval_budget: 200_000_000,
+            parallelism: 1,
         }
     }
 }
@@ -118,12 +125,39 @@ pub struct SearchStats {
     pub wall: Duration,
     /// Dynamic-programming evaluations performed.
     pub dp_evals: u64,
-    /// Distinct memoized DP states.
+    /// Distinct memoized DP states, at the peak across DP invocations.
+    /// Every binary-search probe (and every micro-batch configuration)
+    /// builds its own memo table, so summing table sizes across probes —
+    /// what this field used to report — counts the same logical states
+    /// once per probe; the maximum is the honest "how big does the state
+    /// space get" number.
     pub dp_states: u64,
+    /// Memo lookups answered from the table (across all DP invocations).
+    pub memo_hits: u64,
+    /// Subproblems discarded by the work-conservation bound before any
+    /// candidate evaluation (whole-suffix infeasibility plus empty
+    /// device-split windows).
+    pub work_bound_prunes: u64,
+    /// Stage candidates discarded for exceeding the device memory budget.
+    pub memory_prunes: u64,
     /// Binary-search iterations (0 for single-shot planners).
     pub binary_iters: u32,
     /// Schedule configurations (micro-batch sizes etc.) tried.
     pub configs_tried: u32,
+}
+
+impl SearchStats {
+    /// Fraction of DP work requests answered by the memo:
+    /// `memo_hits / (memo_hits + dp_evals)`. A hit short-circuits the
+    /// charged evaluation it replaces, so this is the share of the search
+    /// the memo absorbed (0 when nothing ran).
+    pub fn memo_hit_rate(&self) -> f64 {
+        let total = self.memo_hits + self.dp_evals;
+        if total == 0 {
+            return 0.0;
+        }
+        self.memo_hits as f64 / total as f64
+    }
 }
 
 /// A complete training strategy: the validated stage graph, its in-flight

@@ -7,12 +7,12 @@
 //! works today with the vendored serde API-stubs; when the real serde
 //! lands, only this module needs revisiting.
 //!
-//! # Format (version 1)
+//! # Format (version 2)
 //!
 //! ```json
 //! {
 //!   "format": "graphpipe-plan",
-//!   "version": 1,
+//!   "version": 2,
 //!   "fingerprint": "<32 hex digits, optional>",
 //!   "mini_batch": 64,
 //!   "stages": [
@@ -25,7 +25,9 @@
 //!   "bottleneck_tps": 1.25e-6,
 //!   "peak_memory_bytes": 123456,
 //!   "stats": {"wall_secs": 0, "wall_nanos": 81342, "dp_evals": 62013,
-//!             "dp_states": 911, "binary_iters": 9, "configs_tried": 4}
+//!             "dp_states": 911, "memo_hits": 50211,
+//!             "work_bound_prunes": 1423, "memory_prunes": 61,
+//!             "binary_iters": 9, "configs_tried": 4}
 //! }
 //! ```
 //!
@@ -45,10 +47,13 @@
 //!
 //! * `format` must equal `"graphpipe-plan"`; anything else is rejected.
 //! * `version` is a single integer. Decoders accept documents whose
-//!   version equals [`VERSION`]; newer documents are rejected with
+//!   version is at most [`VERSION`]; newer documents are rejected with
 //!   [`ArtifactError::UnsupportedVersion`] rather than misread. Adding
 //!   fields requires a version bump; unknown fields in a known version are
 //!   ignored, which is what makes minor additions backward-decodable.
+//! * version 1 documents predate the `memo_hits`/`work_bound_prunes`/
+//!   `memory_prunes` search counters; they decode with those counters
+//!   zeroed.
 //!
 //! Decoding is *validating*: the stage graph is rebuilt through
 //! [`StageGraph::new`] (falling back to [`StageGraph::new_sequential`] for
@@ -70,8 +75,8 @@ use std::time::Duration;
 /// The artifact `format` marker.
 pub const FORMAT: &str = "graphpipe-plan";
 
-/// The artifact version this build writes and accepts.
-pub const VERSION: u64 = 1;
+/// The artifact version this build writes; older versions decode too.
+pub const VERSION: u64 = 2;
 
 /// Why an artifact failed to decode.
 #[derive(Debug, Clone, PartialEq)]
@@ -127,17 +132,15 @@ impl From<JsonError> for ArtifactError {
     }
 }
 
-/// Encodes a plan as a version-[`VERSION`] artifact document, optionally
-/// stamping the request fingerprint into the header.
-pub fn encode_plan(plan: &Plan, fingerprint: Option<Fingerprint>) -> String {
+/// The *strategy* members of the artifact document — everything that
+/// describes the plan itself (stages, placement, edges, in-flight,
+/// schedule, estimates), excluding the format header and the search-stats
+/// block. This is the canonical form behind
+/// [`crate::fingerprint::plan_fingerprint`], so it must not absorb codec
+/// versioning or accounting details.
+pub(crate) fn strategy_members(plan: &Plan) -> Vec<(String, Json)> {
     let sg = &plan.stage_graph;
-    let mut members: Vec<(String, Json)> = vec![
-        ("format".into(), Json::Str(FORMAT.into())),
-        ("version".into(), Json::Int(VERSION as i128)),
-    ];
-    if let Some(fp) = fingerprint {
-        members.push(("fingerprint".into(), Json::Str(fp.to_string())));
-    }
+    let mut members: Vec<(String, Json)> = Vec::new();
     members.push(("mini_batch".into(), Json::Int(sg.mini_batch() as i128)));
     members.push((
         "stages".into(),
@@ -211,6 +214,20 @@ pub fn encode_plan(plan: &Plan, fingerprint: Option<Fingerprint>) -> String {
         "peak_memory_bytes".into(),
         Json::Int(plan.peak_memory_bytes as i128),
     ));
+    members
+}
+
+/// Encodes a plan as a version-[`VERSION`] artifact document, optionally
+/// stamping the request fingerprint into the header.
+pub fn encode_plan(plan: &Plan, fingerprint: Option<Fingerprint>) -> String {
+    let mut members: Vec<(String, Json)> = vec![
+        ("format".into(), Json::Str(FORMAT.into())),
+        ("version".into(), Json::Int(VERSION as i128)),
+    ];
+    if let Some(fp) = fingerprint {
+        members.push(("fingerprint".into(), Json::Str(fp.to_string())));
+    }
+    members.extend(strategy_members(plan));
     members.push((
         "stats".into(),
         Json::Obj(vec![
@@ -224,6 +241,15 @@ pub fn encode_plan(plan: &Plan, fingerprint: Option<Fingerprint>) -> String {
             ),
             ("dp_evals".into(), Json::Int(plan.stats.dp_evals as i128)),
             ("dp_states".into(), Json::Int(plan.stats.dp_states as i128)),
+            ("memo_hits".into(), Json::Int(plan.stats.memo_hits as i128)),
+            (
+                "work_bound_prunes".into(),
+                Json::Int(plan.stats.work_bound_prunes as i128),
+            ),
+            (
+                "memory_prunes".into(),
+                Json::Int(plan.stats.memory_prunes as i128),
+            ),
             (
                 "binary_iters".into(),
                 Json::Int(plan.stats.binary_iters as i128),
@@ -273,9 +299,9 @@ pub fn rebuild_stage_graph(
     Err(ArtifactError::EdgeMismatch)
 }
 
-/// Decodes a version-1 artifact back into the exact [`Plan`] it encoded,
-/// re-validating every §3 condition against the caller's model graph and
-/// cluster.
+/// Decodes a plan artifact (any version up to [`VERSION`]) back into the
+/// exact [`Plan`] it encoded, re-validating every §3 condition against
+/// the caller's model graph and cluster.
 ///
 /// Returns the plan together with the fingerprint stamped in the header,
 /// if any.
@@ -444,10 +470,23 @@ pub fn decode_plan(
         // byte-identical re-encode guarantee.
         return Err(ArtifactError::Field("wall_nanos"));
     }
+    // The memo/prune counters arrived in version 2: required from v2 on,
+    // zeroed for genuine v1 documents (leniency must not mask truncated
+    // v2 artifacts).
+    let counter_or_zero = |name: &'static str| -> Result<u64, ArtifactError> {
+        match stats_doc.get(name) {
+            None if version < 2 => Ok(0),
+            None => Err(ArtifactError::Field(name)),
+            Some(v) => v.as_u64().ok_or(ArtifactError::Field(name)),
+        }
+    };
     let stats = SearchStats {
         wall: Duration::new(u64_field(stats_doc, "wall_secs")?, wall_nanos),
         dp_evals: u64_field(stats_doc, "dp_evals")?,
         dp_states: u64_field(stats_doc, "dp_states")?,
+        memo_hits: counter_or_zero("memo_hits")?,
+        work_bound_prunes: counter_or_zero("work_bound_prunes")?,
+        memory_prunes: counter_or_zero("memory_prunes")?,
         binary_iters: u32_field(stats_doc, "binary_iters")?,
         configs_tried: u32_field(stats_doc, "configs_tried")?,
     };
@@ -501,6 +540,41 @@ mod tests {
         round_trip(&zoo::moe(&MoeConfig::tiny()), &four, 32);
         round_trip(&zoo::moe(&MoeConfig::default()), &eight, 256);
         round_trip(&zoo::mlp_chain(4, 64), &four, 32);
+    }
+
+    #[test]
+    fn v2_counters_are_required_but_v1_documents_decode_zeroed() {
+        let model = zoo::mlp_chain(2, 8);
+        let cluster = Cluster::summit_like(2);
+        let plan = gp_partition::GraphPipePlanner::new()
+            .plan(&model, &cluster, 8)
+            .unwrap();
+        let text = encode_plan(&plan, None);
+        let hits = format!("\"memo_hits\":{},", plan.stats.memo_hits);
+        assert!(text.contains(&hits), "{text}");
+        // A v2 document missing a v2 counter is corrupt, not lenient.
+        let truncated = text.replace(&hits, "");
+        assert_eq!(
+            decode_plan(&truncated, model.graph(), &cluster).unwrap_err(),
+            ArtifactError::Field("memo_hits")
+        );
+        // The same shape claiming version 1 predates the counters: decode
+        // succeeds with all of them zeroed.
+        let v1 = truncated
+            .replace("\"version\":2", "\"version\":1")
+            .replace(
+                &format!("\"work_bound_prunes\":{},", plan.stats.work_bound_prunes),
+                "",
+            )
+            .replace(
+                &format!("\"memory_prunes\":{},", plan.stats.memory_prunes),
+                "",
+            );
+        let (decoded, _) = decode_plan(&v1, model.graph(), &cluster).unwrap();
+        assert_eq!(decoded.stats.memo_hits, 0);
+        assert_eq!(decoded.stats.work_bound_prunes, 0);
+        assert_eq!(decoded.stats.memory_prunes, 0);
+        assert_eq!(decoded.stage_graph, plan.stage_graph);
     }
 
     #[test]

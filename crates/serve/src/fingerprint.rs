@@ -312,6 +312,34 @@ fn absorb_options(digest: &mut Digest, options: &PlanOptions) {
     digest.words(&options.kfkb_candidates);
     digest.word(options.per_stage_micro_batch as u64);
     digest.word(options.eval_budget);
+    // `options.parallelism` is deliberately NOT absorbed: the parallel
+    // planner is plan-identical to the sequential one by construction, so
+    // requests differing only in thread count must share a cache entry.
+}
+
+/// A canonical fingerprint of a *produced plan*: the strategy itself —
+/// stage graph, device placement, in-flight table, schedule, and planner
+/// estimates — hashed through the artifact codec's canonical *strategy*
+/// encoding.
+///
+/// The artifact's format/version header and its [`SearchStats`] block are
+/// excluded on purpose: codec schema bumps and accounting changes (new
+/// counters, re-defined `dp_states`) must not read as plan drift, while
+/// any change to the strategy a planner returns must. The planner-perf
+/// smoke check (`planner_profile --smoke`) pins these fingerprints.
+///
+/// [`SearchStats`]: gp_partition::SearchStats
+pub fn plan_fingerprint(plan: &gp_partition::Plan) -> Fingerprint {
+    let text = crate::json::Json::Obj(crate::artifact::strategy_members(plan)).to_string();
+    let mut digest = Digest::new(0x0070_6c61_6e00_6670);
+    let bytes = text.as_bytes();
+    digest.word(bytes.len() as u64);
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        digest.word(u64::from_le_bytes(word));
+    }
+    Fingerprint(digest.finish())
 }
 
 /// The full cache key of a planning request.
@@ -466,6 +494,42 @@ mod tests {
         };
         assert_ne!(base, request_fingerprint(&model, &cluster, 64, &tweaked, 0));
         assert_ne!(base, request_fingerprint(&model, &cluster, 64, &opts, 1));
+    }
+
+    #[test]
+    fn parallelism_does_not_change_request_fingerprint() {
+        // Thread count never changes the produced plan, so it must not
+        // split the cache.
+        let model = zoo::mmt(&MmtConfig::tiny());
+        let cluster = Cluster::summit_like(4);
+        let parallel = PlanOptions {
+            parallelism: 8,
+            ..PlanOptions::default()
+        };
+        assert_eq!(
+            request_fingerprint(&model, &cluster, 64, &PlanOptions::default(), 0),
+            request_fingerprint(&model, &cluster, 64, &parallel, 0)
+        );
+    }
+
+    #[test]
+    fn plan_fingerprint_tracks_strategy_not_stats() {
+        use gp_partition::{GraphPipePlanner, Planner, SearchStats};
+        let model = zoo::mmt(&MmtConfig::tiny());
+        let cluster = Cluster::summit_like(4);
+        let plan = GraphPipePlanner::new().plan(&model, &cluster, 64).unwrap();
+        let fp = plan_fingerprint(&plan);
+        // Accounting changes must not read as drift...
+        let mut renumbered = plan.clone();
+        renumbered.stats = SearchStats {
+            dp_evals: 123,
+            ..SearchStats::default()
+        };
+        assert_eq!(fp, plan_fingerprint(&renumbered));
+        // ...while strategy changes must.
+        let mut moved = plan.clone();
+        moved.bottleneck_tps *= 2.0;
+        assert_ne!(fp, plan_fingerprint(&moved));
     }
 
     #[test]

@@ -18,6 +18,16 @@
 //!    subscriber.
 //!
 //! All three paths are counted in [`ServeStats`].
+//!
+//! **Planner parallelism.** A request whose
+//! [`PlanOptions::parallelism`](gp_partition::PlanOptions) is above one
+//! plans on the speculative parallel search
+//! ([`gp_partition::ParallelPlanner`]): the worker that claims the miss
+//! spreads the DP over that many scoped threads, letting one hot request
+//! use otherwise idle cores. Because the parallel search is
+//! plan-identical to the sequential one, the knob is excluded from the
+//! request fingerprint — sequential and parallel requests for the same
+//! problem share one cache entry and single-flight run.
 
 use crate::cache::PlanCache;
 use crate::fingerprint::{numbering_signature, request_fingerprint, Fingerprint};
@@ -708,6 +718,25 @@ mod tests {
         // re-planned at fan-out; in both cases two planner runs happened.
         assert_eq!(stats.planner_runs, 2, "{stats}");
         assert!(stats.hit_rejections >= 1, "{stats}");
+    }
+
+    #[test]
+    fn parallel_requests_share_the_sequential_cache_entry() {
+        // One hot request may spend idle cores via options.parallelism;
+        // the produced plan is identical, so sequential and parallel
+        // requests must collapse onto a single cache entry.
+        let service = PlanService::new(2, 8);
+        let parallel = request(32).with_options(PlanOptions {
+            parallelism: 3,
+            ..PlanOptions::default()
+        });
+        assert_eq!(request(32).fingerprint(), parallel.fingerprint());
+        let a = service.plan(parallel).unwrap();
+        let b = service.plan(request(32)).unwrap();
+        assert_eq!(a, b);
+        let stats = service.shutdown();
+        assert_eq!(stats.planner_runs, 1, "{stats}");
+        assert_eq!(stats.hits, 1, "{stats}");
     }
 
     #[test]

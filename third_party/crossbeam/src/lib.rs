@@ -9,6 +9,97 @@
 
 #![forbid(unsafe_code)]
 
+/// Scoped threads (the `crossbeam::thread` / `crossbeam-utils` surface),
+/// built on `std::thread::scope`. Spawned closures receive a `&Scope` so
+/// they can spawn further scoped threads, exactly like the real crate.
+///
+/// Divergence from the real crate: `scope` relies on std's propagation of
+/// child panics (it panics at scope exit instead of returning `Err`), so
+/// the `Result` it returns is always `Ok` — matching how crossbeam users
+/// `.unwrap()` it anyway.
+pub mod thread {
+    /// Result of a scope: the closure's value (see module divergence note).
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// A scope handle for spawning threads that may borrow from the
+    /// enclosing stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Owns the join side of one scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its value (or its panic
+        /// payload).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives this scope so it
+        /// can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope in which threads may borrow local data; all
+    /// spawned threads are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let counter = AtomicUsize::new(0);
+            let out = super::scope(|s| {
+                let handles: Vec<_> = (0..4)
+                    .map(|_| s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst)))
+                    .collect();
+                let mut joined = 0;
+                for h in handles {
+                    h.join().unwrap();
+                    joined += 1;
+                }
+                joined
+            })
+            .unwrap();
+            assert_eq!(out, 4);
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+        }
+
+        #[test]
+        fn nested_spawn_works() {
+            let v = super::scope(|s| {
+                s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2)
+                    .join()
+                    .unwrap()
+            })
+            .unwrap();
+            assert_eq!(v, 42);
+        }
+    }
+}
+
 /// Multi-producer multi-consumer FIFO channels.
 pub mod channel {
     use std::collections::VecDeque;
