@@ -39,7 +39,7 @@ fn main() {
 
     println!("# Figure 8 / §7.5 case study: two-branch Transformer on 8 GPUs\n");
     println!("## SPP (PipeDream) strategy");
-    println!("{}", spp.plan.describe(model.graph()));
+    println!("{}", spp.plan.describe());
     println!(
         "depth {}, micro-batch {}, throughput {:.0} samples/s\n",
         spp.plan.pipeline_depth(),
@@ -49,7 +49,7 @@ fn main() {
     println!("{}", render_gantt(&spp.report, &spp.plan.stage_graph, 100));
 
     println!("## GraphPipe strategy");
-    println!("{}", gpp.plan.describe(model.graph()));
+    println!("{}", gpp.plan.describe());
     println!(
         "depth {}, micro-batch {}, throughput {:.0} samples/s\n",
         gpp.plan.pipeline_depth(),

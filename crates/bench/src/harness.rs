@@ -56,34 +56,24 @@ impl Cell {
     }
 }
 
-/// Evaluates a planner on a model with the A.2 micro-batch sweep
-/// (GraphPipe/PipeDream) or the planner's internal sweep (Piper, whose
-/// downset DP is too expensive to re-run per forced micro-batch size).
+/// Evaluates a planner on a model at the harness options — a thin shim
+/// over [`Session::compare`], which owns the per-planner evaluation policy
+/// (A.2 micro-batch sweep for GraphPipe/PipeDream, coarse-unit single run
+/// for Piper).
 pub fn run_cell(model: &SpModel, cluster: &Cluster, mini_batch: u64, kind: PlannerKind) -> Cell {
-    let opts = harness_options();
-    let outcome: Result<(Plan, SimReport), PlanError> = match kind {
-        PlannerKind::Piper => {
-            let planner = PiperPlanner::with_options(opts).with_unit_ops(8);
-            planner.plan(model, cluster, mini_batch).and_then(|plan| {
-                graphpipe::simulate_plan(model, cluster, &plan)
-                    .map(|r| (plan, r))
-                    .map_err(|e| PlanError::Internal(e.to_string()))
-            })
-        }
-        _ => graphpipe::evaluate(model, cluster, mini_batch, kind, &opts)
-            .map(|res| (res.plan, res.report)),
-    };
-    match outcome {
-        Ok((plan, report)) => Cell {
-            throughput: Some(report.throughput),
-            depth: Some(plan.pipeline_depth()),
-            micro_batch: Some(plan.max_micro_batch()),
-        },
-        Err(_) => Cell {
-            throughput: None,
-            depth: None,
-            micro_batch: None,
-        },
+    let session = Session::builder()
+        .model(model.clone())
+        .cluster(cluster.clone())
+        .mini_batch(mini_batch)
+        .options(harness_options())
+        .build()
+        .expect("harness sessions are well-formed");
+    let comparison = session.compare(&[kind]);
+    let row = &comparison.rows()[0];
+    Cell {
+        throughput: row.throughput,
+        depth: row.depth,
+        micro_batch: row.micro_batch,
     }
 }
 

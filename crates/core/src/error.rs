@@ -1,0 +1,130 @@
+//! The unified facade error: one `graphpipe::Error` for the whole
+//! plan → simulate → execute → serve pipeline.
+//!
+//! Every subsystem keeps its own precise error enum ([`PlanError`],
+//! [`SimError`], [`ExecError`], [`ServeError`], [`ArtifactError`]) — those
+//! carry the diagnostic payloads and stay the right types for code that
+//! works *inside* one layer. This enum is the facade-level sum of all of
+//! them, so applications, examples, and the [`crate::Session`] API
+//! propagate a single error type end-to-end with `?` instead of wiring
+//! `Box<dyn std::error::Error>` by hand.
+//!
+//! Conversions are lossless: every variant wraps the subsystem error
+//! verbatim and [`std::error::Error::source`] chains to it. The one
+//! deliberate normalization is [`From<ServeError>`]: a served request that
+//! failed *in the planner* converts to [`Error::Plan`], so cached and
+//! uncached planning paths fail identically.
+
+use gp_exec::ExecError;
+use gp_partition::PlanError;
+use gp_serve::artifact::ArtifactError;
+use gp_serve::ServeError;
+use gp_sim::SimError;
+use std::fmt;
+
+/// Any failure the GraphPipe facade can report.
+///
+/// # Examples
+///
+/// ```
+/// use graphpipe::Error;
+/// use graphpipe::partition::PlanError;
+///
+/// let err: Error = PlanError::SearchExplosion { evals: 7 }.into();
+/// assert!(err.to_string().contains("7"));
+/// assert!(std::error::Error::source(&err).is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A planner failed to produce a strategy.
+    Plan(PlanError),
+    /// The discrete-event simulator rejected a strategy.
+    Sim(SimError),
+    /// The threaded training runtime failed.
+    Exec(ExecError),
+    /// The plan service failed for a non-planner reason (e.g. shutdown).
+    Serve(ServeError),
+    /// A plan artifact failed to decode or validate.
+    Artifact(ArtifactError),
+    /// The request itself was malformed (builder misuse, impossible
+    /// configuration) before any subsystem ran.
+    Invalid(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Plan(e) => write!(f, "planning failed: {e}"),
+            Error::Sim(e) => write!(f, "simulation failed: {e}"),
+            Error::Exec(e) => write!(f, "execution failed: {e}"),
+            Error::Serve(e) => write!(f, "plan service failed: {e}"),
+            Error::Artifact(e) => write!(f, "plan artifact rejected: {e}"),
+            Error::Invalid(why) => write!(f, "invalid request: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Plan(e) => Some(e),
+            Error::Sim(e) => Some(e),
+            Error::Exec(e) => Some(e),
+            Error::Serve(e) => Some(e),
+            Error::Artifact(e) => Some(e),
+            Error::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<PlanError> for Error {
+    fn from(e: PlanError) -> Self {
+        Error::Plan(e)
+    }
+}
+
+impl From<SimError> for Error {
+    fn from(e: SimError) -> Self {
+        Error::Sim(e)
+    }
+}
+
+impl From<ExecError> for Error {
+    fn from(e: ExecError) -> Self {
+        Error::Exec(e)
+    }
+}
+
+impl From<ServeError> for Error {
+    fn from(e: ServeError) -> Self {
+        match e {
+            // Planner failures are planner failures no matter which path —
+            // direct, cached, or single-flight — surfaced them.
+            ServeError::Plan(plan) => Error::Plan(plan),
+            other => Error::Serve(other),
+        }
+    }
+}
+
+impl From<ArtifactError> for Error {
+    fn from(e: ArtifactError) -> Self {
+        Error::Artifact(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_planner_failures_normalize_to_plan() {
+        let inner = PlanError::Infeasible("memory".into());
+        let via_serve: Error = ServeError::Plan(inner.clone()).into();
+        let direct: Error = inner.into();
+        assert_eq!(via_serve, direct);
+        assert!(matches!(via_serve, Error::Plan(_)));
+        // Non-planner serve failures keep their own variant.
+        let stopped: Error = ServeError::ServiceStopped.into();
+        assert!(matches!(stopped, Error::Serve(ServeError::ServiceStopped)));
+    }
+}

@@ -9,7 +9,11 @@
 //! bubbles and the activation memory held for in-flight micro-batches; the
 //! freed memory admits larger micro-batches and better device utilization.
 //!
-//! This crate is the user-facing facade over the workspace:
+//! This crate implements the user-facing facade over the workspace. Its
+//! centerpiece is the typed [`Session`] API ([`session`] module): one
+//! entry point from a model to a plan, its simulation, its threaded
+//! execution, its serve artifact, and the cached serving path — all
+//! returning the single [`Error`] type. The subsystem crates underneath:
 //!
 //! * [`ir`] — computation-graph IR, series-parallel structure, model zoo;
 //! * [`cluster`] — device profiles and interconnect topology;
@@ -26,23 +30,36 @@
 //! ```
 //! use graphpipe::prelude::*;
 //!
-//! // The paper's CANDLE-Uno model on a Summit-like 8-GPU cluster.
-//! let model = zoo::candle_uno(&zoo::CandleUnoConfig::default());
-//! let cluster = Cluster::summit_like(8);
+//! // A multi-branch model on a Summit-like 4-GPU cluster.
+//! let session = Session::builder()
+//!     .model(zoo::mmt(&zoo::MmtConfig::tiny()))
+//!     .cluster(Cluster::summit_like(4))
+//!     .mini_batch(32)
+//!     .options(PlanOptions::default().with_max_micro_batches(16))
+//!     .build()?;
 //!
-//! // Plan with GraphPipe and with the sequential baseline...
-//! let gpp = GraphPipePlanner::new().plan(&model, &cluster, 1024)?;
-//! let spp = PipeDreamPlanner::new().plan(&model, &cluster, 1024)?;
+//! // Plan with GraphPipe, then execute the strategy on the simulator.
+//! let strategy = session.plan(PlannerKind::GraphPipe)?;
+//! let report = strategy.simulate()?;
+//! assert!(report.throughput > 0.0);
 //!
-//! // ...and execute both strategies on the same simulated runtime.
-//! let t_gpp = graphpipe::simulate_plan(&model, &cluster, &gpp)?.throughput;
-//! let t_spp = graphpipe::simulate_plan(&model, &cluster, &spp)?.throughput;
-//! assert!(t_gpp >= t_spp); // branches pay off (Figure 6c)
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! // Compare against the sequential baseline (Figure 6c: branches pay off).
+//! let table = session.compare(&[PlannerKind::GraphPipe, PlannerKind::PipeDream]);
+//! assert!(table.speedup(PlannerKind::GraphPipe, PlannerKind::PipeDream).unwrap() >= 1.0);
+//! # Ok::<(), graphpipe::Error>(())
 //! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+mod error;
+pub mod session;
+
+pub use error::Error;
+pub use session::{
+    Comparison, ComparisonRow, EvalResult, PlannedStrategy, Session, SessionBuilder,
+    SessionService, TrainingConfig, TrainingRun,
+};
 
 /// Computation-graph IR and model zoo (re-export of `gp-ir`).
 pub mod ir {
@@ -91,13 +108,18 @@ pub mod prelude {
         GraphPipePlanner, ParallelPlanner, Plan, PlanError, PlanOptions, Planner, SearchStats,
     };
     pub use crate::sim::{render_gantt, SimReport};
-    pub use crate::{evaluate, planner, simulate_plan, EvalResult, PlannerKind};
+    pub use crate::{
+        evaluate, planner, simulate_plan, Comparison, ComparisonRow, Error, EvalResult,
+        PlannedStrategy, PlannerKind, Session, SessionBuilder, SessionService, TrainingConfig,
+        TrainingRun,
+    };
 }
 
 use gp_cluster::Cluster;
 use gp_ir::SpModel;
-use gp_partition::{GraphPipePlanner, Plan, PlanError, PlanOptions, Planner};
-use gp_sim::{SimError, SimReport};
+use gp_partition::{Plan, PlanOptions, Planner};
+use gp_serve::ServePlanner;
+use gp_sim::SimReport;
 
 /// The planners compared throughout the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -119,46 +141,56 @@ impl PlannerKind {
             PlannerKind::Piper => "Piper",
         }
     }
-}
 
-/// Constructs a planner of the given kind with the given options.
-pub fn planner(kind: PlannerKind, options: PlanOptions) -> Box<dyn Planner> {
-    match kind {
-        PlannerKind::GraphPipe => Box::new(GraphPipePlanner::with_options(options)),
-        PlannerKind::PipeDream => Box::new(gp_baselines::PipeDreamPlanner::with_options(options)),
-        PlannerKind::Piper => Box::new(gp_baselines::PiperPlanner::with_options(options)),
+    /// The `gp-serve` planner selector for this kind — what
+    /// [`Session::request`] puts into the [`gp_serve::PlanRequest`], so
+    /// local and served plans share fingerprints.
+    pub fn serve_planner(self) -> ServePlanner {
+        match self {
+            PlannerKind::GraphPipe => ServePlanner::GraphPipe,
+            PlannerKind::PipeDream => ServePlanner::PipeDream,
+            PlannerKind::Piper => ServePlanner::Piper,
+        }
     }
 }
 
-/// Simulates one training iteration of a plan on the cluster it was planned
-/// for.
+impl From<PlannerKind> for ServePlanner {
+    fn from(kind: PlannerKind) -> Self {
+        kind.serve_planner()
+    }
+}
+
+/// Constructs a planner of the given kind with the given options.
+///
+/// Thin shim over the [`Session`] machinery's planner factory — prefer
+/// [`Session::plan`], which also fingerprints the request; this remains
+/// for code that drives the [`Planner`] trait directly.
+pub fn planner(kind: PlannerKind, options: PlanOptions) -> Box<dyn Planner> {
+    session::build_planner(kind, options)
+}
+
+/// Simulates one training iteration of a plan on the cluster it was
+/// planned for.
+///
+/// Thin shim over the [`Session`] machinery — equivalent to
+/// [`PlannedStrategy::simulate`] for a strategy bound to `model` and
+/// `cluster`, without requiring the plan to have come from a session.
 ///
 /// # Errors
 ///
-/// Propagates simulator failures (which indicate an invalid schedule).
-pub fn simulate_plan(
-    model: &SpModel,
-    cluster: &Cluster,
-    plan: &Plan,
-) -> Result<SimReport, SimError> {
-    gp_sim::simulate(model.graph(), cluster, &plan.stage_graph, &plan.schedule)
-}
-
-/// Outcome of a micro-batch sweep (Appendix A.2: "we sweep over all
-/// possible micro-batch sizes ... to maximize training throughput").
-#[derive(Debug)]
-pub struct EvalResult {
-    /// The best plan found.
-    pub plan: Plan,
-    /// Its simulated iteration report.
-    pub report: SimReport,
-    /// Simulated throughput per candidate micro-batch size.
-    pub per_micro_batch: Vec<(u64, f64)>,
+/// Propagates simulator failures (which indicate an invalid schedule) as
+/// [`Error::Sim`].
+pub fn simulate_plan(model: &SpModel, cluster: &Cluster, plan: &Plan) -> Result<SimReport, Error> {
+    session::simulate_on(model, cluster, plan)
 }
 
 /// Plans with every candidate micro-batch size, simulates each strategy,
 /// and returns the best by measured throughput — exactly how the paper
 /// selects configurations for Figures 6, 7 and 9.
+///
+/// Thin shim over [`Session::evaluate`], which owns the single copy of
+/// this sweep; building a [`Session`] directly avoids re-cloning the model
+/// per call.
 ///
 /// # Errors
 ///
@@ -169,55 +201,21 @@ pub fn evaluate(
     mini_batch: u64,
     kind: PlannerKind,
     options: &PlanOptions,
-) -> Result<EvalResult, PlanError> {
-    let candidates = options.micro_batch_sizes(mini_batch);
-    let mut best: Option<(Plan, SimReport)> = None;
-    let mut per_micro_batch = Vec::new();
-    let mut last_err = PlanError::Infeasible("no micro-batch candidates".to_string());
-    for &b in &candidates {
-        let opts = options.clone().with_forced_micro_batch(b);
-        match planner(kind, opts).plan(model, cluster, mini_batch) {
-            Ok(plan) => {
-                let report = match simulate_plan(model, cluster, &plan) {
-                    Ok(r) => r,
-                    Err(e) => {
-                        last_err = PlanError::Internal(e.to_string());
-                        continue;
-                    }
-                };
-                per_micro_batch.push((b, report.throughput));
-                let better = match &best {
-                    None => true,
-                    Some((_, cur)) => report.throughput > cur.throughput,
-                };
-                if better {
-                    best = Some((plan, report));
-                }
-            }
-            Err(e) => {
-                // Propagate search explosions immediately: retrying other
-                // micro-batch sizes would explode identically (Table 1 "✗").
-                if matches!(e, PlanError::SearchExplosion { .. }) {
-                    return Err(e);
-                }
-                last_err = e;
-            }
-        }
-    }
-    match best {
-        Some((plan, report)) => Ok(EvalResult {
-            plan,
-            report,
-            per_micro_batch,
-        }),
-        None => Err(last_err),
-    }
+) -> Result<EvalResult, Error> {
+    Session::builder()
+        .model(model.clone())
+        .cluster(cluster.clone())
+        .mini_batch(mini_batch)
+        .options(options.clone())
+        .build()?
+        .evaluate(kind)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use gp_ir::zoo::{self, CandleUnoConfig, DlrmConfig};
+    use gp_partition::PlanError;
 
     #[test]
     fn planner_factory_names() {
@@ -228,6 +226,7 @@ mod tests {
         ] {
             assert_eq!(planner(kind, PlanOptions::default()).name(), name);
             assert!(!kind.label().is_empty());
+            assert_eq!(ServePlanner::from(kind), kind.serve_planner());
         }
     }
 
@@ -245,6 +244,18 @@ mod tests {
         for (_, t) in &result.per_micro_batch {
             assert!(*t <= best_throughput + 1e-9);
         }
+        // The shim produces exactly what the Session produces.
+        let session = Session::builder()
+            .model(model)
+            .cluster(cluster)
+            .mini_batch(1024)
+            .options(opts)
+            .build()
+            .unwrap();
+        let direct = session.evaluate(PlannerKind::GraphPipe).unwrap();
+        assert_eq!(direct.report.throughput, best_throughput);
+        assert_eq!(direct.per_micro_batch, result.per_micro_batch);
+        assert_eq!(direct.plan.fingerprint(), result.plan.fingerprint());
     }
 
     #[test]
@@ -259,6 +270,9 @@ mod tests {
             &PlanOptions::default(),
         )
         .unwrap_err();
-        assert!(matches!(err, PlanError::SearchExplosion { .. }));
+        assert!(matches!(
+            err,
+            Error::Plan(PlanError::SearchExplosion { .. })
+        ));
     }
 }

@@ -2,9 +2,49 @@
 //!
 //! The user-facing facade of the GraphPipe (ASPLOS 2025) reproduction:
 //! everything in [`gp_core`] re-exported under the name downstream code,
-//! the repository examples, and the integration tests import. See the
-//! [`gp_core`] crate for the full module tour; the short version:
+//! the repository examples, and the integration tests import, plus the
+//! [`serve`] subsystem.
 //!
+//! The front door is the typed [`Session`] API: pin a planning problem
+//! once (`model × cluster × mini-batch × options`), then ask it for typed
+//! artifacts — a [`PlannedStrategy`] that simulates, executes, and
+//! persists itself; a [`Comparison`] table across planners; a cached
+//! serving handle. Every method returns the one [`Error`] type, which
+//! wraps and [`source`](std::error::Error::source)-chains the subsystem
+//! errors (`PlanError`, `SimError`, `ExecError`, `ServeError`).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use graphpipe::prelude::*;
+//!
+//! // 1. Pin the planning problem: model, cluster, mini-batch.
+//! let session = Session::builder()
+//!     .model(zoo::mmt(&zoo::MmtConfig::tiny()))
+//!     .cluster(Cluster::summit_like(4))
+//!     .mini_batch(32)
+//!     .options(PlanOptions::default().with_max_micro_batches(16))
+//!     .build()?;
+//!
+//! // 2. Plan with GraphPipe; the strategy knows how to simulate itself.
+//! let strategy = session.plan(PlannerKind::GraphPipe)?;
+//! let report = strategy.simulate()?;
+//! assert!(report.throughput > 0.0);
+//!
+//! // 3. Persist the strategy as a lossless, fingerprinted artifact...
+//! let restored = session.load_artifact(&strategy.artifact(), PlannerKind::GraphPipe)?;
+//! assert_eq!(restored.plan(), strategy.plan());
+//!
+//! // 4. ...and compare against the sequential baseline (Figure 6c).
+//! let table = session.compare(&[PlannerKind::GraphPipe, PlannerKind::PipeDream]);
+//! assert!(table.speedup(PlannerKind::GraphPipe, PlannerKind::PipeDream).unwrap() >= 1.0);
+//! # Ok::<(), graphpipe::Error>(())
+//! ```
+//!
+//! # Module tour
+//!
+//! * [`session`] — the [`Session`] builder, [`PlannedStrategy`],
+//!   [`Comparison`], and the serving handle ([`SessionService`]);
 //! * [`ir`] — computation-graph IR, SP decomposition, model zoo;
 //! * [`cluster`] — device profiles and interconnect topology;
 //! * [`cost`] — roofline cost/memory/communication models;
@@ -12,31 +52,13 @@
 //! * [`partition`] — the §5 partitioner ([`prelude::GraphPipePlanner`]);
 //! * [`baselines`] — PipeDream/Piper planners and the Figure 9 ablation;
 //! * [`sim`] — the discrete-event simulator ([`simulate_plan`]);
-//! * [`exec`] — the threaded runtime with real tensor math;
-//! * [`prelude`] — one-stop imports, plus [`planner`] and [`evaluate`];
+//! * [`exec`] — the threaded runtime with real tensor math
+//!   ([`PlannedStrategy::execute`]);
+//! * [`prelude`] — one-stop imports, plus the [`planner`] / [`evaluate`] /
+//!   [`simulate_plan`] free-function shims over the session machinery;
 //! * [`serve`] — the plan-serving subsystem: canonical graph fingerprints,
 //!   the lossless plan artifact codec, and the cached, single-flight
-//!   [`serve::PlanService`].
-//!
-//! # Quickstart
-//!
-//! ```
-//! use graphpipe::prelude::*;
-//!
-//! // A small multi-branch model on a Summit-like 4-GPU cluster.
-//! let model = zoo::mmt(&zoo::MmtConfig::two_branch());
-//! let cluster = Cluster::summit_like(4);
-//!
-//! // Plan with GraphPipe and with the sequential baseline...
-//! let gpp = GraphPipePlanner::new().plan(&model, &cluster, 64)?;
-//! let spp = PipeDreamPlanner::new().plan(&model, &cluster, 64)?;
-//!
-//! // ...and execute both strategies on the same simulated runtime.
-//! let t_gpp = graphpipe::simulate_plan(&model, &cluster, &gpp)?.throughput;
-//! let t_spp = graphpipe::simulate_plan(&model, &cluster, &spp)?.throughput;
-//! assert!(t_gpp >= t_spp); // branches pay off (Figure 6c)
-//! # Ok::<(), Box<dyn std::error::Error>>(())
-//! ```
+//!   [`serve::PlanService`] that [`Session::serve`] hands requests to.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

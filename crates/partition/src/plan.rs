@@ -61,6 +61,60 @@ impl PlanOptions {
         self
     }
 
+    /// Sets the binary search's relative tolerance
+    /// ([`PlanOptions::epsilon`], the `epsilon` of Algorithm 1).
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets an explicit micro-batch-size candidate list
+    /// ([`PlanOptions::micro_batch_candidates`]), replacing the default
+    /// powers-of-two sweep. See [`PlanOptions::with_forced_micro_batch`]
+    /// for the single-candidate shorthand.
+    pub fn with_micro_batch_candidates(mut self, candidates: Vec<u64>) -> Self {
+        self.micro_batch_candidates = Some(candidates);
+        self
+    }
+
+    /// Sets the cap on micro-batches per mini-batch used when deriving
+    /// default candidates ([`PlanOptions::max_micro_batches`]).
+    pub fn with_max_micro_batches(mut self, max: u64) -> Self {
+        self.max_micro_batches = max;
+        self
+    }
+
+    /// Sets the kFkB parameters to consider
+    /// ([`PlanOptions::kfkb_candidates`]; `[1]` is the paper's synchronous
+    /// 1F1B default).
+    pub fn with_kfkb_candidates(mut self, candidates: Vec<u64>) -> Self {
+        self.kfkb_candidates = candidates;
+        self
+    }
+
+    /// Enables or disables per-stage micro-batch sizes
+    /// ([`PlanOptions::per_stage_micro_batch`], §6's generalized
+    /// scheduler).
+    pub fn with_per_stage_micro_batch(mut self, enabled: bool) -> Self {
+        self.per_stage_micro_batch = enabled;
+        self
+    }
+
+    /// Sets the DP evaluation budget ([`PlanOptions::eval_budget`]) after
+    /// which a search aborts with [`PlanError::SearchExplosion`].
+    pub fn with_eval_budget(mut self, budget: u64) -> Self {
+        self.eval_budget = budget;
+        self
+    }
+
+    /// Sets the speculative-search worker count
+    /// ([`PlanOptions::parallelism`]; plans are byte-identical for every
+    /// value, only wall-clock time changes).
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
     /// The micro-batch sizes to try for a given mini-batch size.
     pub fn micro_batch_sizes(&self, mini_batch: u64) -> Vec<u64> {
         match &self.micro_batch_candidates {
@@ -299,6 +353,31 @@ mod tests {
         assert_eq!(opts.micro_batch_sizes(64), Vec::<u64>::new());
         let opts = PlanOptions::default().with_forced_micro_batch(8);
         assert_eq!(opts.micro_batch_sizes(64), vec![8]);
+    }
+
+    #[test]
+    fn builder_methods_cover_every_field() {
+        // One `with_*` per public field, composing fluently.
+        let opts = PlanOptions::default()
+            .with_epsilon(0.05)
+            .with_micro_batch_candidates(vec![4, 8])
+            .with_max_micro_batches(32)
+            .with_kfkb_candidates(vec![1, 2])
+            .with_per_stage_micro_batch(true)
+            .with_eval_budget(1_000)
+            .with_parallelism(3);
+        assert_eq!(
+            opts,
+            PlanOptions {
+                epsilon: 0.05,
+                micro_batch_candidates: Some(vec![4, 8]),
+                max_micro_batches: 32,
+                kfkb_candidates: vec![1, 2],
+                per_stage_micro_batch: true,
+                eval_budget: 1_000,
+                parallelism: 3,
+            }
+        );
     }
 
     #[test]

@@ -6,28 +6,38 @@
 //! Run with: `cargo run --release --example candle_uno_branches`
 
 use graphpipe::prelude::*;
-use graphpipe::PlannerKind;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cluster = Cluster::summit_like(8);
+fn main() -> Result<(), graphpipe::Error> {
     let mini_batch = 8192;
     println!("CANDLE-Uno on 8 GPUs, mini-batch {mini_batch}:\n");
     println!("branches | GraphPipe (depth) | PipeDream (depth) | speedup");
     for branches in [2usize, 4, 8] {
-        let model = zoo::candle_uno(&zoo::CandleUnoConfig::with_branches(branches));
-        let opts = PlanOptions {
-            max_micro_batches: 128,
-            ..PlanOptions::default()
-        };
-        let gp = graphpipe::evaluate(&model, &cluster, mini_batch, PlannerKind::GraphPipe, &opts)?;
-        let pd = graphpipe::evaluate(&model, &cluster, mini_batch, PlannerKind::PipeDream, &opts)?;
+        let session = Session::builder()
+            .model(zoo::candle_uno(&zoo::CandleUnoConfig::with_branches(
+                branches,
+            )))
+            .cluster(Cluster::summit_like(8))
+            .mini_batch(mini_batch)
+            .options(PlanOptions::default().with_max_micro_batches(128))
+            .build()?;
+        let table = session.compare(&[PlannerKind::GraphPipe, PlannerKind::PipeDream]);
+        // Both planners must handle every branch count; a ✗ here is a bug.
+        if let Some(e) = table.first_error() {
+            return Err(e.clone());
+        }
+        let (gp, pd) = (
+            table.row(PlannerKind::GraphPipe).expect("requested"),
+            table.row(PlannerKind::PipeDream).expect("requested"),
+        );
         println!(
             "{branches:>8} | {:>11.0} ({:>2}) | {:>11.0} ({:>2}) | {:.2}x",
-            gp.report.throughput,
-            gp.plan.pipeline_depth(),
-            pd.report.throughput,
-            pd.plan.pipeline_depth(),
-            gp.report.throughput / pd.report.throughput
+            gp.throughput.expect("no error, so populated"),
+            gp.depth.expect("no error, so populated"),
+            pd.throughput.expect("no error, so populated"),
+            pd.depth.expect("no error, so populated"),
+            table
+                .speedup(PlannerKind::GraphPipe, PlannerKind::PipeDream)
+                .expect("both planners succeeded")
         );
     }
     Ok(())

@@ -1,55 +1,42 @@
 //! End-to-end *real* training: plan a GPP strategy for a small multi-modal
 //! Transformer, then train it with actual tensor math on the threaded
-//! runtime (one worker thread per simulated GPU), verifying that the
-//! pipelined execution matches single-device training.
+//! runtime (one worker thread per simulated GPU). The run's first-step loss
+//! is checked against single-device full-batch training — the paper's
+//! "training semantics preserved" guarantee (§8).
 //!
 //! Run with: `cargo run --release --example multimodal_training`
 
-use graphpipe::exec::{reference_step, synth_batch, train_iteration, ModelParams};
 use graphpipe::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), graphpipe::Error> {
     // A CPU-sized multi-modal Transformer: 2 branches x 2 layers.
-    let model = zoo::mmt(&zoo::MmtConfig::tiny());
-    let cluster = Cluster::summit_like(3).with_memory_capacity(1 << 30);
-    let mini_batch = 8;
+    let session = Session::builder()
+        .model(zoo::mmt(&zoo::MmtConfig::tiny()))
+        .cluster(Cluster::summit_like(3).with_memory_capacity(1 << 30))
+        .mini_batch(8)
+        .build()?;
+    let strategy = session.plan(PlannerKind::GraphPipe)?;
+    println!("{}", strategy.describe());
 
-    let plan = GraphPipePlanner::new().plan(&model, &cluster, mini_batch)?;
-    println!("{}", plan.describe(model.graph()));
-
-    let graph = model.graph();
-    let batch = synth_batch(graph, mini_batch, 7);
-    let mut params = ModelParams::init(graph, 42);
+    // Train for a few iterations with SGD on the pipelined runtime.
+    println!("training with the pipelined runtime (SGD, lr = 0.05):");
+    let run = strategy.execute(&TrainingConfig {
+        steps: 8,
+        lr: 0.05,
+        ..TrainingConfig::default()
+    })?;
+    for (step, loss) in run.losses.iter().enumerate() {
+        println!("  step {step}: loss {loss:.6}");
+    }
 
     // Gradient equivalence: distributed == single-device, same data.
-    let (ref_loss, _) = reference_step(graph, &params, &batch, mini_batch);
-    let mut probe = params.clone();
-    let result = train_iteration(
-        graph,
-        &plan.stage_graph,
-        &plan.schedule,
-        &mut probe,
-        &batch,
-        0.0,
-    )?;
     println!(
-        "loss: distributed {:.6} vs single-device {ref_loss:.6} (diff {:.2e})",
-        result.loss,
-        (result.loss - ref_loss).abs()
+        "\nloss: distributed {:.6} vs single-device {:.6} (diff {:.2e})",
+        run.first_loss(),
+        run.reference_loss,
+        run.reference_gap()
     );
-
-    // Train for a few iterations; the loss must go down.
-    println!("\ntraining with the pipelined runtime (SGD, lr = 0.05):");
-    for step in 0..8 {
-        let r = train_iteration(
-            graph,
-            &plan.stage_graph,
-            &plan.schedule,
-            &mut params,
-            &batch,
-            0.05,
-        )?;
-        println!("  step {step}: loss {:.6}", r.loss);
-    }
+    assert!(run.reference_gap() / run.reference_loss < 1e-3);
+    assert!(run.improved(), "training loss must decrease");
     Ok(())
 }

@@ -1,13 +1,14 @@
-//! Quickstart: plan a GraphPipe strategy for a multi-branch model, inspect
-//! it, and measure a simulated training iteration.
+//! Quickstart: open a [`Session`], plan a GraphPipe strategy for a
+//! multi-branch model, inspect it, measure a simulated training iteration,
+//! and render the Figure-6-style comparison against the SPP baseline.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use graphpipe::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. A model with parallel branches: the paper's Multi-Modal
-    //    Transformer (4 modality branches x 8 Transformer layers).
+fn main() -> Result<(), graphpipe::Error> {
+    // 1. A model with parallel branches — the paper's Multi-Modal
+    //    Transformer — on a Summit-like 8-GPU cluster.
     let model = zoo::mmt(&zoo::MmtConfig::default());
     println!(
         "model: {} ops, {:.1}M parameters, {} parallel branch groups",
@@ -15,21 +16,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         model.graph().total_params() as f64 / 1e6,
         model.root().branch_points(),
     );
+    let session = Session::builder()
+        .model(model)
+        .cluster(Cluster::summit_like(8))
+        .mini_batch(128)
+        .build()?;
 
-    // 2. A Summit-like cluster: 8 V100-class GPUs, NVLink within nodes.
-    let cluster = Cluster::summit_like(8);
-
-    // 3. Search for a graph-pipeline-parallel training strategy.
-    let plan = GraphPipePlanner::new().plan(&model, &cluster, 128)?;
-    println!("\n{}", plan.describe(model.graph()));
+    // 2. Search for a graph-pipeline-parallel training strategy.
+    let strategy = session.plan(PlannerKind::GraphPipe)?;
+    println!("\n{}", strategy.describe());
     println!(
-        "search took {:.3}s over {} DP evaluations",
-        plan.stats.wall.as_secs_f64(),
-        plan.stats.dp_evals
+        "search took {:.3}s over {} DP evaluations (request fingerprint {})",
+        strategy.stats.wall.as_secs_f64(),
+        strategy.stats.dp_evals,
+        strategy.fingerprint(),
     );
 
-    // 4. Execute one training iteration on the simulated runtime.
-    let report = graphpipe::simulate_plan(&model, &cluster, &plan)?;
+    // 3. Execute one training iteration on the simulated runtime.
+    let report = strategy.simulate()?;
     println!(
         "simulated iteration: {:.1} ms -> {:.0} samples/s, utilization {:.0}%, peak mem {} MiB",
         report.iteration_time * 1e3,
@@ -38,16 +42,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.max_peak_memory() >> 20
     );
 
-    // 5. Compare against the sequential-pipeline baseline.
-    let spp = PipeDreamPlanner::new().plan(&model, &cluster, 128)?;
-    let spp_report = graphpipe::simulate_plan(&model, &cluster, &spp)?;
+    // 4. Compare against the sequential-pipeline baseline (Figure 6c).
+    let table = session.compare(&[PlannerKind::GraphPipe, PlannerKind::PipeDream]);
     println!(
-        "\nGraphPipe {:.0} samples/s (depth {}) vs PipeDream {:.0} samples/s (depth {}) -> {:.2}x",
-        report.throughput,
-        plan.pipeline_depth(),
-        spp_report.throughput,
-        spp.pipeline_depth(),
-        report.throughput / spp_report.throughput
+        "\nmicro-batch sweep on {} GPUs, mini-batch {}:\n{table}",
+        table.devices(),
+        table.mini_batch()
     );
     Ok(())
 }

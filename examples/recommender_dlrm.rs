@@ -1,42 +1,52 @@
 //! The recommendation workload (Figure 6b): DLRM's 7 dense + 7 sparse
 //! feature branches give GPP fourteen-way concurrent structure that a
 //! sequential pipeline serializes. Piper's downset planner blows up on it —
-//! the paper's "✗".
+//! the comparison table renders the paper's "✗" with the search-explosion
+//! diagnostics as a footnote.
 //!
 //! Run with: `cargo run --release --example recommender_dlrm`
 
 use graphpipe::prelude::*;
-use graphpipe::PlannerKind;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), graphpipe::Error> {
     let model = zoo::dlrm(&zoo::DlrmConfig::default());
-    let cluster = Cluster::summit_like(8);
-    let mini_batch = 512;
     println!(
         "DLRM: {} ops, {:.0}M parameters ({}M of them embeddings)",
         model.graph().len(),
         model.graph().total_params() as f64 / 1e6,
         7 * 64, // 7 tables x 1M x 64
     );
+    let session = Session::builder()
+        .model(model)
+        .cluster(Cluster::summit_like(8))
+        .mini_batch(512)
+        .build()?;
 
+    let table = session.compare(&[
+        PlannerKind::GraphPipe,
+        PlannerKind::PipeDream,
+        PlannerKind::Piper,
+    ]);
+    println!("\n{table}");
+
+    // Piper's ✗ is the expected outcome; anything else failing is a bug.
     for kind in [PlannerKind::GraphPipe, PlannerKind::PipeDream] {
-        let res = graphpipe::evaluate(&model, &cluster, mini_batch, kind, &PlanOptions::default())?;
-        println!(
-            "\n{:<10} depth {} micro-batch {} -> {:.0} samples/s (bubble {:.0}%)",
-            kind.label(),
-            res.plan.pipeline_depth(),
-            res.plan.max_micro_batch(),
-            res.report.throughput,
-            res.report.bubble_fraction * 100.0
-        );
+        if let Some(e) = table.row(kind).and_then(|r| r.error.clone()) {
+            return Err(e);
+        }
     }
 
-    // Piper cannot handle the 14-branch lattice.
-    match PiperPlanner::new().plan(&model, &cluster, mini_batch) {
-        Err(PlanError::SearchExplosion { evals }) => {
-            println!("\nPiper      ✗ search exploded after {evals} downsets/evals (Table 1)")
-        }
-        other => println!("\nPiper      unexpected outcome: {other:?}"),
-    }
+    // A closer look at one strategy: a single-shot GraphPipe plan at the
+    // session's default options (no micro-batch sweep, so its micro-batch
+    // may differ from the sweep-best row in the table above).
+    let strategy = session.plan(PlannerKind::GraphPipe)?;
+    let report = strategy.simulate()?;
+    println!(
+        "single-shot GraphPipe plan: depth {}, micro-batch {}, bubble {:.0}%, fingerprint {}",
+        strategy.pipeline_depth(),
+        strategy.max_micro_batch(),
+        report.bubble_fraction * 100.0,
+        strategy.fingerprint()
+    );
     Ok(())
 }

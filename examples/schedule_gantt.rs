@@ -6,28 +6,25 @@
 
 use graphpipe::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let model = zoo::case_study(&zoo::MmtConfig::default());
-    let cluster = Cluster::summit_like(8).with_memory_capacity(384 << 20);
-    let mini_batch = 32;
+fn main() -> Result<(), graphpipe::Error> {
+    let session = Session::builder()
+        .model(zoo::case_study(&zoo::MmtConfig::default()))
+        .cluster(Cluster::summit_like(8).with_memory_capacity(384 << 20))
+        .mini_batch(32)
+        .build()?;
 
-    for (label, plan) in [
-        (
-            "SPP (sequential stages)",
-            PipeDreamPlanner::new().plan(&model, &cluster, mini_batch)?,
-        ),
-        (
-            "GPP (concurrent branches)",
-            GraphPipePlanner::new().plan(&model, &cluster, mini_batch)?,
-        ),
+    for (label, kind) in [
+        ("SPP (sequential stages)", PlannerKind::PipeDream),
+        ("GPP (concurrent branches)", PlannerKind::GraphPipe),
     ] {
-        let report = graphpipe::simulate_plan(&model, &cluster, &plan)?;
+        let strategy = session.plan(kind)?;
+        let report = strategy.simulate()?;
         println!(
             "== {label}: depth {}, {:.0} samples/s",
-            plan.pipeline_depth(),
+            strategy.pipeline_depth(),
             report.throughput
         );
-        println!("{}", render_gantt(&report, &plan.stage_graph, 96));
+        println!("{}", render_gantt(&report, &strategy.stage_graph, 96));
     }
     Ok(())
 }

@@ -1,8 +1,8 @@
 //! Facade smoke test: the public API surface the README advertises —
-//! `graphpipe::prelude`, `planner`, `evaluate`, `simulate_plan`, and
-//! `sched::compute_in_flight` — must resolve and run end-to-end on a small
-//! zoo model. Guards the facade crate's re-export wiring: a missing
-//! `pub use` breaks this file at compile time.
+//! `graphpipe::Session`, `graphpipe::prelude`, the `planner` / `evaluate` /
+//! `simulate_plan` shims, and `sched::compute_in_flight` — must resolve and
+//! run end-to-end on a small zoo model. Guards the facade crate's re-export
+//! wiring: a missing `pub use` breaks this file at compile time.
 
 use graphpipe::prelude::*;
 use graphpipe::sched::compute_in_flight;
@@ -46,6 +46,21 @@ fn facade_surface_resolves_and_runs() {
     // The §6 closed form is reachable through the facade and reduces to the
     // classic 1F1B increment on a uniform chain.
     assert_eq!(compute_in_flight(1, 4, 1, 4, 8), 12);
+
+    // The Session front door covers the same ground with typed artifacts.
+    let session = Session::builder()
+        .model(model.clone())
+        .cluster(cluster.clone())
+        .mini_batch(64)
+        .options(opts)
+        .build()
+        .expect("session builds");
+    let strategy = session.plan(PlannerKind::GraphPipe).expect("session plans");
+    assert!(strategy.simulate().expect("strategy simulates").throughput > 0.0);
+    assert_eq!(
+        strategy.fingerprint(),
+        session.request(PlannerKind::GraphPipe).fingerprint()
+    );
 }
 
 /// The re-exported module tree exposes the documented submodules.
