@@ -12,7 +12,7 @@
 //! budgeted, and exceeding either budget returns
 //! [`PlanError::SearchExplosion`] (rendered as "✗" by the harness).
 //!
-//! Faithful simplifications (documented in DESIGN.md):
+//! Faithful simplifications (see DESIGN.md §"Baseline simplifications"):
 //!
 //! * the planner works on *layer units* — short runs of consecutive chain
 //!   operators — matching Piper's layer-graph granularity (PipeDream is the

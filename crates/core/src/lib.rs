@@ -107,7 +107,7 @@ pub mod prelude {
     pub use crate::partition::{
         GraphPipePlanner, ParallelPlanner, Plan, PlanError, PlanOptions, Planner, SearchStats,
     };
-    pub use crate::sim::{render_gantt, SimReport};
+    pub use crate::sim::{render_gantt, SimOptions, SimReport};
     pub use crate::{
         evaluate, planner, simulate_plan, Comparison, ComparisonRow, Error, EvalResult,
         PlannedStrategy, PlannerKind, Session, SessionBuilder, SessionService, TrainingConfig,
@@ -175,13 +175,16 @@ pub fn planner(kind: PlannerKind, options: PlanOptions) -> Box<dyn Planner> {
 /// Thin shim over the [`Session`] machinery — equivalent to
 /// [`PlannedStrategy::simulate`] for a strategy bound to `model` and
 /// `cluster`, without requiring the plan to have come from a session.
+/// Runs the default (sequential) simulator; build a session with
+/// [`SessionBuilder::sim_options`] or use
+/// [`PlannedStrategy::simulate_with`] for the parallel engine.
 ///
 /// # Errors
 ///
 /// Propagates simulator failures (which indicate an invalid schedule) as
 /// [`Error::Sim`].
 pub fn simulate_plan(model: &SpModel, cluster: &Cluster, plan: &Plan) -> Result<SimReport, Error> {
-    session::simulate_on(model, cluster, plan)
+    session::simulate_on(model, cluster, plan, &gp_sim::SimOptions::default())
 }
 
 /// Plans with every candidate micro-batch size, simulates each strategy,

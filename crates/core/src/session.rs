@@ -46,7 +46,7 @@ use gp_exec::{reference_step, synth_batch, ModelParams};
 use gp_ir::SpModel;
 use gp_partition::{GraphPipePlanner, Plan, PlanError, PlanOptions, Planner};
 use gp_serve::{artifact, Fingerprint, PlanRequest, PlanService, ServeStats};
-use gp_sim::SimReport;
+use gp_sim::{SimOptions, SimReport};
 use std::fmt;
 use std::ops::Deref;
 use std::sync::Arc;
@@ -77,8 +77,16 @@ pub(crate) fn simulate_on(
     model: &SpModel,
     cluster: &Cluster,
     plan: &Plan,
+    sim_options: &SimOptions,
 ) -> Result<SimReport, Error> {
-    gp_sim::simulate(model.graph(), cluster, &plan.stage_graph, &plan.schedule).map_err(Error::from)
+    gp_sim::simulate_with(
+        model.graph(),
+        cluster,
+        &plan.stage_graph,
+        &plan.schedule,
+        sim_options,
+    )
+    .map_err(Error::from)
 }
 
 /// Builder for a [`Session`]; obtained from [`Session::builder`].
@@ -93,6 +101,7 @@ pub struct SessionBuilder {
     cluster: Option<Cluster>,
     mini_batch: Option<u64>,
     options: PlanOptions,
+    sim_options: SimOptions,
 }
 
 impl SessionBuilder {
@@ -121,6 +130,16 @@ impl SessionBuilder {
         self
     }
 
+    /// Replaces the simulator options (defaults to the sequential engine).
+    ///
+    /// `SimOptions::parallelism` is a pure wall-clock lever: reports are
+    /// byte-identical at any worker count, so strategies simulated through
+    /// this session stay comparable with every golden table.
+    pub fn sim_options(mut self, sim_options: SimOptions) -> Self {
+        self.sim_options = sim_options;
+        self
+    }
+
     /// Validates the configuration and produces the [`Session`].
     ///
     /// # Errors
@@ -145,6 +164,7 @@ impl SessionBuilder {
             cluster,
             mini_batch,
             options: self.options,
+            sim_options: self.sim_options,
         })
     }
 }
@@ -176,6 +196,7 @@ pub struct Session {
     cluster: Cluster,
     mini_batch: u64,
     options: PlanOptions,
+    sim_options: SimOptions,
 }
 
 impl Session {
@@ -202,6 +223,12 @@ impl Session {
     /// The planner search options in effect.
     pub fn options(&self) -> &PlanOptions {
         &self.options
+    }
+
+    /// The simulator options strategies planned through this session
+    /// simulate with.
+    pub fn sim_options(&self) -> &SimOptions {
+        &self.sim_options
     }
 
     /// The canonical `gp-serve` [`PlanRequest`] for this session and
@@ -245,6 +272,7 @@ impl Session {
             cluster: self.cluster.clone(),
             kind,
             plan,
+            sim_options: self.sim_options.clone(),
         }
     }
 
@@ -288,13 +316,14 @@ impl Session {
             let opts = self.options.clone().with_forced_micro_batch(b);
             match build_planner(kind, opts).plan(&self.model, &self.cluster, self.mini_batch) {
                 Ok(plan) => {
-                    let report = match simulate_on(&self.model, &self.cluster, &plan) {
-                        Ok(r) => r,
-                        Err(e) => {
-                            last_err = PlanError::Internal(e.to_string());
-                            continue;
-                        }
-                    };
+                    let report =
+                        match simulate_on(&self.model, &self.cluster, &plan, &self.sim_options) {
+                            Ok(r) => r,
+                            Err(e) => {
+                                last_err = PlanError::Internal(e.to_string());
+                                continue;
+                            }
+                        };
                     per_micro_batch.push((b, report.throughput));
                     let better = match &best {
                         None => true,
@@ -346,7 +375,8 @@ impl Session {
                         .plan(&self.model, &self.cluster, self.mini_batch)
                         .map_err(Error::from)
                         .and_then(|plan| {
-                            let report = simulate_on(&self.model, &self.cluster, &plan)?;
+                            let report =
+                                simulate_on(&self.model, &self.cluster, &plan, &self.sim_options)?;
                             Ok((Arc::new(plan), report))
                         }),
                     _ => self
@@ -428,6 +458,7 @@ impl Session {
             cluster: self.cluster.clone(),
             kind,
             plan,
+            sim_options: self.sim_options.clone(),
         })
     }
 
@@ -463,6 +494,7 @@ pub struct PlannedStrategy {
     kind: PlannerKind,
     plan: Arc<Plan>,
     fingerprint: Fingerprint,
+    sim_options: SimOptions,
 }
 
 impl Deref for PlannedStrategy {
@@ -507,14 +539,26 @@ impl PlannedStrategy {
     }
 
     /// Simulates one training iteration on the discrete-event timing
-    /// substitute (`gp-sim`).
+    /// substitute (`gp-sim`), with the session's [`SimOptions`].
     ///
     /// # Errors
     ///
     /// [`Error::Sim`] when the schedule deadlocks or is incomplete — both
     /// indicate an invalid strategy.
     pub fn simulate(&self) -> Result<SimReport, Error> {
-        simulate_on(&self.model, &self.cluster, &self.plan)
+        simulate_on(&self.model, &self.cluster, &self.plan, &self.sim_options)
+    }
+
+    /// [`PlannedStrategy::simulate`] with explicit [`SimOptions`] — e.g.
+    /// to turn on the parallel relaxation engine for one large strategy.
+    /// The report is byte-identical to [`PlannedStrategy::simulate`]'s at
+    /// any worker count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PlannedStrategy::simulate`].
+    pub fn simulate_with(&self, sim_options: &SimOptions) -> Result<SimReport, Error> {
+        simulate_on(&self.model, &self.cluster, &self.plan, sim_options)
     }
 
     /// Trains the strategy for real on the threaded `gp-exec` runtime
@@ -790,6 +834,7 @@ impl SessionService {
             kind,
             plan,
             fingerprint,
+            sim_options: self.session.sim_options.clone(),
         })
     }
 

@@ -3,7 +3,8 @@
 //! Each operator describes its learnable-parameter count, forward FLOPs and
 //! the activation bytes it must stash for its backward pass, all *per
 //! sample*. These analytic counts replace the device profiling step of the
-//! original GraphPipe implementation (see `DESIGN.md`, substitution table).
+//! original GraphPipe implementation (see DESIGN.md §"The substitution
+//! table").
 
 use crate::shape::Shape;
 use serde::{Deserialize, Serialize};

@@ -19,7 +19,7 @@
 //! * [`case_study`] — the synthetic two-branch Transformer of Figure 10
 //!   (2 branches x 4 repetitions of [MHA, Linear, Linear]).
 //!
-//! Simplification (documented per DESIGN.md): DLRM's sparse branches project
+//! Simplification (see DESIGN.md §"Model-zoo simplifications"): DLRM's sparse branches project
 //! their concatenated bag to the dense hidden size so that the pairwise
 //! feature interaction operates on uniform feature vectors; the top MLP
 //! consumes the interaction output directly. This preserves the multi-branch

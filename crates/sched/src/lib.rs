@@ -17,7 +17,11 @@
 //!   propagates in-flight counts from sinks to sources (§6);
 //! * [`StageSchedule::kfkb`] / [`schedule_tasks`] — `ScheduleTask`, the
 //!   greedy earliest-backward order generation of Algorithm 2;
-//! * [`PipelineSchedule::validate_c4`] — condition C4.
+//! * [`PipelineSchedule::validate_c4`] — condition C4;
+//! * [`TaskIndex`] — the dense `(stage, micro-batch, pass)` → flat-offset
+//!   map consumers key per-task arenas by (`gp-sim`'s relaxation columns
+//!   are the motivating user; see DESIGN.md §"Scale: the simulator at
+//!   512+ devices").
 //!
 //! # Examples
 //!
@@ -55,4 +59,5 @@ pub use inflight::{assign_in_flight, best_kfkb, compute_in_flight, InFlightTable
 pub use stage::{Stage, StageGraph, StageGraphError, StageId};
 pub use tasks::{
     covering_micro_batches, schedule_tasks, PipelineSchedule, ScheduleError, StageSchedule, Task,
+    TaskIndex,
 };

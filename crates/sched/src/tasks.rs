@@ -185,6 +185,24 @@ impl StageSchedule {
 }
 
 /// The complete static schedule of a strategy: one task order per stage.
+///
+/// # Examples
+///
+/// ```
+/// use gp_sched::{PipelineSchedule, StageId, StageSchedule};
+///
+/// // Two 1F1B stages over 4 micro-batches; the upstream stage warms up
+/// // one extra micro-batch.
+/// let schedule = PipelineSchedule {
+///     per_stage: vec![
+///         StageSchedule::kfkb(StageId(0), 4, 2, 1),
+///         StageSchedule::kfkb(StageId(1), 4, 1, 1),
+///     ],
+/// };
+/// assert_eq!(schedule.stage(StageId(0)).warmup, 2);
+/// assert_eq!(schedule.stage(StageId(0)).tasks.len(), 8); // 4 F + 4 B
+/// assert_eq!(schedule.stage(StageId(1)).peak_in_flight_micro_batches(), 1);
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PipelineSchedule {
     /// Task orders indexed by stage id.
@@ -224,6 +242,119 @@ pub fn schedule_tasks(sg: &StageGraph, inflight: &InFlightTable) -> PipelineSche
         })
         .collect();
     PipelineSchedule { per_stage }
+}
+
+/// Dense index over every task instance `(stage, micro-batch, pass)` of
+/// one training iteration.
+///
+/// Stages own contiguous index blocks in id order; within a stage, tasks
+/// are laid out `[F(0), B(0), F(1), B(1), ...]`. The index is what lets
+/// per-task state live in flat, preallocated columns instead of hash maps
+/// — `gp-sim`'s relaxation engine keys its completion-time, span, and
+/// watcher arenas by it.
+///
+/// # Examples
+///
+/// ```
+/// use gp_cluster::{Cluster, DeviceRange};
+/// use gp_cost::Pass;
+/// use gp_ir::zoo;
+/// use gp_sched::{Stage, StageGraph, StageId, TaskIndex};
+///
+/// let model = zoo::mlp_chain(2, 8);
+/// let ops = model.linearize();
+/// let cluster = Cluster::tiny_test(2);
+/// let stages = vec![
+///     Stage { id: StageId(0), ops: ops[..3].to_vec(),
+///             devices: DeviceRange::new(0, 1), micro_batch: 2, kfkb: 1 },
+///     Stage { id: StageId(1), ops: ops[3..].to_vec(),
+///             devices: DeviceRange::new(1, 1), micro_batch: 2, kfkb: 1 },
+/// ];
+/// let sg = StageGraph::new(model.graph(), &cluster, stages, 8)?;
+/// let idx = TaskIndex::new(&sg);
+/// assert_eq!(idx.len(), 16); // 2 stages x 4 micro-batches x 2 passes
+/// let i = idx.index(StageId(1), 3, Pass::Backward);
+/// assert_eq!(idx.task_at(i), (StageId(1), 3, Pass::Backward));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TaskIndex {
+    /// `offsets[s]..offsets[s + 1]` is stage `s`'s index block.
+    offsets: Vec<usize>,
+    total: usize,
+}
+
+impl TaskIndex {
+    /// Builds the index for a stage graph (each stage contributes
+    /// `2 * B / b_i` task instances).
+    pub fn new(sg: &StageGraph) -> TaskIndex {
+        let mut offsets = Vec::with_capacity(sg.len() + 1);
+        let mut total = 0usize;
+        for s in sg.stages() {
+            offsets.push(total);
+            total += 2 * s.num_micro_batches(sg.mini_batch()) as usize;
+        }
+        offsets.push(total);
+        TaskIndex { offsets, total }
+    }
+
+    /// The dense index of one task instance.
+    ///
+    /// `mb` must be below the stage's micro-batch count: the mapping is
+    /// only a bijection in range, and an out-of-range `mb` would alias
+    /// into the next stage's block (checked by a `debug_assert`; release
+    /// builds do not pay for the bounds check on this hot path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` does not belong to the indexed graph, and — in
+    /// debug builds — if `mb` is out of range for the stage.
+    pub fn index(&self, stage: StageId, mb: u32, pass: Pass) -> usize {
+        let p = match pass {
+            Pass::Forward => 0,
+            Pass::Backward => 1,
+        };
+        let i = self.offsets[stage.index()] + 2 * mb as usize + p;
+        debug_assert!(
+            i < self.offsets[stage.index() + 1],
+            "micro-batch {mb} out of range for {stage}"
+        );
+        i
+    }
+
+    /// Total number of task instances across all stages.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether the iteration has no tasks (never true for a validated
+    /// stage graph with a positive mini-batch).
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The contiguous index range owned by a stage.
+    pub fn stage_tasks(&self, stage: StageId) -> Range<usize> {
+        self.offsets[stage.index()]..self.offsets[stage.index() + 1]
+    }
+
+    /// Inverts a dense index back to `(stage, micro-batch, pass)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn task_at(&self, i: usize) -> (StageId, u32, Pass) {
+        assert!(i < self.total, "task index {i} out of range");
+        // The last offset <= i locates the owning stage.
+        let s = self.offsets.partition_point(|&o| o <= i) - 1;
+        let local = i - self.offsets[s];
+        let pass = if local.is_multiple_of(2) {
+            Pass::Forward
+        } else {
+            Pass::Backward
+        };
+        (StageId(s as u32), (local / 2) as u32, pass)
+    }
 }
 
 /// The producer micro-batches (of size `b_producer`) that cover consumer
@@ -367,6 +498,70 @@ mod tests {
         assert_eq!(covering_micro_batches(4, 2, 0), 0..1);
         assert_eq!(covering_micro_batches(4, 2, 1), 0..1);
         assert_eq!(covering_micro_batches(4, 2, 2), 1..2);
+    }
+
+    #[test]
+    fn task_index_roundtrip() {
+        use crate::stage::StageGraph;
+        use gp_cluster::{Cluster, DeviceRange};
+
+        // Two stages with different micro-batch sizes: 4 + 2 micro-batches.
+        let model = gp_ir::zoo::mlp_chain(2, 8);
+        let ops = model.linearize();
+        let stages = vec![
+            crate::Stage {
+                id: StageId(0),
+                ops: ops[..3].to_vec(),
+                devices: DeviceRange::new(0, 1),
+                micro_batch: 2,
+                kfkb: 1,
+            },
+            crate::Stage {
+                id: StageId(1),
+                ops: ops[3..].to_vec(),
+                devices: DeviceRange::new(1, 1),
+                micro_batch: 4,
+                kfkb: 1,
+            },
+        ];
+        let sg = StageGraph::new(model.graph(), &Cluster::tiny_test(2), stages, 8).unwrap();
+        let idx = TaskIndex::new(&sg);
+        assert_eq!(idx.len(), 2 * 4 + 2 * 2);
+        assert!(!idx.is_empty());
+        assert_eq!(idx.stage_tasks(StageId(0)), 0..8);
+        assert_eq!(idx.stage_tasks(StageId(1)), 8..12);
+        // Every dense index inverts to the tuple that produced it.
+        let mut seen = vec![false; idx.len()];
+        for (stage, m) in [(StageId(0), 4u32), (StageId(1), 2u32)] {
+            for mb in 0..m {
+                for pass in [Pass::Forward, Pass::Backward] {
+                    let i = idx.index(stage, mb, pass);
+                    assert_eq!(idx.task_at(i), (stage, mb, pass));
+                    assert!(!seen[i], "index {i} assigned twice");
+                    seen[i] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "dense indices must be a bijection");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn task_index_rejects_out_of_range() {
+        let model = gp_ir::zoo::mlp_chain(2, 8);
+        let ops = model.linearize();
+        let stages = vec![crate::Stage {
+            id: StageId(0),
+            ops,
+            devices: gp_cluster::DeviceRange::new(0, 1),
+            micro_batch: 2,
+            kfkb: 1,
+        }];
+        let sg =
+            crate::StageGraph::new(model.graph(), &gp_cluster::Cluster::tiny_test(1), stages, 8)
+                .unwrap();
+        let idx = TaskIndex::new(&sg);
+        let _ = idx.task_at(idx.len());
     }
 
     #[test]

@@ -4,11 +4,19 @@ use crate::report::SimReport;
 use gp_cost::Pass;
 use gp_sched::StageGraph;
 
+/// Device rows rendered before [`render_gantt`] elides the rest. One row
+/// per device is legible for the paper's 8–64 GPU strategies; at the
+/// simulator's 512+ device scale an unbounded chart is wallpaper, so
+/// everything past this many rows collapses into one elision note.
+pub(crate) const MAX_GANTT_DEVICES: usize = 64;
+
 /// Renders the timeline as one row per device.
 ///
 /// Forward passes print the micro-batch as `1-9` then `A-Z`; backward
 /// passes print `a-z`. Idle time prints `.`. The horizontal axis is the
-/// iteration, sampled into `width` columns.
+/// iteration, sampled into `width` columns. Charts stop after 64 rows
+/// (`MAX_GANTT_DEVICES`) with an explicit `... elided` note instead of
+/// emitting output proportional to the device count.
 ///
 /// # Examples
 ///
@@ -19,9 +27,13 @@ use gp_sched::StageGraph;
 pub fn render_gantt(report: &SimReport, sg: &StageGraph, width: usize) -> String {
     let width = width.max(10);
     let n_dev = report.peak_memory_bytes.len();
+    let shown = n_dev.min(MAX_GANTT_DEVICES);
     let span = report.iteration_time.max(f64::MIN_POSITIVE);
-    let mut rows = vec![vec!['.'; width]; n_dev];
+    let mut rows = vec![vec!['.'; width]; shown];
     for t in &report.timeline {
+        if t.device.index() >= shown {
+            continue;
+        }
         let c0 = ((t.start / span) * width as f64).floor() as usize;
         let c1 = ((t.end / span) * width as f64).ceil() as usize;
         let ch = glyph(t.pass, t.mb);
@@ -43,6 +55,12 @@ pub fn render_gantt(report: &SimReport, sg: &StageGraph, width: usize) -> String
         out.push_str(&format!("gpu{d:<2} {stage:<4}|"));
         out.extend(row.iter());
         out.push('\n');
+    }
+    if n_dev > shown {
+        out.push_str(&format!(
+            "... {} more devices elided (showing {shown} of {n_dev})\n",
+            n_dev - shown
+        ));
     }
     out.push_str(&format!(
         "iteration {:.3} ms, warm-up {:.3} ms, bubble {:.1}%  (F: 1-9/A-Z, B: a-z, idle: .)\n",

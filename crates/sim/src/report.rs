@@ -53,6 +53,62 @@ impl SimReport {
     pub fn max_peak_memory(&self) -> u64 {
         self.peak_memory_bytes.iter().copied().max().unwrap_or(0)
     }
+
+    /// A 64-bit FNV-1a digest over every field of the report, bit-exact:
+    /// scalar metrics enter as their IEEE-754 bit patterns and the whole
+    /// timeline is folded span by span. Two reports have equal fingerprints
+    /// iff they are byte-identical (modulo hash collisions), which makes
+    /// this the drift detector for golden tests and the `sim_profile`
+    /// smoke: any behaviour change in the engine — timing, memory
+    /// accounting, span ordering — moves the fingerprint.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gp_cluster::Cluster;
+    /// use gp_ir::zoo::{self, MmtConfig};
+    /// use gp_partition::{GraphPipePlanner, Planner};
+    ///
+    /// let model = zoo::mmt(&MmtConfig::tiny());
+    /// let cluster = Cluster::summit_like(4);
+    /// let plan = GraphPipePlanner::new().plan(&model, &cluster, 32)?;
+    /// let a = gp_sim::simulate(model.graph(), &cluster, &plan.stage_graph, &plan.schedule)?;
+    /// let b = gp_sim::simulate(model.graph(), &cluster, &plan.stage_graph, &plan.schedule)?;
+    /// assert_eq!(a.fingerprint(), b.fingerprint());
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+        const FNV_PRIME: u64 = 0x100000001b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |w: u64| {
+            h ^= w;
+            h = h.wrapping_mul(FNV_PRIME);
+        };
+        mix(self.mini_batch);
+        mix(self.per_device_busy.len() as u64);
+        mix(self.iteration_time.to_bits());
+        mix(self.throughput.to_bits());
+        mix(self.utilization.to_bits());
+        mix(self.bubble_fraction.to_bits());
+        mix(self.warmup_time.to_bits());
+        for &busy in &self.per_device_busy {
+            mix(busy.to_bits());
+        }
+        for &peak in &self.peak_memory_bytes {
+            mix(peak);
+        }
+        mix(self.timeline.len() as u64);
+        for span in &self.timeline {
+            mix(span.device.0 as u64);
+            mix(span.stage.0 as u64);
+            mix(span.mb as u64);
+            mix(span.pass as u64);
+            mix(span.start.to_bits());
+            mix(span.end.to_bits());
+        }
+        h
+    }
 }
 
 /// Errors raised by the simulator.

@@ -10,7 +10,7 @@ use gp_partition::{GraphPipePlanner, Plan, Planner};
 use gp_sched::{
     assign_in_flight, schedule_tasks, PipelineSchedule, Stage, StageGraph, StageId, StageSchedule,
 };
-use gp_sim::{render_gantt, simulate, SimError};
+use gp_sim::{render_gantt, simulate, simulate_with, SimError, SimOptions};
 
 /// Builds an n-stage 1F1B chain over an MLP with one device per stage.
 fn chain_setup(
@@ -224,6 +224,81 @@ fn gantt_renders_all_devices() {
     assert_eq!(gantt.lines().count(), 4); // 3 devices + footer
     assert!(gantt.contains("gpu0"));
     assert!(gantt.contains("bubble"));
+}
+
+#[test]
+fn gantt_elides_rows_past_the_device_cap() {
+    // A hand-built report with 100 devices: the chart stops at 64 rows
+    // and says exactly what it dropped, instead of emitting one row per
+    // simulated device.
+    let (model, cluster, sg) = chain_setup(2, 2, 8);
+    let schedule = schedule_tasks(&sg, &assign_in_flight(&sg));
+    let mut report = simulate(model.graph(), &cluster, &sg, &schedule).unwrap();
+    report.per_device_busy.resize(100, 0.0);
+    report.peak_memory_bytes.resize(100, 0);
+    let gantt = render_gantt(&report, &sg, 60);
+    assert_eq!(gantt.lines().count(), 64 + 2); // rows + elision + footer
+    assert!(gantt.contains("gpu63"));
+    assert!(!gantt.contains("gpu64 "));
+    assert!(gantt.contains("... 36 more devices elided (showing 64 of 100)"));
+}
+
+#[test]
+fn parallel_mode_reports_are_byte_identical() {
+    // The parallel relaxation must reproduce the sequential engine's
+    // report bit for bit — same timeline floats, same memory watermarks,
+    // same fingerprint — for any worker count (including more workers
+    // than devices).
+    let cells: Vec<(gp_ir::SpModel, usize, u64)> = vec![
+        (zoo::mmt(&MmtConfig::tiny()), 4, 64),
+        (zoo::candle_uno(&CandleUnoConfig::default()), 8, 1024),
+        (zoo::dlrm(&gp_ir::zoo::DlrmConfig::default()), 8, 512),
+    ];
+    for (model, devices, mini_batch) in cells {
+        let cluster = Cluster::summit_like(devices);
+        let plan = GraphPipePlanner::new()
+            .plan(&model, &cluster, mini_batch)
+            .unwrap();
+        let seq = simulate(model.graph(), &cluster, &plan.stage_graph, &plan.schedule).unwrap();
+        for workers in [2, 3, 7, 32] {
+            let par = simulate_with(
+                model.graph(),
+                &cluster,
+                &plan.stage_graph,
+                &plan.schedule,
+                &SimOptions::default().with_parallelism(workers),
+            )
+            .unwrap();
+            assert_eq!(seq.fingerprint(), par.fingerprint(), "workers={workers}");
+            assert_eq!(seq.timeline, par.timeline, "workers={workers}");
+            assert_eq!(seq.peak_memory_bytes, par.peak_memory_bytes);
+            assert_eq!(seq.per_device_busy, par.per_device_busy);
+        }
+    }
+}
+
+#[test]
+fn parallel_mode_detects_the_same_deadlock() {
+    // Deadlock detection must agree across engines: the schedulable
+    // closure is unique, so the completed/total counts are too.
+    let (model, cluster, sg) = chain_setup(2, 2, 8);
+    let schedule = PipelineSchedule {
+        per_stage: vec![
+            StageSchedule::kfkb(StageId(0), 4, 1, 1),
+            StageSchedule::kfkb(StageId(1), 4, 2, 1),
+        ],
+    };
+    let seq = simulate(model.graph(), &cluster, &sg, &schedule).unwrap_err();
+    let par = simulate_with(
+        model.graph(),
+        &cluster,
+        &sg,
+        &schedule,
+        &SimOptions::default().with_parallelism(2),
+    )
+    .unwrap_err();
+    assert_eq!(seq, par);
+    assert!(matches!(seq, SimError::Deadlock { .. }));
 }
 
 #[test]
