@@ -12,6 +12,10 @@
 //! (a stage at distance `p` from the sink keeps `p + 1` micro-batches in
 //! flight). Because the model is linearized first, parallel branches are
 //! pipelined one after another — the missed opportunity GPP exploits.
+//!
+//! gp-lint: deterministic — this module's outputs feed plan
+//! fingerprints or the artifact codec; `cargo xtask lint` scans it for
+//! nondeterminism hazards (DESIGN.md §"Determinism lint").
 
 use gp_cluster::{Cluster, DeviceRange};
 use gp_cost::{CostModel, Pass, BYTES_PER_PARAM_STATE};

@@ -25,7 +25,7 @@ use gp_cost::{CostModel, Pass, BYTES_PER_PARAM_STATE};
 use gp_ir::{Graph, OpId, SpBlock, SpModel};
 use gp_partition::{Plan, PlanError, PlanOptions, Planner, SearchStats};
 use gp_sched::{assign_in_flight, schedule_tasks, Stage, StageGraph, StageId};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::time::Instant;
 
 /// Downset-lattice planner for sequential pipelines with cross-branch
@@ -193,9 +193,11 @@ impl PiperPlanner {
             .iter()
             .map(|ps| ps.iter().fold(0u128, |m, &p| m | (1 << p)))
             .collect();
-        let mut seen: HashMap<u128, ()> = HashMap::new();
+        // Membership-only set; BTreeSet keeps the module free of
+        // iteration-order hazards (`gp-lint: deterministic`).
+        let mut seen: BTreeSet<u128> = BTreeSet::new();
         let mut stack = vec![0u128];
-        seen.insert(0, ());
+        seen.insert(0);
         let mut out = Vec::new();
         while let Some(d) = stack.pop() {
             out.push(d);
@@ -208,7 +210,7 @@ impl PiperPlanner {
                 let bit = 1u128 << u;
                 if d & bit == 0 && pm & !d == 0 {
                     let next = d | bit;
-                    if seen.insert(next, ()).is_none() {
+                    if seen.insert(next) {
                         stack.push(next);
                     }
                 }

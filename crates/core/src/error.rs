@@ -46,6 +46,9 @@ pub enum Error {
     Serve(ServeError),
     /// A plan artifact failed to decode or validate.
     Artifact(ArtifactError),
+    /// The static verifier ([`gp_verify`]) rejected a plan at a session
+    /// trust boundary; the error names the violated invariant.
+    Verify(gp_verify::VerifyError),
     /// The request itself was malformed (builder misuse, impossible
     /// configuration) before any subsystem ran.
     Invalid(String),
@@ -59,6 +62,7 @@ impl fmt::Display for Error {
             Error::Exec(e) => write!(f, "execution failed: {e}"),
             Error::Serve(e) => write!(f, "plan service failed: {e}"),
             Error::Artifact(e) => write!(f, "plan artifact rejected: {e}"),
+            Error::Verify(e) => write!(f, "plan verification failed: {e}"),
             Error::Invalid(why) => write!(f, "invalid request: {why}"),
         }
     }
@@ -72,6 +76,7 @@ impl std::error::Error for Error {
             Error::Exec(e) => Some(e),
             Error::Serve(e) => Some(e),
             Error::Artifact(e) => Some(e),
+            Error::Verify(e) => Some(e),
             Error::Invalid(_) => None,
         }
     }
@@ -109,6 +114,12 @@ impl From<ServeError> for Error {
 impl From<ArtifactError> for Error {
     fn from(e: ArtifactError) -> Self {
         Error::Artifact(e)
+    }
+}
+
+impl From<gp_verify::VerifyError> for Error {
+    fn from(e: gp_verify::VerifyError) -> Self {
+        Error::Verify(e)
     }
 }
 

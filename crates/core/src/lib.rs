@@ -97,6 +97,10 @@ pub mod exec {
 pub mod tensor {
     pub use gp_tensor::*;
 }
+/// Static plan/schedule invariant verifier (re-export of `gp-verify`).
+pub mod verify {
+    pub use gp_verify::*;
+}
 
 /// One-stop imports for examples and applications.
 pub mod prelude {
@@ -108,6 +112,7 @@ pub mod prelude {
         GraphPipePlanner, ParallelPlanner, Plan, PlanError, PlanOptions, Planner, SearchStats,
     };
     pub use crate::sim::{render_gantt, SimOptions, SimReport};
+    pub use crate::verify::{verify_plan, verify_schedule, verify_strategy, VerifyReport};
     pub use crate::{
         evaluate, planner, simulate_plan, Comparison, ComparisonRow, Error, EvalResult,
         PlannedStrategy, PlannerKind, Session, SessionBuilder, SessionService, TrainingConfig,

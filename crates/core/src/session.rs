@@ -79,6 +79,14 @@ pub(crate) fn simulate_on(
     plan: &Plan,
     sim_options: &SimOptions,
 ) -> Result<SimReport, Error> {
+    // Debug builds statically verify every plan handed to the simulator,
+    // so a strategy that violates a §3 invariant is caught by name here
+    // rather than surfacing as a simulator panic or bogus timings.
+    #[cfg(debug_assertions)]
+    {
+        let report = gp_verify::verify_plan(model.graph(), cluster, plan);
+        debug_assert!(report.is_clean(), "simulating an invalid plan: {report}");
+    }
     gp_sim::simulate_with(
         model.graph(),
         cluster,
@@ -276,17 +284,22 @@ impl Session {
         }
     }
 
-    /// Runs the chosen planner once, at the session's options.
+    /// Runs the chosen planner once, at the session's options, and
+    /// statically verifies the result ([`gp_verify::verify_strategy`])
+    /// before handing it out — a planner bug surfaces as a named invariant
+    /// violation instead of propagating an invalid strategy.
     ///
     /// # Errors
     ///
-    /// Propagates the planner's failure as [`Error::Plan`].
+    /// Propagates the planner's failure as [`Error::Plan`]; a plan the
+    /// verifier rejects is [`Error::Verify`].
     pub fn plan(&self, kind: PlannerKind) -> Result<PlannedStrategy, Error> {
         let plan = build_planner(kind, self.options.clone()).plan(
             &self.model,
             &self.cluster,
             self.mini_batch,
         )?;
+        gp_verify::verify_strategy(&self.model, &self.cluster, &plan).into_result()?;
         Ok(self.wrap(kind, Arc::new(plan)))
     }
 
@@ -419,11 +432,16 @@ impl Session {
     /// # Errors
     ///
     /// [`Error::Artifact`] when the document is malformed or does not
-    /// describe a valid strategy for this model and cluster;
+    /// describe a valid strategy for this model and cluster (the error
+    /// names the violated invariant); [`Error::Verify`] when the decoded
+    /// plan fails the session-level [`gp_verify::verify_strategy`] pass;
     /// [`Error::Invalid`] when the artifact's mini-batch or recorded
     /// fingerprint disagrees with the session.
     pub fn load_artifact(&self, text: &str, kind: PlannerKind) -> Result<PlannedStrategy, Error> {
         let (plan, recorded) = artifact::decode_plan(text, self.model.graph(), &self.cluster)?;
+        // The codec verified the plan against the graph; the session also
+        // holds the SP tree, so run the full strategy-level pass.
+        gp_verify::verify_strategy(&self.model, &self.cluster, &plan).into_result()?;
         if plan.stage_graph.mini_batch() != self.mini_batch {
             return Err(Error::Invalid(format!(
                 "artifact plans mini-batch {}, session uses {}",
@@ -828,6 +846,15 @@ impl SessionService {
         let fingerprint = ticket.fingerprint();
         let plan = ticket.wait()?;
         debug_assert_eq!(fingerprint, self.session.request(kind).fingerprint());
+        // The service verified the plan before caching it (its own trust
+        // boundary); debug builds re-verify against *this* session's model
+        // to catch cache-keying bugs that hand back a foreign plan.
+        #[cfg(debug_assertions)]
+        {
+            let report =
+                gp_verify::verify_strategy(&self.session.model, &self.session.cluster, &plan);
+            debug_assert!(report.is_clean(), "served an invalid plan: {report}");
+        }
         Ok(PlannedStrategy {
             model: Arc::clone(&self.session.model),
             cluster: self.session.cluster.clone(),

@@ -1,4 +1,8 @@
 //! The DNN computation graph: a DAG of operators with inferred shapes.
+//!
+//! gp-lint: deterministic — this module's outputs feed plan
+//! fingerprints or the artifact codec; `cargo xtask lint` scans it for
+//! nondeterminism hazards (DESIGN.md §"Determinism lint").
 
 use crate::op::{OpKind, BYTES_PER_ELEMENT};
 use crate::shape::Shape;

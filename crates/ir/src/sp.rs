@@ -7,6 +7,10 @@
 //! it describes ([`SpModel`]), and validates that the tree is a faithful
 //! description: every operator appears exactly once and every data edge is
 //! compatible with the series/parallel nesting.
+//!
+//! gp-lint: deterministic — this module's outputs feed plan
+//! fingerprints or the artifact codec; `cargo xtask lint` scans it for
+//! nondeterminism hazards (DESIGN.md §"Determinism lint").
 
 use crate::graph::{Graph, OpId};
 use serde::{Deserialize, Serialize};

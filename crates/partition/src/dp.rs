@@ -69,6 +69,10 @@
 //! replay finds that the sequential search would have run out of budget
 //! mid-run, that run is re-executed with the exact remaining budget so
 //! even [`PlanError::SearchExplosion`] accounting is bit-identical.
+//!
+//! gp-lint: deterministic — this module's outputs feed plan
+//! fingerprints or the artifact codec; `cargo xtask lint` scans it for
+//! nondeterminism hazards (DESIGN.md §"Determinism lint").
 
 use crate::plan::{Plan, PlanError, PlanOptions, Planner, SearchStats};
 use gp_cluster::{Cluster, DeviceRange};

@@ -11,6 +11,10 @@
 //! the driver replays the exact sequential probe order against the cache.
 //! The returned [`Plan`] is byte-identical to the sequential planner's;
 //! only `stats.wall` differs.
+//!
+//! gp-lint: deterministic — this module's outputs feed plan
+//! fingerprints or the artifact codec; `cargo xtask lint` scans it for
+//! nondeterminism hazards (DESIGN.md §"Determinism lint").
 
 use crate::dp::{run_dp, GraphPipePlanner, ProbeProvider, RunResult, SearchCtx};
 use crate::plan::{Plan, PlanError, PlanOptions, Planner};

@@ -1,4 +1,8 @@
 //! Public planning types shared by GraphPipe and the SPP baselines.
+//!
+//! gp-lint: deterministic — this module's outputs feed plan
+//! fingerprints or the artifact codec; `cargo xtask lint` scans it for
+//! nondeterminism hazards (DESIGN.md §"Determinism lint").
 
 use gp_cluster::Cluster;
 use gp_cost::CostModel;

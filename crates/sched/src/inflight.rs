@@ -5,6 +5,10 @@
 //! memory. GraphPipe's scheduler minimizes it per stage while preserving
 //! continuous pipelining, using the closed-form `ComputeInFlight` of
 //! Table 2, generalized to per-stage micro-batch sizes and kFkB schedules.
+//!
+//! gp-lint: deterministic — this module's outputs feed plan
+//! fingerprints or the artifact codec; `cargo xtask lint` scans it for
+//! nondeterminism hazards (DESIGN.md §"Determinism lint").
 
 use crate::stage::{StageGraph, StageId};
 use serde::{Deserialize, Serialize};

@@ -5,6 +5,10 @@
 //! schedule. This module defines the first three elements plus the derived
 //! stage DAG and its validity conditions C1–C3; schedules (`Pi_i`, condition
 //! C4) live in [`crate::tasks`].
+//!
+//! gp-lint: deterministic — this module's outputs feed plan
+//! fingerprints or the artifact codec; `cargo xtask lint` scans it for
+//! nondeterminism hazards (DESIGN.md §"Determinism lint").
 
 use gp_cluster::{Cluster, DeviceRange};
 use gp_ir::{Graph, OpId};

@@ -6,6 +6,10 @@
 //! backwards and `k` forwards, then the remaining backwards — with `l`
 //! chosen as the minimal in-flight count from
 //! [`crate::inflight::assign_in_flight`].
+//!
+//! gp-lint: deterministic — this module's outputs feed plan
+//! fingerprints or the artifact codec; `cargo xtask lint` scans it for
+//! nondeterminism hazards (DESIGN.md §"Determinism lint").
 
 use crate::inflight::InFlightTable;
 use crate::stage::{StageGraph, StageId};

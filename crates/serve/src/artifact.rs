@@ -55,12 +55,18 @@
 //!   `memory_prunes` search counters; they decode with those counters
 //!   zeroed.
 //!
-//! Decoding is *validating*: the stage graph is rebuilt through
-//! [`StageGraph::new`] (falling back to [`StageGraph::new_sequential`] for
-//! artifacts carrying imposed chain edges) against the caller's graph and
-//! cluster, and the schedule is re-checked against condition C4. A
-//! corrupted or mismatched artifact fails loudly instead of producing an
-//! invalid strategy.
+//! Decoding is *validating*: the raw stage list runs through
+//! [`gp_verify::verify_stages`] before the stage graph is rebuilt (through
+//! [`StageGraph::new`], falling back to [`StageGraph::new_sequential`] for
+//! artifacts carrying imposed chain edges), and the assembled plan runs
+//! through [`gp_verify::verify_plan`] — C4 order, deadlock freedom, stash
+//! and memory bounds, estimate agreement. A corrupted or mismatched
+//! artifact fails with [`ArtifactError::Violation`], naming the exact
+//! invariant (and stage/device/task) that failed.
+//!
+//! gp-lint: deterministic — this module's outputs feed plan
+//! fingerprints or the artifact codec; `cargo xtask lint` scans it for
+//! nondeterminism hazards (DESIGN.md §"Determinism lint").
 
 use crate::fingerprint::Fingerprint;
 use crate::json::{Json, JsonError};
@@ -89,12 +95,10 @@ pub enum ArtifactError {
     UnsupportedVersion(u64),
     /// A required field is missing or has the wrong type.
     Field(&'static str),
-    /// The stages do not form a valid stage graph over the given model and
-    /// cluster (the §3 conditions failed on rebuild).
-    Invalid(String),
-    /// The rebuilt stage graph's edges disagree with the recorded ones:
-    /// the artifact belongs to a different model/cluster than supplied.
-    EdgeMismatch,
+    /// The document parses but does not describe a valid strategy: the
+    /// static verifier ([`gp_verify`]) rejected it, and the violation
+    /// names the exact invariant (and stage/device/task) that failed.
+    Violation(gp_verify::Violation),
 }
 
 impl fmt::Display for ArtifactError {
@@ -113,13 +117,9 @@ impl fmt::Display for ArtifactError {
             ArtifactError::Field(name) => {
                 write!(f, "artifact field `{name}` is missing or ill-typed")
             }
-            ArtifactError::Invalid(why) => {
-                write!(f, "artifact does not describe a valid strategy: {why}")
+            ArtifactError::Violation(v) => {
+                write!(f, "artifact does not describe a valid strategy: {v}")
             }
-            ArtifactError::EdgeMismatch => write!(
-                f,
-                "artifact stage edges disagree with the supplied model/cluster"
-            ),
         }
     }
 }
@@ -287,7 +287,7 @@ pub fn rebuild_stage_graph(
     expected_edges: &[(StageId, StageId)],
 ) -> Result<StageGraph, ArtifactError> {
     let plain = StageGraph::new(graph, cluster, stages.clone(), mini_batch)
-        .map_err(|e| ArtifactError::Invalid(e.to_string()))?;
+        .map_err(|e| ArtifactError::Violation(gp_verify::violation_of_stage_graph_error(&e)))?;
     if plain.stage_edges() == expected_edges {
         return Ok(plain);
     }
@@ -296,7 +296,34 @@ pub fn rebuild_stage_graph(
             return Ok(seq);
         }
     }
-    Err(ArtifactError::EdgeMismatch)
+    // Neither construction reproduces the recorded edge list: name the
+    // first edge the data flow derives but the artifact lacks (or vice
+    // versa), so a mismatched model/cluster is diagnosed precisely.
+    let derived = plain.stage_edges();
+    let disagreement = derived
+        .iter()
+        .find(|e| !expected_edges.contains(e))
+        .map(|&(a, b)| (a, b, "data flow derives"))
+        .or_else(|| {
+            expected_edges
+                .iter()
+                .find(|e| !derived.contains(e))
+                .map(|&(a, b)| (a, b, "artifact records"))
+        });
+    let violation = match disagreement {
+        Some((a, b, who)) => gp_verify::Violation::new(
+            gp_verify::Check::EdgeDerivation,
+            gp_verify::Location::stage(a),
+            format!("{who} stage edge {a} -> {b}, which the other side lacks (C2)"),
+        ),
+        // Same edge *sets* but different order/multiplicity.
+        None => gp_verify::Violation::new(
+            gp_verify::Check::EdgeDerivation,
+            gp_verify::Location::global(),
+            "recorded stage edges disagree with the supplied model/cluster (C2)".to_string(),
+        ),
+    };
+    Err(ArtifactError::Violation(violation))
 }
 
 /// Decodes a plan artifact (any version up to [`VERSION`]) back into the
@@ -349,11 +376,9 @@ pub fn decode_plan(
             .ok_or(ArtifactError::Field("stages.ops"))?
             .iter()
             .map(|o| {
-                // Bounds-check against the supplied graph so corrupted ids
-                // fail here rather than panicking inside the rebuild.
-                o.as_u64()
-                    .filter(|&v| (v as usize) < graph.len())
-                    .map(|v| OpId(v as u32))
+                // Type-level check only; out-of-range operator ids are a
+                // *semantic* defect the verifier names (`op-cover-exact`).
+                o.as_u64().and_then(|v| u32::try_from(v).ok()).map(OpId)
             })
             .collect::<Option<Vec<OpId>>>()
             .ok_or(ArtifactError::Field("stages.ops"))?;
@@ -369,11 +394,12 @@ pub fn decode_plan(
             kfkb: u64_field(s, "kfkb")?,
         });
     }
-    // Dense, in-order stage ids are a structural invariant of StageGraph.
-    for (i, s) in stages.iter().enumerate() {
-        if s.id.index() != i {
-            return Err(ArtifactError::Field("stages.id"));
-        }
+    // Semantic verification of the raw stage list before the rebuild:
+    // every corruption (dense ids, op cover, convexity, device tiling,
+    // divisibility) is reported by invariant name rather than as an opaque
+    // constructor failure.
+    if let Some(v) = gp_verify::verify_stages(graph, cluster, &stages, mini_batch).first() {
+        return Err(ArtifactError::Violation(v.clone()));
     }
 
     // Edges.
@@ -394,7 +420,6 @@ pub fn decode_plan(
         }
     }
 
-    let stage_count = stages.len();
     let stage_graph = rebuild_stage_graph(graph, cluster, stages, mini_batch, &edges)?;
 
     // In-flight table.
@@ -405,19 +430,9 @@ pub fn decode_plan(
         .map(Json::as_u64)
         .collect::<Option<Vec<u64>>>()
         .ok_or(ArtifactError::Field("in_flight"))?;
-    if in_flight_samples.len() != stage_count {
-        return Err(ArtifactError::Field("in_flight"));
-    }
+    // Agreement with the `ComputeInFlight` recomputation is the verifier's
+    // `in-flight-consistent` check, run over the assembled plan below.
     let in_flight = InFlightTable::from_samples(in_flight_samples);
-    // Every planner derives its table with `assign_in_flight` over the
-    // final stage graph, so a recorded table that disagrees with the
-    // recomputation is corruption, not a legitimate plan — reject it
-    // rather than let downstream memory accounting consume bogus counts.
-    if in_flight != gp_sched::assign_in_flight(&stage_graph) {
-        return Err(ArtifactError::Invalid(
-            "in_flight table disagrees with ComputeInFlight over the stage graph".to_string(),
-        ));
-    }
 
     // Schedule.
     let mut per_stage = Vec::new();
@@ -450,18 +465,9 @@ pub fn decode_plan(
             tasks,
         });
     }
-    if per_stage.len() != stage_count
-        || per_stage
-            .iter()
-            .enumerate()
-            .any(|(i, s)| s.stage.index() != i)
-    {
-        return Err(ArtifactError::Field("schedule"));
-    }
+    // Coverage, C4 order, and deadlock freedom are the verifier's
+    // `schedule-*` checks, run over the assembled plan below.
     let schedule = PipelineSchedule { per_stage };
-    schedule
-        .validate_c4(&stage_graph)
-        .map_err(|e| ArtifactError::Invalid(e.to_string()))?;
 
     let stats_doc = field(&doc, "stats")?;
     let wall_nanos = u32_field(stats_doc, "wall_nanos")?;
@@ -491,19 +497,24 @@ pub fn decode_plan(
         configs_tried: u32_field(stats_doc, "configs_tried")?,
     };
 
-    Ok((
-        Plan {
-            stage_graph,
-            in_flight,
-            schedule,
-            bottleneck_tps: field(&doc, "bottleneck_tps")?
-                .as_f64()
-                .ok_or(ArtifactError::Field("bottleneck_tps"))?,
-            peak_memory_bytes: u64_field(&doc, "peak_memory_bytes")?,
-            stats,
-        },
-        fingerprint,
-    ))
+    let plan = Plan {
+        stage_graph,
+        in_flight,
+        schedule,
+        bottleneck_tps: field(&doc, "bottleneck_tps")?
+            .as_f64()
+            .ok_or(ArtifactError::Field("bottleneck_tps"))?,
+        peak_memory_bytes: u64_field(&doc, "peak_memory_bytes")?,
+        stats,
+    };
+    // Full semantic verification of the assembled plan: in-flight
+    // consistency, C4 order, deadlock freedom, stash and memory bounds,
+    // and bit-exact estimate agreement. A corrupted artifact fails here
+    // with the violated invariant's name.
+    if let Some(v) = gp_verify::verify_plan(graph, cluster, &plan).first() {
+        return Err(ArtifactError::Violation(v.clone()));
+    }
+    Ok((plan, fingerprint))
 }
 
 #[cfg(test)]
@@ -634,12 +645,59 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        assert!(ArtifactError::EdgeMismatch.to_string().contains("edges"));
+        let violation = gp_verify::Violation::new(
+            gp_verify::Check::EdgeDerivation,
+            gp_verify::Location::global(),
+            "recorded stage edges disagree with the supplied model/cluster".to_string(),
+        );
+        let text = ArtifactError::Violation(violation).to_string();
+        assert!(text.contains("edge-derivation"), "{text}");
         assert!(ArtifactError::UnsupportedVersion(7)
             .to_string()
             .contains('7'));
         assert!(ArtifactError::Field("stages")
             .to_string()
             .contains("stages"));
+    }
+
+    /// Satellite: corrupted artifacts are rejected with the *name* of the
+    /// violated invariant, not a generic "invalid plan".
+    #[test]
+    fn corrupted_artifacts_name_the_violated_invariant() {
+        let model = zoo::mlp_chain(4, 64);
+        let cluster = Cluster::summit_like(4);
+        let plan = GraphPipePlanner::new().plan(&model, &cluster, 32).unwrap();
+        let text = encode_plan(&plan, None);
+        let violation_name = |text: &str| -> String {
+            match decode_plan(text, model.graph(), &cluster) {
+                Err(ArtifactError::Violation(v)) => v.check.to_string(),
+                other => panic!("expected a named violation, got {other:?}"),
+            }
+        };
+        // Drift the recorded estimate by one ULP-ish step.
+        let tps = format!(
+            "\"bottleneck_tps\":{}",
+            crate::json::Json::Float(plan.bottleneck_tps)
+        );
+        assert!(text.contains(&tps), "{text}");
+        let drifted = text.replace(
+            &tps,
+            &format!(
+                "\"bottleneck_tps\":{}",
+                crate::json::Json::Float(plan.bottleneck_tps * 1.5)
+            ),
+        );
+        assert_eq!(violation_name(&drifted), "estimate-consistent");
+        // Corrupt the in-flight table.
+        let in_flight_json = format!("\"in_flight\":[{}", plan.in_flight.samples(StageId(0)));
+        assert!(text.contains(&in_flight_json), "{text}");
+        let corrupted = text.replace(
+            &in_flight_json,
+            &format!(
+                "\"in_flight\":[{}",
+                plan.in_flight.samples(StageId(0)) + plan.stage_graph.stage(StageId(0)).micro_batch
+            ),
+        );
+        assert_eq!(violation_name(&corrupted), "in-flight-consistent");
     }
 }

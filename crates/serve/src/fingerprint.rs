@@ -33,6 +33,10 @@
 //! assert_eq!(a, b);
 //! assert_ne!(a, request_fingerprint(&model, &cluster, 128, &opts, 0));
 //! ```
+//!
+//! gp-lint: deterministic — this module's outputs feed plan
+//! fingerprints or the artifact codec; `cargo xtask lint` scans it for
+//! nondeterminism hazards (DESIGN.md §"Determinism lint").
 
 use gp_cluster::{Cluster, DeviceId};
 use gp_ir::{Graph, SpBlock, SpModel};

@@ -18,6 +18,10 @@
 //!
 //! Object member order is preserved (objects are association lists), which
 //! keeps encoded artifacts byte-stable.
+//!
+//! gp-lint: deterministic — this module's outputs feed plan
+//! fingerprints or the artifact codec; `cargo xtask lint` scans it for
+//! nondeterminism hazards (DESIGN.md §"Determinism lint").
 
 use std::fmt;
 

@@ -132,6 +132,9 @@ impl PlanRequest {
 pub enum ServeError {
     /// The planner itself failed (infeasible, search explosion, ...).
     Plan(PlanError),
+    /// The planner produced a plan the static verifier rejects: a planner
+    /// bug, caught before the plan reaches the cache or any subscriber.
+    InvalidPlan(gp_verify::VerifyError),
     /// The service shut down before the request completed.
     ServiceStopped,
 }
@@ -140,6 +143,9 @@ impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::Plan(e) => write!(f, "planning failed: {e}"),
+            ServeError::InvalidPlan(e) => {
+                write!(f, "planner produced an invalid plan: {e}")
+            }
             ServeError::ServiceStopped => write!(f, "plan service stopped"),
         }
     }
@@ -544,7 +550,19 @@ fn run_planner(shared: &Shared, request: &PlanRequest) -> Reply {
         .planner_nanos
         .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
     match outcome {
-        Ok(plan) => Ok(Arc::new(plan)),
+        Ok(plan) => {
+            // Trust boundary: every plan is statically verified before it
+            // can reach the cache or be fanned out to subscribers, so a
+            // planner bug surfaces as a named invariant violation instead
+            // of corrupting downstream consumers.
+            if let Err(e) =
+                gp_verify::verify_strategy(&request.model, &request.cluster, &plan).into_result()
+            {
+                counters.planner_errors.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::InvalidPlan(e));
+            }
+            Ok(Arc::new(plan))
+        }
         Err(e) => {
             counters.planner_errors.fetch_add(1, Ordering::Relaxed);
             Err(ServeError::Plan(e))

@@ -49,6 +49,10 @@
 //! * links are delay-only (no contention); same-device transfers are free;
 //! * activation memory is charged at forward completion and released at
 //!   backward completion, plus static parameter/optimizer state.
+//!
+//! gp-lint: deterministic — this module's outputs feed plan
+//! fingerprints or the artifact codec; `cargo xtask lint` scans it for
+//! nondeterminism hazards (DESIGN.md §"Determinism lint").
 
 use crate::report::{SimError, SimReport, TaskSpan};
 use gp_cluster::{Cluster, DeviceId};

@@ -1,4 +1,8 @@
 //! Simulation results and errors.
+//!
+//! gp-lint: deterministic — this module's outputs feed plan
+//! fingerprints or the artifact codec; `cargo xtask lint` scans it for
+//! nondeterminism hazards (DESIGN.md §"Determinism lint").
 
 use gp_cluster::DeviceId;
 use gp_cost::Pass;

@@ -1,0 +1,44 @@
+//! `gp-verify` — static plan/schedule invariant verifier.
+//!
+//! GraphPipe's correctness argument rests on properties that are *decided
+//! before execution*: the partition covers the graph with convex stages
+//! (C1), stage edges follow data flow (C2), device ranges tile the cluster
+//! (C3), per-stage task orders are well-formed (C4), the in-flight table
+//! matches the `ComputeInFlight` recursion, Equation 2's memory bound
+//! holds per device, and the fixed per-device schedules admit at least one
+//! execution (deadlock freedom). This crate re-proves all of them from the
+//! serialized data alone — no simulation, no planner re-run — and reports
+//! failures as named violations with precise locations.
+//!
+//! The full catalog lives in DESIGN.md §"Invariant catalog"; each
+//! [`Check`] variant's doc comment names its entry. Entry points:
+//!
+//! - [`verify_stages`] — raw stage lists, before a `StageGraph` exists
+//!   (the codec's first line of defense);
+//! - [`verify_stage_graph`] — a constructed or deserialized [`StageGraph`];
+//! - [`verify_schedule`] — a [`PipelineSchedule`] against its stage graph,
+//!   including the topological deadlock certificate;
+//! - [`verify_plan`] — a complete [`Plan`] including in-flight, memory,
+//!   and estimate consistency;
+//! - [`verify_strategy`] — a plan against its source [`SpModel`], the
+//!   check `Session::plan` and `Session::load_artifact` run.
+//!
+//! All entry points return a [`VerifyReport`]; convert to a hard error
+//! with [`VerifyReport::into_result`]. The checks themselves iterate only
+//! ordered structures (no `HashMap` walks), so a verification run is
+//! bit-deterministic — the same discipline `cargo xtask lint` enforces on
+//! the fingerprint and codec modules.
+//!
+//! [`StageGraph`]: gp_sched::StageGraph
+//! [`PipelineSchedule`]: gp_sched::PipelineSchedule
+//! [`Plan`]: gp_partition::Plan
+//! [`SpModel`]: gp_ir::SpModel
+
+mod checks;
+mod report;
+
+pub use checks::{
+    verify_plan, verify_schedule, verify_stage_graph, verify_stages, verify_strategy,
+    violation_of_schedule_error, violation_of_stage_graph_error,
+};
+pub use report::{Check, Location, VerifyError, VerifyReport, Violation};

@@ -1,0 +1,475 @@
+//! Violation vocabulary: the check catalog, locations, and the report.
+//!
+//! Every invariant `gp-verify` enforces is a [`Check`] variant with a
+//! stable kebab-case [`Check::name`]. The names are the contract shared
+//! with DESIGN.md §"Invariant catalog" (each variant's doc comment cites
+//! its catalog entry), with the artifact codec's error messages, and with
+//! the mutation test suite — renaming one is a breaking change.
+
+use gp_cluster::DeviceId;
+use gp_cost::Pass;
+use gp_ir::OpId;
+use gp_sched::StageId;
+use std::fmt;
+
+/// One invariant in the catalog.
+///
+/// The variants follow the order of DESIGN.md §"Invariant catalog":
+/// strategy-structure checks first, then placement, schedule, memory, and
+/// fingerprint-stability checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Check {
+    /// `mini-batch-positive` — the strategy processes a positive
+    /// mini-batch (DESIGN.md §"Invariant catalog").
+    MiniBatchPositive,
+    /// `stage-ids-dense` — stage ids are `0..n` in storage order
+    /// (DESIGN.md §"Invariant catalog").
+    StageIdsDense,
+    /// `stage-nonempty` — every stage holds at least one operator and has
+    /// `kfkb >= 1` (DESIGN.md §"Invariant catalog").
+    StageNonEmpty,
+    /// `micro-batch-divides` — every stage's micro-batch size is positive
+    /// and divides the mini-batch size (DESIGN.md §"Invariant catalog").
+    MicroBatchDivides,
+    /// `op-cover-exact` — the stages' operator sets cover the model graph
+    /// exactly once: condition C1's partition half (DESIGN.md §"Invariant
+    /// catalog").
+    OpCoverExact,
+    /// `op-convex` — every stage's operator set is a convex subgraph:
+    /// condition C1's convexity half (DESIGN.md §"Invariant catalog").
+    OpConvex,
+    /// `device-bounds` — every assigned device exists in the cluster
+    /// (DESIGN.md §"Invariant catalog").
+    DeviceBounds,
+    /// `device-overlap` — no two stages share a device: condition C3's
+    /// disjointness half (DESIGN.md §"Invariant catalog").
+    DeviceOverlap,
+    /// `device-coverage` — stage device ranges cover the cluster exactly:
+    /// condition C3's coverage half (DESIGN.md §"Invariant catalog").
+    DeviceCoverage,
+    /// `stage-acyclic` — the data-derived stage DAG admits a topological
+    /// order (DESIGN.md §"Invariant catalog").
+    StageAcyclic,
+    /// `edge-derivation` — the recorded stage edges contain every
+    /// data-derived edge (condition C2) and any extra edge is an imposed
+    /// sequential-chain edge (DESIGN.md §"Invariant catalog").
+    EdgeDerivation,
+    /// `in-flight-consistent` — the recorded in-flight table equals the
+    /// `ComputeInFlight` recomputation over the stage graph (DESIGN.md
+    /// §"Invariant catalog").
+    InFlightConsistent,
+    /// `schedule-coverage` — the schedule provides exactly one task order
+    /// per stage, in stage-id order (DESIGN.md §"Invariant catalog").
+    ScheduleCoverage,
+    /// `task-multiset` — each stage's order runs every micro-batch's
+    /// forward and backward exactly once (DESIGN.md §"Invariant catalog").
+    TaskMultiset,
+    /// `forward-order` — forward passes run in micro-batch order:
+    /// condition C4 (DESIGN.md §"Invariant catalog").
+    ForwardOrder,
+    /// `backward-order` — backward passes run in micro-batch order:
+    /// condition C4 (DESIGN.md §"Invariant catalog").
+    BackwardOrder,
+    /// `backward-after-forward` — no backward precedes its own forward:
+    /// condition C4 (DESIGN.md §"Invariant catalog").
+    BackwardAfterForward,
+    /// `warmup-consistent` — a stage's recorded warm-up length equals its
+    /// leading forward run (DESIGN.md §"Invariant catalog").
+    WarmupConsistent,
+    /// `stash-bound` — a stage's realized peak in-flight samples never
+    /// exceed what its in-flight table entry budgets (DESIGN.md
+    /// §"Invariant catalog").
+    StashBound,
+    /// `deadlock-free` — the cross-stage task dependency graph admits a
+    /// topological certificate, so the schedule cannot deadlock (DESIGN.md
+    /// §"Invariant catalog").
+    DeadlockFree,
+    /// `memory-budget` — every stage fits the per-device memory budget,
+    /// Equation 2 (DESIGN.md §"Invariant catalog").
+    MemoryBudget,
+    /// `estimate-consistent` — the recorded bottleneck TPS and peak memory
+    /// equal their cost-model recomputation bit-exactly; both feed the
+    /// plan fingerprint (DESIGN.md §"Invariant catalog").
+    EstimateConsistent,
+    /// `estimate-finite` — the fingerprinted float estimates are finite
+    /// and non-negative, so fingerprint equality keeps implying value
+    /// equality (DESIGN.md §"Invariant catalog").
+    EstimateFinite,
+    /// `sp-cover-exact` — the SP tree names every graph operator exactly
+    /// once (DESIGN.md §"Invariant catalog").
+    SpCoverExact,
+    /// `sp-topo-order` — the SP tree's series linearization is a
+    /// topological order of the graph (DESIGN.md §"Invariant catalog").
+    SpTopoOrder,
+}
+
+impl Check {
+    /// The stable kebab-case name, as listed in DESIGN.md §"Invariant
+    /// catalog".
+    pub fn name(self) -> &'static str {
+        match self {
+            Check::MiniBatchPositive => "mini-batch-positive",
+            Check::StageIdsDense => "stage-ids-dense",
+            Check::StageNonEmpty => "stage-nonempty",
+            Check::MicroBatchDivides => "micro-batch-divides",
+            Check::OpCoverExact => "op-cover-exact",
+            Check::OpConvex => "op-convex",
+            Check::DeviceBounds => "device-bounds",
+            Check::DeviceOverlap => "device-overlap",
+            Check::DeviceCoverage => "device-coverage",
+            Check::StageAcyclic => "stage-acyclic",
+            Check::EdgeDerivation => "edge-derivation",
+            Check::InFlightConsistent => "in-flight-consistent",
+            Check::ScheduleCoverage => "schedule-coverage",
+            Check::TaskMultiset => "task-multiset",
+            Check::ForwardOrder => "forward-order",
+            Check::BackwardOrder => "backward-order",
+            Check::BackwardAfterForward => "backward-after-forward",
+            Check::WarmupConsistent => "warmup-consistent",
+            Check::StashBound => "stash-bound",
+            Check::DeadlockFree => "deadlock-free",
+            Check::MemoryBudget => "memory-budget",
+            Check::EstimateConsistent => "estimate-consistent",
+            Check::EstimateFinite => "estimate-finite",
+            Check::SpCoverExact => "sp-cover-exact",
+            Check::SpTopoOrder => "sp-topo-order",
+        }
+    }
+
+    /// Every check in the catalog, in DESIGN.md order. The doc-sync test
+    /// and the CI smoke iterate this to keep code and catalog aligned.
+    pub fn all() -> &'static [Check] {
+        &[
+            Check::MiniBatchPositive,
+            Check::StageIdsDense,
+            Check::StageNonEmpty,
+            Check::MicroBatchDivides,
+            Check::OpCoverExact,
+            Check::OpConvex,
+            Check::DeviceBounds,
+            Check::DeviceOverlap,
+            Check::DeviceCoverage,
+            Check::StageAcyclic,
+            Check::EdgeDerivation,
+            Check::InFlightConsistent,
+            Check::ScheduleCoverage,
+            Check::TaskMultiset,
+            Check::ForwardOrder,
+            Check::BackwardOrder,
+            Check::BackwardAfterForward,
+            Check::WarmupConsistent,
+            Check::StashBound,
+            Check::DeadlockFree,
+            Check::MemoryBudget,
+            Check::EstimateConsistent,
+            Check::EstimateFinite,
+            Check::SpCoverExact,
+            Check::SpTopoOrder,
+        ]
+    }
+}
+
+impl fmt::Display for Check {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Where a violation was found: any combination of stage, device,
+/// operator, and task instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Location {
+    /// The offending stage, if the violation is stage-scoped.
+    pub stage: Option<StageId>,
+    /// The offending device, if the violation is device-scoped.
+    pub device: Option<DeviceId>,
+    /// The offending operator, if the violation is operator-scoped.
+    pub op: Option<OpId>,
+    /// The offending task instance `(micro-batch, pass)`, if any.
+    pub task: Option<(u32, Pass)>,
+}
+
+impl Location {
+    /// An empty (strategy-global) location.
+    pub fn global() -> Location {
+        Location::default()
+    }
+
+    /// A stage-scoped location.
+    pub fn stage(stage: StageId) -> Location {
+        Location {
+            stage: Some(stage),
+            ..Location::default()
+        }
+    }
+
+    /// Adds a device to the location, builder style.
+    pub fn on_device(mut self, device: DeviceId) -> Location {
+        self.device = Some(device);
+        self
+    }
+
+    /// Adds an operator to the location, builder style.
+    pub fn at_op(mut self, op: OpId) -> Location {
+        self.op = Some(op);
+        self
+    }
+
+    /// Adds a task instance to the location, builder style.
+    pub fn at_task(mut self, mb: u32, pass: Pass) -> Location {
+        self.task = Some((mb, pass));
+        self
+    }
+}
+
+impl fmt::Display for Location {
+    /// Prints `stage S2, device gpu5, op o7, F(3)` with only the present
+    /// parts, or `strategy` when the location is global.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut wrote = false;
+        let sep = |f: &mut fmt::Formatter<'_>, wrote: &mut bool| -> fmt::Result {
+            if *wrote {
+                write!(f, ", ")?;
+            }
+            *wrote = true;
+            Ok(())
+        };
+        if let Some(s) = self.stage {
+            sep(f, &mut wrote)?;
+            write!(f, "stage {s}")?;
+        }
+        if let Some(d) = self.device {
+            sep(f, &mut wrote)?;
+            write!(f, "device {d}")?;
+        }
+        if let Some(o) = self.op {
+            sep(f, &mut wrote)?;
+            write!(f, "op {o}")?;
+        }
+        if let Some((mb, pass)) = self.task {
+            sep(f, &mut wrote)?;
+            let dir = match pass {
+                Pass::Forward => 'F',
+                Pass::Backward => 'B',
+            };
+            write!(f, "{dir}({mb})")?;
+        }
+        if !wrote {
+            write!(f, "strategy")?;
+        }
+        Ok(())
+    }
+}
+
+/// One named invariant violation with its location and a human-readable
+/// detail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// The violated catalog entry.
+    pub check: Check,
+    /// Where the violation sits.
+    pub location: Location,
+    /// What exactly went wrong (values, expectations).
+    pub detail: String,
+}
+
+impl Violation {
+    /// Builds a violation.
+    pub fn new(check: Check, location: Location, detail: impl Into<String>) -> Violation {
+        Violation {
+            check,
+            location,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invariant `{}` violated at {}: {}",
+            self.check, self.location, self.detail
+        )
+    }
+}
+
+/// The outcome of a verification pass: every violation found, in check
+/// order (the pass itself is deterministic, so so is the report).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VerifyReport {
+    violations: Vec<Violation>,
+}
+
+impl VerifyReport {
+    /// An empty (clean) report.
+    pub fn new() -> VerifyReport {
+        VerifyReport::default()
+    }
+
+    /// Records a violation.
+    pub fn push(&mut self, violation: Violation) {
+        self.violations.push(violation);
+    }
+
+    /// Records a violation from its parts.
+    pub fn fail(&mut self, check: Check, location: Location, detail: impl Into<String>) {
+        self.push(Violation::new(check, location, detail));
+    }
+
+    /// Whether no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// All violations found, in discovery order.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// The first violation, if any — the one error paths name.
+    pub fn first(&self) -> Option<&Violation> {
+        self.violations.first()
+    }
+
+    /// Whether the report contains a violation of `check`.
+    pub fn violates(&self, check: Check) -> bool {
+        self.violations.iter().any(|v| v.check == check)
+    }
+
+    /// Merges another report's violations into this one.
+    pub fn merge(&mut self, other: VerifyReport) {
+        self.violations.extend(other.violations);
+    }
+
+    /// Converts the report into a `Result`: `Ok(())` when clean,
+    /// [`VerifyError`] carrying the full report otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError`] when at least one invariant is violated.
+    pub fn into_result(self) -> Result<(), VerifyError> {
+        if self.is_clean() {
+            Ok(())
+        } else {
+            Err(VerifyError { report: self })
+        }
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "all invariants hold");
+        }
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A failed verification, carrying the full [`VerifyReport`].
+///
+/// `Display` leads with the first violation (the one a user should read
+/// first) and counts the rest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyError {
+    report: VerifyReport,
+}
+
+impl VerifyError {
+    /// The full report behind this error.
+    pub fn report(&self) -> &VerifyReport {
+        &self.report
+    }
+
+    /// The first violation — every `VerifyError` has at least one.
+    pub fn violation(&self) -> &Violation {
+        self.report
+            .first()
+            .expect("VerifyError is only built from non-clean reports")
+    }
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rest = self.report.violations().len() - 1;
+        write!(f, "{}", self.violation())?;
+        if rest > 0 {
+            write!(f, " (+{rest} more)")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_names_are_unique_and_kebab_case() {
+        let mut seen = std::collections::BTreeSet::new();
+        for &c in Check::all() {
+            assert!(seen.insert(c.name()), "duplicate check name {}", c.name());
+            assert!(
+                c.name()
+                    .chars()
+                    .all(|ch| ch.is_ascii_lowercase() || ch == '-'),
+                "{} is not kebab-case",
+                c.name()
+            );
+            assert_eq!(c.to_string(), c.name());
+        }
+    }
+
+    /// Doc-sync: every check name appears (backticked) in DESIGN.md
+    /// §"Invariant catalog", in `Check::all()` order, so the rustdoc
+    /// cross-references cannot rot.
+    #[test]
+    fn every_check_is_cataloged_in_design_md() {
+        let design = include_str!("../../../DESIGN.md");
+        let catalog = &design[design
+            .find("## Invariant catalog")
+            .expect("DESIGN.md must keep an \"Invariant catalog\" section")..];
+        let mut cursor = 0;
+        for &c in Check::all() {
+            let needle = format!("`{}`", c.name());
+            let at = catalog[cursor..]
+                .find(&needle)
+                .unwrap_or_else(|| panic!("{needle} missing or out of order in the catalog"));
+            cursor += at + needle.len();
+        }
+    }
+
+    #[test]
+    fn locations_render_compactly() {
+        assert_eq!(Location::global().to_string(), "strategy");
+        let loc = Location::stage(StageId(2))
+            .on_device(DeviceId(5))
+            .at_task(3, Pass::Backward);
+        assert_eq!(loc.to_string(), "stage S2, device gpu5, B(3)");
+    }
+
+    #[test]
+    fn report_collects_and_errors() {
+        let mut r = VerifyReport::new();
+        assert!(r.is_clean());
+        assert!(r.clone().into_result().is_ok());
+        r.fail(Check::MemoryBudget, Location::stage(StageId(0)), "over");
+        r.fail(Check::EstimateFinite, Location::global(), "NaN");
+        assert!(!r.is_clean());
+        assert!(r.violates(Check::MemoryBudget));
+        assert!(!r.violates(Check::DeadlockFree));
+        let err = r.into_result().unwrap_err();
+        assert_eq!(err.violation().check, Check::MemoryBudget);
+        let text = err.to_string();
+        assert!(text.contains("memory-budget"), "{text}");
+        assert!(text.contains("+1 more"), "{text}");
+    }
+}

@@ -1,0 +1,103 @@
+//! The golden-artifact verifier: `cargo xtask verify-goldens [--bless]`.
+//!
+//! `tests/goldens/` holds committed plan artifacts for a fixed set of
+//! (model, cluster, mini-batch) cells. For each cell this subcommand:
+//!
+//! 1. decodes the committed artifact against the regenerated model and
+//!    cluster — which runs the codec's full `gp-verify` pass, so any
+//!    corruption is reported by invariant name;
+//! 2. runs the strategy-level `verify_strategy` pass (SP-tree checks the
+//!    codec cannot do from the graph alone);
+//! 3. re-plans the same problem fresh and requires the decoded plan to be
+//!    identical (planner determinism, across builds);
+//! 4. re-encodes the decoded plan and requires the bytes to equal the
+//!    committed file (codec determinism).
+//!
+//! `--bless` regenerates the files instead. The search wall-clock stat is
+//! zeroed before encoding — it is the one nondeterministic field in
+//! `SearchStats` — so blessed bytes are reproducible on any machine.
+
+use gp_cluster::Cluster;
+use gp_ir::{zoo, SpModel};
+use gp_partition::{GraphPipePlanner, Plan, PlanOptions, Planner};
+use gp_serve::artifact::{decode_plan, encode_plan};
+use gp_serve::fingerprint::request_fingerprint;
+use std::process::ExitCode;
+use std::time::Duration;
+
+/// The golden cells: small enough to plan in debug mode in well under a
+/// second each, diverse enough to cover branching, MoE routing, and plain
+/// chains.
+fn cells() -> Vec<(&'static str, SpModel, usize, u64)> {
+    vec![
+        ("mmt-tiny-4gpu", zoo::mmt(&zoo::MmtConfig::tiny()), 4, 32),
+        (
+            "candle-uno-tiny-4gpu",
+            zoo::candle_uno(&zoo::CandleUnoConfig::tiny()),
+            4,
+            32,
+        ),
+        ("moe-tiny-4gpu", zoo::moe(&zoo::MoeConfig::tiny()), 4, 32),
+        ("mlp-chain-4gpu", zoo::mlp_chain(4, 64), 4, 32),
+    ]
+}
+
+fn plan_cell(model: &SpModel, cluster: &Cluster, mini_batch: u64) -> Result<Plan, String> {
+    let mut plan = GraphPipePlanner::new()
+        .plan(model, cluster, mini_batch)
+        .map_err(|e| format!("planner failed: {e}"))?;
+    // The one nondeterministic stat; zeroed so golden bytes reproduce.
+    plan.stats.wall = Duration::ZERO;
+    Ok(plan)
+}
+
+pub fn run(bless: bool) -> ExitCode {
+    let dir = crate::repo_root().join("tests/goldens");
+    let mut failures = 0usize;
+    for (name, model, devices, mini_batch) in cells() {
+        let cluster = Cluster::summit_like(devices);
+        let path = dir.join(format!("{name}.json"));
+        let outcome = (|| -> Result<&'static str, String> {
+            let fresh = plan_cell(&model, &cluster, mini_batch)?;
+            let fp = request_fingerprint(&model, &cluster, mini_batch, &PlanOptions::default(), 0);
+            if bless {
+                std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+                std::fs::write(&path, encode_plan(&fresh, Some(fp)))
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                return Ok("blessed");
+            }
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {} (run --bless?): {e}", path.display()))?;
+            let (decoded, recorded_fp) = decode_plan(&text, model.graph(), &cluster)
+                .map_err(|e| format!("decode rejected the artifact: {e}"))?;
+            let report = gp_verify::verify_strategy(&model, &cluster, &decoded);
+            if !report.is_clean() {
+                return Err(format!("verify_strategy rejected the artifact: {report}"));
+            }
+            if decoded != fresh {
+                return Err(
+                    "decoded plan differs from a fresh plan of the same problem \
+                     (planner nondeterminism or an intended change — re-bless)"
+                        .to_string(),
+                );
+            }
+            if encode_plan(&decoded, recorded_fp) != text {
+                return Err("re-encoding the decoded plan changed the bytes".to_string());
+            }
+            Ok("ok")
+        })();
+        match outcome {
+            Ok(what) => println!("verify-goldens: {name}: {what}"),
+            Err(e) => {
+                eprintln!("verify-goldens: {name}: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("verify-goldens: {failures} cell(s) failed");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,260 @@
+//! Mutation suite for the static verifier (`gp-verify`).
+//!
+//! Every committed golden artifact under `tests/goldens/` is decoded into a
+//! [`Plan`] and then subjected to a battery of targeted corruptions — one
+//! per cataloged invariant family. The verifier must (a) accept each golden
+//! plan unmodified and (b) reject every corruption *by name*, i.e. the
+//! expected [`Check`] must appear in the report. The corruptions are
+//! applied at the layer where they can exist: raw stage lists go through
+//! [`verify_stages`], assembled plans through [`verify_plan`], and two
+//! byte-level corruptions go through the artifact codec to prove decode
+//! errors carry the violation name end to end (DESIGN.md §"Invariant
+//! catalog").
+
+use gp_cluster::{Cluster, DeviceRange};
+use gp_ir::{zoo, SpModel};
+use gp_partition::Plan;
+use gp_sched::{InFlightTable, Stage, StageId};
+use gp_serve::artifact::decode_plan;
+use gp_verify::{verify_plan, verify_stages, verify_strategy, Check, VerifyReport};
+use std::path::PathBuf;
+
+/// The same cells `cargo xtask verify-goldens` blesses.
+fn cells() -> Vec<(&'static str, SpModel, usize)> {
+    vec![
+        ("mmt-tiny-4gpu", zoo::mmt(&zoo::MmtConfig::tiny()), 4),
+        (
+            "candle-uno-tiny-4gpu",
+            zoo::candle_uno(&zoo::CandleUnoConfig::tiny()),
+            4,
+        ),
+        ("moe-tiny-4gpu", zoo::moe(&zoo::MoeConfig::tiny()), 4),
+        ("mlp-chain-4gpu", zoo::mlp_chain(4, 64), 4),
+    ]
+}
+
+fn golden(name: &str, model: &SpModel, cluster: &Cluster) -> (String, Plan) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(format!("{name}.json"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {} (re-bless?): {e}", path.display()));
+    let (plan, _) = decode_plan(&text, model.graph(), cluster)
+        .unwrap_or_else(|e| panic!("{name}: committed golden does not decode: {e}"));
+    (text, plan)
+}
+
+fn stage_list(plan: &Plan) -> Vec<Stage> {
+    plan.stage_graph.stages().cloned().collect()
+}
+
+/// Runs `mutate` on every golden cell's stage list and asserts the raw
+/// stage verifier names each `expected` check.
+fn assert_stage_mutation(expected: &[Check], mutate: impl Fn(&mut Vec<Stage>, &mut u64, &Cluster)) {
+    for (name, model, devices) in cells() {
+        let cluster = Cluster::summit_like(devices);
+        let (_, plan) = golden(name, &model, &cluster);
+        let mut stages = stage_list(&plan);
+        let mut mini_batch = plan.stage_graph.mini_batch();
+        mutate(&mut stages, &mut mini_batch, &cluster);
+        let report = verify_stages(model.graph(), &cluster, &stages, mini_batch);
+        for check in expected {
+            assert!(
+                report.violates(*check),
+                "{name}: expected {check} in report, got: {report}"
+            );
+        }
+    }
+}
+
+/// Runs `mutate` on every golden cell's decoded plan and asserts the plan
+/// verifier names each `expected` check.
+fn assert_plan_mutation(expected: &[Check], mutate: impl Fn(&mut Plan)) {
+    for (name, model, devices) in cells() {
+        let cluster = Cluster::summit_like(devices);
+        let (_, mut plan) = golden(name, &model, &cluster);
+        mutate(&mut plan);
+        let report = verify_plan(model.graph(), &cluster, &plan);
+        for check in expected {
+            assert!(
+                report.violates(*check),
+                "{name}: expected {check} in report, got: {report}"
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_plans_verify_clean() {
+    for (name, model, devices) in cells() {
+        let cluster = Cluster::summit_like(devices);
+        let (_, plan) = golden(name, &model, &cluster);
+        let report: VerifyReport = verify_strategy(&model, &cluster, &plan);
+        assert!(report.is_clean(), "{name}: golden plan rejected: {report}");
+    }
+}
+
+#[test]
+fn zero_mini_batch_is_rejected() {
+    assert_stage_mutation(&[Check::MiniBatchPositive], |_, mini_batch, _| {
+        *mini_batch = 0;
+    });
+}
+
+#[test]
+fn duplicate_stage_id_is_rejected() {
+    assert_stage_mutation(&[Check::StageIdsDense], |stages, _, _| {
+        let first = stages[0].id;
+        stages.last_mut().unwrap().id = first;
+    });
+}
+
+#[test]
+fn empty_stage_is_rejected() {
+    assert_stage_mutation(&[Check::StageNonEmpty], |stages, _, _| {
+        stages[0].ops.clear();
+    });
+}
+
+#[test]
+fn non_dividing_micro_batch_is_rejected() {
+    assert_stage_mutation(&[Check::MicroBatchDivides], |stages, mini_batch, _| {
+        stages[0].micro_batch = *mini_batch + 1;
+    });
+}
+
+#[test]
+fn dropped_op_is_rejected() {
+    assert_stage_mutation(&[Check::OpCoverExact], |stages, _, _| {
+        stages[0].ops.remove(0);
+    });
+}
+
+#[test]
+fn doubly_assigned_op_is_rejected() {
+    assert_stage_mutation(&[Check::OpCoverExact], |stages, _, _| {
+        let dup = stages[1].ops[0];
+        stages[0].ops.push(dup);
+    });
+}
+
+/// Moving the sink stage's last op (the graph's sink) into the source
+/// stage creates a path that leaves stage 0 and re-enters it — a convexity
+/// (C1) violation — and the derived stage DAG acquires a cycle.
+#[test]
+fn nonconvex_stage_is_rejected() {
+    assert_stage_mutation(&[Check::OpConvex, Check::StageAcyclic], |stages, _, _| {
+        assert!(
+            stages.last().unwrap().ops.len() >= 2,
+            "cell must keep the sink stage nonempty after the move"
+        );
+        let sink_op = stages.last_mut().unwrap().ops.pop().unwrap();
+        stages[0].ops.push(sink_op);
+    });
+}
+
+#[test]
+fn out_of_cluster_device_is_rejected() {
+    assert_stage_mutation(&[Check::DeviceBounds], |stages, _, cluster| {
+        stages[0].devices = DeviceRange::new(cluster.device_count() as u32, 1);
+    });
+}
+
+#[test]
+fn overlapping_devices_are_rejected() {
+    assert_stage_mutation(&[Check::DeviceOverlap], |stages, _, _| {
+        stages[0].devices = stages[1].devices;
+    });
+}
+
+/// Widening one stage's device range makes the total device count exceed
+/// the cluster's, so the tiling no longer covers the cluster exactly.
+#[test]
+fn untiled_devices_are_rejected() {
+    assert_stage_mutation(&[Check::DeviceCoverage], |stages, _, _| {
+        let d = stages[0].devices;
+        stages[0].devices = DeviceRange::new(d.first().index() as u32, d.len() as u32 + 1);
+    });
+}
+
+#[test]
+fn tampered_in_flight_table_is_rejected() {
+    assert_plan_mutation(&[Check::InFlightConsistent], |plan| {
+        let n = plan.stage_graph.len();
+        let mut samples: Vec<u64> = (0..n)
+            .map(|i| plan.in_flight.samples(StageId(i as u32)))
+            .collect();
+        samples[0] += plan.stage_graph.stage(StageId(0)).micro_batch;
+        plan.in_flight = InFlightTable::from_samples(samples);
+    });
+}
+
+#[test]
+fn reversed_task_order_is_rejected() {
+    assert_plan_mutation(&[Check::BackwardAfterForward], |plan| {
+        plan.schedule.per_stage[0].tasks.reverse();
+    });
+}
+
+#[test]
+fn dropped_task_is_rejected() {
+    assert_plan_mutation(&[Check::TaskMultiset], |plan| {
+        plan.schedule.per_stage[0].tasks.pop();
+    });
+}
+
+#[test]
+fn wrong_warmup_is_rejected() {
+    assert_plan_mutation(&[Check::WarmupConsistent], |plan| {
+        plan.schedule.per_stage[0].warmup += 1;
+    });
+}
+
+#[test]
+fn skewed_throughput_estimate_is_rejected() {
+    assert_plan_mutation(&[Check::EstimateConsistent], |plan| {
+        plan.bottleneck_tps *= 1.5;
+    });
+}
+
+#[test]
+fn skewed_memory_estimate_is_rejected() {
+    assert_plan_mutation(&[Check::EstimateConsistent], |plan| {
+        plan.peak_memory_bytes += 1;
+    });
+}
+
+#[test]
+fn non_finite_estimate_is_rejected() {
+    assert_plan_mutation(&[Check::EstimateFinite], |plan| {
+        plan.bottleneck_tps = f64::NAN;
+    });
+}
+
+/// Byte-level corruption: the codec's decode error must carry the violated
+/// invariant's catalog name, not a generic parse failure.
+#[test]
+fn corrupted_artifact_bytes_name_the_invariant() {
+    for (name, model, devices) in cells() {
+        let cluster = Cluster::summit_like(devices);
+        let (text, _) = golden(name, &model, &cluster);
+
+        let zeroed = text.replace("\"mini_batch\":32", "\"mini_batch\":0");
+        assert_ne!(zeroed, text, "{name}: mini_batch field not found");
+        let err = decode_plan(&zeroed, model.graph(), &cluster)
+            .expect_err("zero mini-batch must not decode");
+        assert!(
+            err.to_string().contains("mini-batch-positive"),
+            "{name}: error does not name the invariant: {err}"
+        );
+
+        let shifted = text.replacen("\"dev_start\":0", "\"dev_start\":1", 1);
+        assert_ne!(shifted, text, "{name}: dev_start field not found");
+        let err = decode_plan(&shifted, model.graph(), &cluster)
+            .expect_err("overlapping devices must not decode");
+        assert!(
+            err.to_string().contains("device-overlap"),
+            "{name}: error does not name the invariant: {err}"
+        );
+    }
+}

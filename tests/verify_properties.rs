@@ -1,0 +1,66 @@
+//! Property: every plan `Session::plan` produces — any zoo model, any
+//! cluster size, any planner — passes the full strategy-level static
+//! verification (`verify_strategy`), i.e. the planners only ever emit
+//! strategies satisfying the whole invariant catalog (DESIGN.md
+//! §"Invariant catalog").
+//!
+//! `Session::plan` already runs this verification internally and would
+//! return `Error::Verify`; the test still re-verifies the returned plan
+//! explicitly so a regression in *either* the wiring or the checks fails
+//! loudly, and so the report text is printed when something breaks.
+
+use graphpipe::prelude::*;
+use graphpipe::verify::verify_strategy;
+
+fn zoo_cells() -> Vec<(&'static str, SpModel)> {
+    vec![
+        ("mmt-tiny", zoo::mmt(&zoo::MmtConfig::tiny())),
+        ("mmt-two-branch", zoo::mmt(&zoo::MmtConfig::two_branch())),
+        ("dlrm-tiny", zoo::dlrm(&zoo::DlrmConfig::tiny())),
+        (
+            "candle-uno-tiny",
+            zoo::candle_uno(&zoo::CandleUnoConfig::tiny()),
+        ),
+        ("moe-tiny", zoo::moe(&zoo::MoeConfig::tiny())),
+        ("mlp-chain-8x32", zoo::mlp_chain(8, 32)),
+    ]
+}
+
+fn planners() -> [PlannerKind; 3] {
+    [
+        PlannerKind::GraphPipe,
+        PlannerKind::PipeDream,
+        PlannerKind::Piper,
+    ]
+}
+
+#[test]
+fn every_session_plan_passes_verify_strategy() {
+    for (name, model) in zoo_cells() {
+        for devices in [8usize, 16, 32] {
+            let session = Session::builder()
+                .model(model.clone())
+                .cluster(Cluster::summit_like(devices))
+                .mini_batch(64)
+                .options(PlanOptions::default().with_max_micro_batches(32))
+                .build()
+                .expect("well-formed session");
+            for kind in planners() {
+                let strategy = match session.plan(kind) {
+                    Ok(s) => s,
+                    // Some (model, cluster) cells are over-sharded for a
+                    // baseline planner (more devices than partitionable
+                    // stages); "no feasible plan" is not a verifier defect.
+                    Err(Error::Plan(_)) => continue,
+                    Err(e) => panic!("{name}@{devices} {}: {e}", kind.label()),
+                };
+                let report = verify_strategy(session.model(), session.cluster(), strategy.plan());
+                assert!(
+                    report.is_clean(),
+                    "{name}@{devices} {}: planner emitted an invalid strategy: {report}",
+                    kind.label()
+                );
+            }
+        }
+    }
+}
