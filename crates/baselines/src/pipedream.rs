@@ -20,9 +20,9 @@
 use gp_cluster::{Cluster, DeviceRange};
 use gp_cost::{CostModel, Pass, BYTES_PER_PARAM_STATE};
 use gp_ir::{Graph, OpId, SpModel};
+use gp_obs::ClockHandle;
 use gp_partition::{Plan, PlanError, PlanOptions, Planner, SearchStats};
 use gp_sched::{assign_in_flight, schedule_tasks, Stage, StageGraph, StageId};
-use std::time::Instant;
 
 /// A reconstructed stage on the linearized chain: `(first op index,
 /// one-past-last op index, device count)`.
@@ -47,6 +47,9 @@ type ChainCut = (u32, u32, u32);
 #[derive(Debug, Clone, Default)]
 pub struct PipeDreamPlanner {
     options: PlanOptions,
+    /// Wall-clock seam: feeds only `SearchStats.wall`, which fingerprints
+    /// exclude. Injectable for deterministic timing under test.
+    clock: ClockHandle,
 }
 
 /// One Pareto entry of the suffix DP: a partition of the chain suffix with
@@ -125,7 +128,16 @@ impl PipeDreamPlanner {
 
     /// Planner with explicit options.
     pub fn with_options(options: PlanOptions) -> Self {
-        PipeDreamPlanner { options }
+        PipeDreamPlanner {
+            options,
+            ..Self::default()
+        }
+    }
+
+    /// Replace the wall-clock source (tests inject a manual clock).
+    pub fn with_clock(mut self, clock: ClockHandle) -> Self {
+        self.clock = clock;
+        self
     }
 
     /// Runs the suffix DP for one micro-batch size; returns the cut
@@ -244,7 +256,7 @@ impl Planner for PipeDreamPlanner {
     }
 
     fn plan(&self, model: &SpModel, cluster: &Cluster, mini_batch: u64) -> Result<Plan, PlanError> {
-        let start = Instant::now();
+        let start = self.clock.now_nanos();
         let graph = model.graph();
         let cost = CostModel::new(cluster);
         let order = model.linearize();
@@ -303,7 +315,7 @@ impl Planner for PipeDreamPlanner {
             .map_err(|e| PlanError::Internal(e.to_string()))?;
         let in_flight = assign_in_flight(&stage_graph);
         let schedule = schedule_tasks(&stage_graph, &in_flight);
-        stats.wall = start.elapsed();
+        stats.wall = self.clock.since(start);
         let mut plan = Plan {
             stage_graph,
             in_flight,

@@ -23,10 +23,10 @@
 use gp_cluster::{Cluster, DeviceRange};
 use gp_cost::{CostModel, Pass, BYTES_PER_PARAM_STATE};
 use gp_ir::{Graph, OpId, SpBlock, SpModel};
+use gp_obs::ClockHandle;
 use gp_partition::{Plan, PlanError, PlanOptions, Planner, SearchStats};
 use gp_sched::{assign_in_flight, schedule_tasks, Stage, StageGraph, StageId};
 use std::collections::{BTreeSet, HashMap};
-use std::time::Instant;
 
 /// Downset-lattice planner for sequential pipelines with cross-branch
 /// stages.
@@ -51,6 +51,9 @@ pub struct PiperPlanner {
     unit_ops: usize,
     /// Abort once the lattice exceeds this many downsets.
     downset_cap: usize,
+    /// Wall-clock seam: feeds only `SearchStats.wall`, which fingerprints
+    /// exclude. Injectable for deterministic timing under test.
+    clock: ClockHandle,
 }
 
 impl Default for PiperPlanner {
@@ -59,6 +62,7 @@ impl Default for PiperPlanner {
             options: PlanOptions::default(),
             unit_ops: 4,
             downset_cap: 10_000,
+            clock: ClockHandle::default(),
         }
     }
 }
@@ -179,6 +183,12 @@ impl PiperPlanner {
     /// [`PlanError::SearchExplosion`].
     pub fn with_downset_cap(mut self, cap: usize) -> Self {
         self.downset_cap = cap.max(1);
+        self
+    }
+
+    /// Replace the wall-clock source (tests inject a manual clock).
+    pub fn with_clock(mut self, clock: ClockHandle) -> Self {
+        self.clock = clock;
         self
     }
 
@@ -419,7 +429,7 @@ impl Planner for PiperPlanner {
     }
 
     fn plan(&self, model: &SpModel, cluster: &Cluster, mini_batch: u64) -> Result<Plan, PlanError> {
-        let start = Instant::now();
+        let start = self.clock.now_nanos();
         let graph = model.graph();
         let cost = CostModel::new(cluster);
         let devices = cluster.device_count() as u32;
@@ -483,7 +493,7 @@ impl Planner for PiperPlanner {
             .map_err(|e| PlanError::Internal(e.to_string()))?;
         let in_flight = assign_in_flight(&stage_graph);
         let schedule = schedule_tasks(&stage_graph, &in_flight);
-        stats.wall = start.elapsed();
+        stats.wall = self.clock.since(start);
         let mut plan = Plan {
             stage_graph,
             in_flight,

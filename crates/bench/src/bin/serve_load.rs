@@ -7,18 +7,27 @@
 //!
 //! ```text
 //! serve_load [--requests N] [--concurrency C] [--workers W] [--cache CAP]
-//!            [--assert-hits]
+//!            [--assert-hits] [--out PATH]
 //! ```
 //!
 //! Defaults: 256 requests from 64 client threads against 4 planner
 //! workers and a 32-entry cache. With `--assert-hits` the binary exits
 //! non-zero unless (a) repeat requests were served from the cache or
-//! joined in flight, and (b) single-flight deduplication held, i.e. the
-//! planner ran exactly once per *distinct* request in the mix. This is the
-//! CI smoke check.
+//! joined in flight, (b) single-flight deduplication held, i.e. the
+//! planner ran exactly once per *distinct* request in the mix, and (c)
+//! every recorded latency histogram has monotone percentiles
+//! (p50 ≤ p90 ≤ p99 ≤ max). This is the CI smoke check.
+//!
+//! The service runs with `gp-obs` telemetry enabled, so the printed stats
+//! include hit/miss/queue-wait latency histograms; `--out PATH` writes
+//! them as JSON (the committed `BENCH_serve.json`). Latencies are
+//! wall-clock and therefore machine-dependent — the committed file is a
+//! shape reference, not a golden.
 
+use graphpipe::obs::{HistogramSnapshot, Telemetry};
 use graphpipe::prelude::*;
-use graphpipe::serve::{PlanRequest, PlanService};
+use graphpipe::serve::{PlanRequest, PlanService, ServeStats};
+use std::fmt::Write as _;
 use std::sync::Arc;
 
 struct Args {
@@ -27,6 +36,7 @@ struct Args {
     workers: usize,
     cache: usize,
     assert_hits: bool,
+    out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -36,6 +46,7 @@ fn parse_args() -> Args {
         workers: 4,
         cache: 32,
         assert_hits: false,
+        out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -50,6 +61,7 @@ fn parse_args() -> Args {
             "--workers" => args.workers = num("--workers"),
             "--cache" => args.cache = num("--cache"),
             "--assert-hits" => args.assert_hits = true,
+            "--out" => args.out = Some(it.next().expect("--out expects a path")),
             other => panic!("unknown flag {other}; see the module docs"),
         }
     }
@@ -85,11 +97,80 @@ fn workload() -> Vec<PlanRequest> {
         .collect()
 }
 
+/// One histogram as a JSON object, nanosecond fields verbatim from the
+/// snapshot.
+fn hist_json(h: &HistogramSnapshot) -> String {
+    format!(
+        "{{\"count\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}, \
+         \"mean_ns\": {:.1}}}",
+        h.count,
+        h.p50,
+        h.p90,
+        h.p99,
+        h.max,
+        h.mean(),
+    )
+}
+
+fn emit_json(args: &Args, distinct: u64, wall: f64, stats: &ServeStats) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"serve_load\",");
+    let _ = writeln!(
+        out,
+        "  \"requests\": {}, \"distinct\": {}, \"concurrency\": {}, \"workers\": {}, \
+         \"cache\": {},",
+        args.requests, distinct, args.concurrency, args.workers, args.cache
+    );
+    let _ = writeln!(
+        out,
+        "  \"wall_secs\": {:.6}, \"throughput_rps\": {:.1}, \"hit_rate\": {:.4},",
+        wall,
+        args.requests as f64 / wall,
+        stats.hit_rate()
+    );
+    let _ = writeln!(
+        out,
+        "  \"hits\": {}, \"joins\": {}, \"misses\": {}, \"planner_runs\": {}, \
+         \"planner_errors\": {}, \"cache_evictions\": {},",
+        stats.hits,
+        stats.joins,
+        stats.misses,
+        stats.planner_runs,
+        stats.planner_errors,
+        stats.cache_evictions
+    );
+    let _ = writeln!(out, "  \"latency\": {{");
+    let _ = writeln!(out, "    \"hit\": {},", hist_json(&stats.hit_latency));
+    let _ = writeln!(out, "    \"miss\": {},", hist_json(&stats.miss_latency));
+    let _ = writeln!(out, "    \"queue_wait\": {}", hist_json(&stats.queue_wait));
+    let _ = writeln!(out, "  }}");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Percentiles of a latency histogram must not decrease as the quantile
+/// rises — the shape invariant the CI smoke pins.
+fn assert_monotone(label: &str, h: &HistogramSnapshot) {
+    assert!(
+        h.p50 <= h.p90 && h.p90 <= h.p99 && h.p99 <= h.max,
+        "{label} percentiles not monotone: p50 {} p90 {} p99 {} max {}",
+        h.p50,
+        h.p90,
+        h.p99,
+        h.max
+    );
+}
+
 fn main() {
     let args = parse_args();
     let mix = workload();
     let distinct = mix.len() as u64;
-    let service = Arc::new(PlanService::new(args.workers, args.cache));
+    let service = Arc::new(PlanService::with_telemetry(
+        args.workers,
+        args.cache,
+        Telemetry::enabled(),
+    ));
 
     println!(
         "# serve_load: {} requests ({} distinct) from {} client threads, {} workers, cache {}",
@@ -126,6 +207,12 @@ fn main() {
         stats.hit_rate() * 100.0
     );
 
+    if let Some(path) = &args.out {
+        std::fs::write(path, emit_json(&args, distinct, wall, &stats))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+
     if args.assert_hits {
         assert_eq!(
             stats.requests, args.requests as u64,
@@ -141,6 +228,13 @@ fn main() {
             "single-flight dedup violated: planner must run exactly once \
              per distinct request: {stats}"
         );
+        assert!(
+            stats.hit_latency.count > 0 && stats.miss_latency.count > 0,
+            "telemetry recorded no latencies: {stats}"
+        );
+        assert_monotone("hit latency", &stats.hit_latency);
+        assert_monotone("miss latency", &stats.miss_latency);
+        assert_monotone("queue wait", &stats.queue_wait);
         println!("serve-smoke assertions passed");
     }
 }

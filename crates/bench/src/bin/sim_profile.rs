@@ -22,6 +22,13 @@
 //! * `--baseline PATH` — a previous `BENCH_sim.json`; matching cells gain
 //!   `baseline_wall_secs` and `speedup` fields;
 //! * `--out PATH` — where to write the JSON (default `BENCH_sim.json`).
+//!
+//! Memory caveat: `rss_hwm_kb_process` is the *process* high-water mark
+//! (`VmHWM`), which only ever rises — once an early cell pushes it up,
+//! later (smaller) cells repeat the same number; it must not be read as a
+//! per-cell cost. `rss_hwm_delta_kb` is the amount *this* cell raised the
+//! watermark (0 when a previous cell's peak still dominates), and
+//! `report_bytes` is the deterministic, engine-independent share.
 
 use graphpipe::prelude::*;
 use graphpipe::sched::{assign_in_flight, schedule_tasks, Stage, StageGraph, StageId};
@@ -56,7 +63,8 @@ struct CellResult {
     makespan: f64,
     fingerprint: String,
     report_bytes: usize,
-    rss_hwm_kb: u64,
+    rss_hwm_kb_process: u64,
+    rss_hwm_delta_kb: u64,
     baseline_wall_secs: Option<f64>,
 }
 
@@ -115,8 +123,10 @@ fn scaled_strategy(
 }
 
 /// `VmHWM` from `/proc/self/status` in KiB — the process peak-RSS
-/// watermark (0 where unavailable). Monotone across cells, so it reads as
-/// the sweep's high-water trajectory rather than a per-cell cost.
+/// watermark (0 where unavailable). Monotone across cells: it never
+/// falls, so by itself it reads as the sweep's high-water trajectory,
+/// not a per-cell cost — cells report it alongside the per-cell delta
+/// (see the module docs).
 fn rss_high_water_kb() -> u64 {
     std::fs::read_to_string("/proc/self/status")
         .ok()
@@ -143,10 +153,12 @@ fn run_cell(name: &'static str, devices: usize, micro_batches: u64, parallel: us
     let cluster = Cluster::summit_like(devices);
     let (sg, schedule) = scaled_strategy(&model, &cluster, micro_batches);
     let options = graphpipe::sim::SimOptions::default().with_parallelism(parallel);
+    let hwm_before = rss_high_water_kb();
     let t0 = Instant::now();
     let report = graphpipe::sim::simulate_with(model.graph(), &cluster, &sg, &schedule, &options)
         .unwrap_or_else(|e| panic!("{name}@{devices}x{micro_batches}: {e}"));
     let wall_secs = t0.elapsed().as_secs_f64();
+    let hwm_after = rss_high_water_kb();
     CellResult {
         model: name,
         devices,
@@ -157,7 +169,8 @@ fn run_cell(name: &'static str, devices: usize, micro_batches: u64, parallel: us
         makespan: report.iteration_time,
         fingerprint: format!("{:016x}", report.fingerprint()),
         report_bytes: report_bytes(&report),
-        rss_hwm_kb: rss_high_water_kb(),
+        rss_hwm_kb_process: hwm_after,
+        rss_hwm_delta_kb: hwm_after.saturating_sub(hwm_before),
         baseline_wall_secs: None,
     }
 }
@@ -197,7 +210,7 @@ fn emit_json(results: &[CellResult], parallel: usize) -> String {
             "    {{\"model\": \"{}\", \"devices\": {}, \"micro_batches\": {}, \
              \"stages\": {}, \"spans\": {}, \"wall_secs\": {:.6}, \
              \"makespan\": {:.9e}, \"fingerprint\": \"{}\", \
-             \"report_bytes\": {}, \"rss_hwm_kb\": {}",
+             \"report_bytes\": {}, \"rss_hwm_kb_process\": {}, \"rss_hwm_delta_kb\": {}",
             r.model,
             r.devices,
             r.micro_batches,
@@ -207,7 +220,8 @@ fn emit_json(results: &[CellResult], parallel: usize) -> String {
             r.makespan,
             r.fingerprint,
             r.report_bytes,
-            r.rss_hwm_kb,
+            r.rss_hwm_kb_process,
+            r.rss_hwm_delta_kb,
         );
         if let Some(base) = r.baseline_wall_secs {
             let _ = write!(

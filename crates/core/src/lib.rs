@@ -101,6 +101,10 @@ pub mod tensor {
 pub mod verify {
     pub use gp_verify::*;
 }
+/// Telemetry: spans, metrics, trace export (re-export of `gp-obs`).
+pub mod obs {
+    pub use gp_obs::*;
+}
 
 /// One-stop imports for examples and applications.
 pub mod prelude {
@@ -108,6 +112,7 @@ pub mod prelude {
     pub use crate::cluster::{Cluster, DeviceRange};
     pub use crate::ir::zoo;
     pub use crate::ir::{Graph, OpId, SpModel};
+    pub use crate::obs::{JsonlSink, PerfettoSink, SummarySink, Telemetry, TraceSink};
     pub use crate::partition::{
         GraphPipePlanner, ParallelPlanner, Plan, PlanError, PlanOptions, Planner, SearchStats,
     };
@@ -171,7 +176,7 @@ impl From<PlannerKind> for ServePlanner {
 /// [`Session::plan`], which also fingerprints the request; this remains
 /// for code that drives the [`Planner`] trait directly.
 pub fn planner(kind: PlannerKind, options: PlanOptions) -> Box<dyn Planner> {
-    session::build_planner(kind, options)
+    session::build_planner(kind, options, &gp_obs::Telemetry::disabled())
 }
 
 /// Simulates one training iteration of a plan on the cluster it was
@@ -189,7 +194,13 @@ pub fn planner(kind: PlannerKind, options: PlanOptions) -> Box<dyn Planner> {
 /// Propagates simulator failures (which indicate an invalid schedule) as
 /// [`Error::Sim`].
 pub fn simulate_plan(model: &SpModel, cluster: &Cluster, plan: &Plan) -> Result<SimReport, Error> {
-    session::simulate_on(model, cluster, plan, &gp_sim::SimOptions::default())
+    session::simulate_on(
+        model,
+        cluster,
+        plan,
+        &gp_sim::SimOptions::default(),
+        &gp_obs::Telemetry::disabled(),
+    )
 }
 
 /// Plans with every candidate micro-batch size, simulates each strategy,

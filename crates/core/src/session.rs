@@ -44,6 +44,7 @@ use gp_baselines::{PipeDreamPlanner, PiperPlanner};
 use gp_cluster::Cluster;
 use gp_exec::{reference_step, synth_batch, ModelParams};
 use gp_ir::SpModel;
+use gp_obs::Telemetry;
 use gp_partition::{GraphPipePlanner, Plan, PlanError, PlanOptions, Planner};
 use gp_serve::{artifact, Fingerprint, PlanRequest, PlanService, ServeStats};
 use gp_sim::{SimOptions, SimReport};
@@ -62,9 +63,15 @@ pub const PIPER_COMPARE_UNIT_OPS: usize = 8;
 /// Constructs the planner implementation for a kind/options pair — the one
 /// factory shared by [`Session`], the free [`crate::planner`], and
 /// everything built on them.
-pub(crate) fn build_planner(kind: PlannerKind, options: PlanOptions) -> Box<dyn Planner> {
+pub(crate) fn build_planner(
+    kind: PlannerKind,
+    options: PlanOptions,
+    telemetry: &Telemetry,
+) -> Box<dyn Planner> {
     match kind {
-        PlannerKind::GraphPipe => Box::new(GraphPipePlanner::with_options(options)),
+        PlannerKind::GraphPipe => {
+            Box::new(GraphPipePlanner::with_options(options).with_telemetry(telemetry.clone()))
+        }
         PlannerKind::PipeDream => Box::new(PipeDreamPlanner::with_options(options)),
         PlannerKind::Piper => Box::new(PiperPlanner::with_options(options)),
     }
@@ -78,6 +85,7 @@ pub(crate) fn simulate_on(
     cluster: &Cluster,
     plan: &Plan,
     sim_options: &SimOptions,
+    telemetry: &Telemetry,
 ) -> Result<SimReport, Error> {
     // Debug builds statically verify every plan handed to the simulator,
     // so a strategy that violates a §3 invariant is caught by name here
@@ -87,12 +95,13 @@ pub(crate) fn simulate_on(
         let report = gp_verify::verify_plan(model.graph(), cluster, plan);
         debug_assert!(report.is_clean(), "simulating an invalid plan: {report}");
     }
-    gp_sim::simulate_with(
+    gp_sim::simulate_traced(
         model.graph(),
         cluster,
         &plan.stage_graph,
         &plan.schedule,
         sim_options,
+        telemetry,
     )
     .map_err(Error::from)
 }
@@ -110,6 +119,7 @@ pub struct SessionBuilder {
     mini_batch: Option<u64>,
     options: PlanOptions,
     sim_options: SimOptions,
+    telemetry: Telemetry,
 }
 
 impl SessionBuilder {
@@ -148,6 +158,18 @@ impl SessionBuilder {
         self
     }
 
+    /// Attaches a [`Telemetry`] handle: every plan, sweep, simulation, and
+    /// execution run through the session records spans and metrics into
+    /// it (defaults to [`Telemetry::disabled`], which costs nothing).
+    ///
+    /// Telemetry is strictly write-only — plans, reports, fingerprints,
+    /// and artifacts are byte-identical with it enabled or disabled
+    /// (`tests/observability.rs` holds this line).
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Validates the configuration and produces the [`Session`].
     ///
     /// # Errors
@@ -173,6 +195,7 @@ impl SessionBuilder {
             mini_batch,
             options: self.options,
             sim_options: self.sim_options,
+            telemetry: self.telemetry,
         })
     }
 }
@@ -205,6 +228,7 @@ pub struct Session {
     mini_batch: u64,
     options: PlanOptions,
     sim_options: SimOptions,
+    telemetry: Telemetry,
 }
 
 impl Session {
@@ -237,6 +261,13 @@ impl Session {
     /// simulate with.
     pub fn sim_options(&self) -> &SimOptions {
         &self.sim_options
+    }
+
+    /// The telemetry handle session operations record into
+    /// ([`Telemetry::disabled`] unless [`SessionBuilder::telemetry`] set
+    /// one) — export its spans and metrics with [`Telemetry::export`].
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The canonical `gp-serve` [`PlanRequest`] for this session and
@@ -281,6 +312,7 @@ impl Session {
             kind,
             plan,
             sim_options: self.sim_options.clone(),
+            telemetry: self.telemetry.clone(),
         }
     }
 
@@ -294,12 +326,16 @@ impl Session {
     /// Propagates the planner's failure as [`Error::Plan`]; a plan the
     /// verifier rejects is [`Error::Verify`].
     pub fn plan(&self, kind: PlannerKind) -> Result<PlannedStrategy, Error> {
-        let plan = build_planner(kind, self.options.clone()).plan(
+        let _span = self.telemetry.span("session.plan");
+        let plan = build_planner(kind, self.options.clone(), &self.telemetry).plan(
             &self.model,
             &self.cluster,
             self.mini_batch,
         )?;
-        gp_verify::verify_strategy(&self.model, &self.cluster, &plan).into_result()?;
+        {
+            let _verify = self.telemetry.span("session.verify");
+            gp_verify::verify_strategy(&self.model, &self.cluster, &plan).into_result()?;
+        }
         Ok(self.wrap(kind, Arc::new(plan)))
     }
 
@@ -321,22 +357,33 @@ impl Session {
     /// plan; search explosions propagate immediately (retrying other
     /// micro-batch sizes would explode identically — Table 1's "✗").
     pub fn evaluate(&self, kind: PlannerKind) -> Result<EvalResult, Error> {
+        let _span = self.telemetry.span("session.evaluate");
         let candidates = self.options.micro_batch_sizes(self.mini_batch);
         let mut best: Option<(u64, Arc<Plan>, SimReport)> = None;
         let mut per_micro_batch = Vec::new();
         let mut last_err = PlanError::Infeasible("no micro-batch candidates".to_string());
         for &b in &candidates {
+            let _candidate = self.telemetry.span_with("evaluate.candidate", b);
             let opts = self.options.clone().with_forced_micro_batch(b);
-            match build_planner(kind, opts).plan(&self.model, &self.cluster, self.mini_batch) {
+            match build_planner(kind, opts, &self.telemetry).plan(
+                &self.model,
+                &self.cluster,
+                self.mini_batch,
+            ) {
                 Ok(plan) => {
-                    let report =
-                        match simulate_on(&self.model, &self.cluster, &plan, &self.sim_options) {
-                            Ok(r) => r,
-                            Err(e) => {
-                                last_err = PlanError::Internal(e.to_string());
-                                continue;
-                            }
-                        };
+                    let report = match simulate_on(
+                        &self.model,
+                        &self.cluster,
+                        &plan,
+                        &self.sim_options,
+                        &self.telemetry,
+                    ) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            last_err = PlanError::Internal(e.to_string());
+                            continue;
+                        }
+                    };
                     per_micro_batch.push((b, report.throughput));
                     let better = match &best {
                         None => true,
@@ -375,6 +422,7 @@ impl Session {
     /// finer units explode on many-branch models — the harness convention
     /// behind Figure 6).
     pub fn compare(&self, kinds: &[PlannerKind]) -> Comparison {
+        let _span = self.telemetry.span("session.compare");
         let rows = kinds
             .iter()
             .map(|&kind| {
@@ -388,8 +436,13 @@ impl Session {
                         .plan(&self.model, &self.cluster, self.mini_batch)
                         .map_err(Error::from)
                         .and_then(|plan| {
-                            let report =
-                                simulate_on(&self.model, &self.cluster, &plan, &self.sim_options)?;
+                            let report = simulate_on(
+                                &self.model,
+                                &self.cluster,
+                                &plan,
+                                &self.sim_options,
+                                &self.telemetry,
+                            )?;
                             Ok((Arc::new(plan), report))
                         }),
                     _ => self
@@ -438,6 +491,7 @@ impl Session {
     /// [`Error::Invalid`] when the artifact's mini-batch or recorded
     /// fingerprint disagrees with the session.
     pub fn load_artifact(&self, text: &str, kind: PlannerKind) -> Result<PlannedStrategy, Error> {
+        let _span = self.telemetry.span("session.load_artifact");
         let (plan, recorded) = artifact::decode_plan(text, self.model.graph(), &self.cluster)?;
         // The codec verified the plan against the graph; the session also
         // holds the SP tree, so run the full strategy-level pass.
@@ -477,6 +531,7 @@ impl Session {
             kind,
             plan,
             sim_options: self.sim_options.clone(),
+            telemetry: self.telemetry.clone(),
         })
     }
 
@@ -492,7 +547,7 @@ impl Session {
     /// own contract).
     pub fn serve(&self, workers: usize, cache_capacity: usize) -> SessionService {
         SessionService {
-            service: PlanService::new(workers, cache_capacity),
+            service: PlanService::with_telemetry(workers, cache_capacity, self.telemetry.clone()),
             session: self.clone(),
         }
     }
@@ -513,6 +568,7 @@ pub struct PlannedStrategy {
     plan: Arc<Plan>,
     fingerprint: Fingerprint,
     sim_options: SimOptions,
+    telemetry: Telemetry,
 }
 
 impl Deref for PlannedStrategy {
@@ -564,7 +620,14 @@ impl PlannedStrategy {
     /// [`Error::Sim`] when the schedule deadlocks or is incomplete — both
     /// indicate an invalid strategy.
     pub fn simulate(&self) -> Result<SimReport, Error> {
-        simulate_on(&self.model, &self.cluster, &self.plan, &self.sim_options)
+        let _span = self.telemetry.span("session.simulate");
+        simulate_on(
+            &self.model,
+            &self.cluster,
+            &self.plan,
+            &self.sim_options,
+            &self.telemetry,
+        )
     }
 
     /// [`PlannedStrategy::simulate`] with explicit [`SimOptions`] — e.g.
@@ -576,7 +639,14 @@ impl PlannedStrategy {
     ///
     /// Same as [`PlannedStrategy::simulate`].
     pub fn simulate_with(&self, sim_options: &SimOptions) -> Result<SimReport, Error> {
-        simulate_on(&self.model, &self.cluster, &self.plan, sim_options)
+        let _span = self.telemetry.span("session.simulate");
+        simulate_on(
+            &self.model,
+            &self.cluster,
+            &self.plan,
+            sim_options,
+            &self.telemetry,
+        )
     }
 
     /// Trains the strategy for real on the threaded `gp-exec` runtime
@@ -596,6 +666,7 @@ impl PlannedStrategy {
         if config.steps == 0 {
             return Err(Error::Invalid("execute needs at least one step".into()));
         }
+        let _span = self.telemetry.span("session.execute");
         let graph = self.model.graph();
         let mini_batch = self.plan.stage_graph.mini_batch();
         let batch = synth_batch(graph, mini_batch, config.data_seed);
@@ -605,7 +676,7 @@ impl PlannedStrategy {
         // `losses[0]` must match this single-device full-batch loss.
         let (reference_loss, _) = reference_step(graph, &params0, &batch, mini_batch);
         let mut params = params0;
-        let losses = gp_exec::train(
+        let losses = gp_exec::train_traced(
             graph,
             &self.plan.stage_graph,
             &self.plan.schedule,
@@ -613,6 +684,7 @@ impl PlannedStrategy {
             &batch,
             config.lr,
             config.steps,
+            &self.telemetry,
         )?;
         Ok(TrainingRun {
             losses,
@@ -862,6 +934,7 @@ impl SessionService {
             plan,
             fingerprint,
             sim_options: self.session.sim_options.clone(),
+            telemetry: self.session.telemetry.clone(),
         })
     }
 
@@ -1013,7 +1086,13 @@ mod tests {
         let strategy = s.plan(PlannerKind::GraphPipe).unwrap();
         let text = strategy.artifact();
         let restored = s.load_artifact(&text, PlannerKind::GraphPipe).unwrap();
-        assert_eq!(restored.plan(), strategy.plan());
+        // Phase walls are measurement, not plan data: the codec never
+        // encodes them, so compare with walls zeroed on both sides.
+        let mut fresh = (**strategy.plan()).clone();
+        let mut decoded = (**restored.plan()).clone();
+        fresh.stats.zero_walls();
+        decoded.stats.zero_walls();
+        assert_eq!(decoded, fresh);
         assert_eq!(restored.fingerprint(), strategy.fingerprint());
         // The recorded fingerprint is planner-tagged: loading it as a
         // different planner's strategy is a mismatch, not a silent rebind.

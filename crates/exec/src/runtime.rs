@@ -22,6 +22,7 @@ use crate::stage::StageRunner;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use gp_cost::Pass;
 use gp_ir::{Graph, OpId};
+use gp_obs::Telemetry;
 use gp_sched::{PipelineSchedule, StageGraph, StageId};
 use gp_tensor::Tensor;
 use parking_lot::Mutex;
@@ -336,6 +337,37 @@ pub fn train_iteration(
     batch: &HashMap<OpId, Tensor>,
     lr: f32,
 ) -> Result<IterationResult, ExecError> {
+    train_iteration_traced(
+        graph,
+        sg,
+        schedule,
+        params,
+        batch,
+        lr,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`train_iteration`], emitting telemetry: an `exec.iteration` span, one
+/// `exec.replica` span per stage-replica worker thread (parented under
+/// the iteration span explicitly, since workers run on their own
+/// threads), and per-stage wall-time histograms
+/// (`exec.stage<N>.wall_ns`, one sample per replica per iteration).
+///
+/// Telemetry is write-only: losses, gradients, and the task trace are
+/// byte-identical with telemetry enabled or disabled.
+#[allow(clippy::too_many_arguments)]
+pub fn train_iteration_traced(
+    graph: &Graph,
+    sg: &StageGraph,
+    schedule: &PipelineSchedule,
+    params: &mut ModelParams,
+    batch: &HashMap<OpId, Tensor>,
+    lr: f32,
+    telemetry: &Telemetry,
+) -> Result<IterationResult, ExecError> {
+    let iteration_span = telemetry.span("exec.iteration");
+    let iteration_id = iteration_span.id();
     // Replica roster and channels.
     let mut replicas: Vec<(StageId, u32)> = Vec::new();
     for s in sg.stages() {
@@ -412,10 +444,19 @@ pub fn train_iteration(
                 bwd_buf: HashMap::new(),
             };
             let params_ref: &ModelParams = params;
+            let worker_tele = telemetry.clone();
             let handle = scope.spawn(move || {
+                let _replica_span =
+                    worker_tele.span_under_with("exec.replica", replica as u64, iteration_id);
+                let start_ns = worker_tele.now_nanos();
                 let mut runner =
                     StageRunner::new(graph, &sg.stage(stage).ops, params_ref, sg.mini_batch());
                 worker.run(&mut runner, schedule)?;
+                if let Some(hist) =
+                    worker_tele.histogram(&format!("exec.stage{}.wall_ns", stage.index()))
+                {
+                    hist.record(worker_tele.now_nanos().saturating_sub(start_ns));
+                }
                 let grads = runner.grads().clone();
                 Ok::<_, ExecError>(((stage, replica), grads, runner.loss()))
             });
@@ -465,9 +506,40 @@ pub fn train(
     lr: f32,
     steps: usize,
 ) -> Result<Vec<f32>, ExecError> {
+    train_traced(
+        graph,
+        sg,
+        schedule,
+        params,
+        batch,
+        lr,
+        steps,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`train`], emitting one `exec.step` span per iteration plus everything
+/// [`train_iteration_traced`] records. Telemetry is write-only; the
+/// returned losses are identical with it enabled or disabled.
+///
+/// # Errors
+///
+/// Propagates worker failures from [`train_iteration`].
+#[allow(clippy::too_many_arguments)]
+pub fn train_traced(
+    graph: &Graph,
+    sg: &StageGraph,
+    schedule: &PipelineSchedule,
+    params: &mut ModelParams,
+    batch: &HashMap<OpId, Tensor>,
+    lr: f32,
+    steps: usize,
+    telemetry: &Telemetry,
+) -> Result<Vec<f32>, ExecError> {
     let mut losses = Vec::with_capacity(steps);
-    for _ in 0..steps {
-        let result = train_iteration(graph, sg, schedule, params, batch, lr)?;
+    for step in 0..steps {
+        let _step_span = telemetry.span_with("exec.step", step as u64);
+        let result = train_iteration_traced(graph, sg, schedule, params, batch, lr, telemetry)?;
         losses.push(result.loss);
     }
     Ok(losses)

@@ -1,0 +1,161 @@
+//! The wall-clock seam.
+//!
+//! Every wall-clock read in the workspace that sits inside (or feeds data
+//! through) a `gp-lint: deterministic`-tagged module goes through the
+//! [`Clock`] trait instead of calling `Instant::now` directly. The one
+//! production implementation, [`MonotonicClock`], wraps `std::time::Instant`;
+//! tests inject [`ManualClock`] to make timing-dependent code fully
+//! deterministic. The lint (`cargo xtask lint`) can then keep its hazard
+//! list strict: tagged modules never spell `Instant::now` at all.
+//!
+//! This module mentions the tag above, so the lint scans it too — which
+//! is deliberate: the [`MonotonicClock`] constructor is the single
+//! allowlisted wall-clock read in the workspace, pinning the seam. A
+//! second `Instant::now` appearing anywhere tagged (including here) is a
+//! lint failure.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonic time source reporting nanoseconds since an arbitrary,
+/// per-instance origin. Implementations must be monotone non-decreasing.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds elapsed since this clock's origin.
+    fn now_nanos(&self) -> u64;
+}
+
+/// The production clock: `Instant`-backed, origin = construction time.
+///
+/// This is the only place in the workspace (outside tests and benches)
+/// that reads the machine clock on behalf of tagged modules.
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_nanos(&self) -> u64 {
+        // Saturate rather than panic if a run somehow exceeds ~584 years.
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A hand-cranked clock for tests: time moves only when told to.
+#[derive(Default)]
+pub struct ManualClock {
+    now: AtomicU64,
+}
+
+impl ManualClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advance the clock by `delta` nanoseconds.
+    pub fn advance(&self, delta: u64) {
+        self.now.fetch_add(delta, Ordering::SeqCst);
+    }
+
+    /// Jump the clock to an absolute reading (must not move backwards to
+    /// preserve the monotonicity contract; this is not checked).
+    pub fn set(&self, nanos: u64) {
+        self.now.store(nanos, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_nanos(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+/// A cheap, cloneable handle to a shared [`Clock`].
+///
+/// Planner structs embed this, so it implements `Debug` and `Default`
+/// manually (a `dyn Clock` cannot derive either): the default is a fresh
+/// [`MonotonicClock`].
+#[derive(Clone)]
+pub struct ClockHandle {
+    clock: Arc<dyn Clock>,
+}
+
+impl ClockHandle {
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        Self { clock }
+    }
+
+    /// A handle to a fresh production clock.
+    pub fn monotonic() -> Self {
+        Self::new(Arc::new(MonotonicClock::new()))
+    }
+
+    pub fn now_nanos(&self) -> u64 {
+        self.clock.now_nanos()
+    }
+
+    /// Duration since an earlier `now_nanos` reading (saturating, so a
+    /// buggy non-monotone clock yields zero rather than a panic).
+    pub fn since(&self, start_nanos: u64) -> Duration {
+        Duration::from_nanos(self.clock.now_nanos().saturating_sub(start_nanos))
+    }
+}
+
+impl Default for ClockHandle {
+    fn default() -> Self {
+        Self::monotonic()
+    }
+}
+
+impl fmt::Debug for ClockHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ClockHandle(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_moves_only_when_told() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now_nanos(), 0);
+        clock.advance(5);
+        clock.advance(7);
+        assert_eq!(clock.now_nanos(), 12);
+        clock.set(100);
+        assert_eq!(clock.now_nanos(), 100);
+    }
+
+    #[test]
+    fn monotonic_clock_is_monotone() {
+        let clock = MonotonicClock::new();
+        let a = clock.now_nanos();
+        let b = clock.now_nanos();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn handle_since_saturates() {
+        let manual = Arc::new(ManualClock::new());
+        let handle = ClockHandle::new(manual.clone());
+        manual.set(50);
+        assert_eq!(handle.since(20), Duration::from_nanos(30));
+        assert_eq!(handle.since(80), Duration::ZERO);
+    }
+}

@@ -78,9 +78,9 @@ use crate::plan::{Plan, PlanError, PlanOptions, Planner, SearchStats};
 use gp_cluster::{Cluster, DeviceRange};
 use gp_cost::{CostModel, Pass, BYTES_PER_PARAM_STATE};
 use gp_ir::{Graph, OpId, SpBlock, SpModel};
+use gp_obs::{ClockHandle, Telemetry};
 use gp_sched::{assign_in_flight, compute_in_flight, schedule_tasks, Stage, StageGraph, StageId};
 use std::collections::HashMap;
-use std::time::Instant;
 
 // ---------------------------------------------------------------- arena --
 
@@ -1522,6 +1522,7 @@ fn replay_probe(
     runs: Vec<RunResult>,
     stats: &mut SearchStats,
     evals_used: &mut u64,
+    telemetry: &Telemetry,
 ) -> Result<Option<Solution>, PlanError> {
     stats.binary_iters += 1;
     let (specs, filtered) = ctx.run_specs(t);
@@ -1545,6 +1546,9 @@ fn replay_probe(
         };
         *evals_used += run.evals;
         stats.dp_evals += run.evals;
+        // Histogram of work per DP invocation: data-valued (eval counts,
+        // not times), so its contents are themselves deterministic.
+        telemetry.record("planner.dp_evals_per_run", run.evals);
         stats.dp_states = stats.dp_states.max(run.distinct_states);
         stats.memo_hits += run.memo_hits;
         stats.work_bound_prunes += run.work_bound_prunes;
@@ -1586,6 +1590,8 @@ fn bisect_targets(lo: f64, hi: f64, epsilon: f64, depth: u32, out: &mut Vec<f64>
 pub(crate) fn drive_search(
     ctx: &SearchCtx<'_>,
     provider: &mut dyn ProbeProvider,
+    clock: &ClockHandle,
+    telemetry: &Telemetry,
 ) -> Result<(Solution, SearchStats), PlanError> {
     let mut stats = SearchStats::default();
     let mut evals_used = 0u64;
@@ -1595,22 +1601,32 @@ pub(crate) fn drive_search(
     let mut t_lo = ctx.t_base;
     let mut t_hi = 2.0 * ctx.t_base;
     let mut rung = 0usize;
-    while best.is_none() && rung < ladder.len() {
-        // Speculate only a couple of rungs ahead: the bracket almost
-        // always resolves within two probes, and high rungs (loose
-        // targets) are the most expensive ones to evaluate wastefully.
-        provider.prefetch(&ladder[rung..ladder.len().min(rung + 2)]);
-        let t = ladder[rung];
-        t_hi = t;
-        let remaining = ctx.options.eval_budget.saturating_sub(evals_used);
-        let runs = provider.take(t, remaining);
-        best = replay_probe(ctx, t, runs, &mut stats, &mut evals_used)?;
-        if best.is_none() {
-            t_lo = t;
-            rung += 1;
+    let bracket_start = clock.now_nanos();
+    {
+        let _bracket = telemetry.span("search.bracket");
+        while best.is_none() && rung < ladder.len() {
+            // Speculate only a couple of rungs ahead: the bracket almost
+            // always resolves within two probes, and high rungs (loose
+            // targets) are the most expensive ones to evaluate wastefully.
+            provider.prefetch(&ladder[rung..ladder.len().min(rung + 2)]);
+            let t = ladder[rung];
+            t_hi = t;
+            let remaining = ctx.options.eval_budget.saturating_sub(evals_used);
+            let probe = telemetry.span_with("search.probe", stats.binary_iters as u64 + 1);
+            let runs = provider.take(t, remaining);
+            let result = replay_probe(ctx, t, runs, &mut stats, &mut evals_used, telemetry);
+            drop(probe);
+            best = result?;
+            if best.is_none() {
+                t_lo = t;
+                rung += 1;
+            }
         }
     }
+    stats.phases.bracket_wall = clock.since(bracket_start);
     if best.is_some() {
+        let bisect_start = clock.now_nanos();
+        let _bisect = telemetry.span("search.bisect");
         // Refine within the bracket [t_lo, t_hi].
         while t_hi - t_lo > epsilon * t_hi {
             let depth = provider.spec_depth();
@@ -1625,8 +1641,11 @@ pub(crate) fn drive_search(
                 }
                 let t_m = 0.5 * (t_lo + t_hi);
                 let remaining = ctx.options.eval_budget.saturating_sub(evals_used);
+                let probe = telemetry.span_with("search.probe", stats.binary_iters as u64 + 1);
                 let runs = provider.take(t_m, remaining);
-                match replay_probe(ctx, t_m, runs, &mut stats, &mut evals_used)? {
+                let result = replay_probe(ctx, t_m, runs, &mut stats, &mut evals_used, telemetry);
+                drop(probe);
+                match result? {
                     Some(sol) => {
                         best = Some(sol);
                         t_hi = t_m;
@@ -1635,6 +1654,7 @@ pub(crate) fn drive_search(
                 }
             }
         }
+        stats.phases.bisect_wall = clock.since(bisect_start);
     }
     match best {
         Some(sol) => Ok((sol, stats)),
@@ -1671,6 +1691,13 @@ pub(crate) fn drive_search(
 #[derive(Debug, Clone, Default)]
 pub struct GraphPipePlanner {
     options: PlanOptions,
+    /// Wall-clock seam: feeds only `SearchStats` wall fields, which every
+    /// fingerprint and comparison excludes. Injectable for deterministic
+    /// timing under test.
+    clock: ClockHandle,
+    /// Telemetry handle (inert by default): search spans and counters.
+    /// Write-only — never read back into the plan.
+    telemetry: Telemetry,
 }
 
 impl GraphPipePlanner {
@@ -1681,7 +1708,22 @@ impl GraphPipePlanner {
 
     /// Planner with explicit options.
     pub fn with_options(options: PlanOptions) -> Self {
-        GraphPipePlanner { options }
+        GraphPipePlanner {
+            options,
+            ..Self::default()
+        }
+    }
+
+    /// Replace the wall-clock source (tests inject a manual clock).
+    pub fn with_clock(mut self, clock: ClockHandle) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Attach a telemetry handle; search phases emit spans under it.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The options in effect.
@@ -1745,18 +1787,24 @@ impl Planner for GraphPipePlanner {
     }
 
     fn plan(&self, model: &SpModel, cluster: &Cluster, mini_batch: u64) -> Result<Plan, PlanError> {
-        let start = Instant::now();
+        let _search_span = self.telemetry.span("planner.search");
+        let start = self.clock.now_nanos();
         let ctx = SearchCtx::new(model, cluster, mini_batch, &self.options)?;
-        let (solution, mut stats) = if self.options.parallelism > 1 {
+        let (solution, stats) = if self.options.parallelism > 1 {
             let mut provider =
                 crate::parallel::SpeculativeProvider::new(&ctx, self.options.parallelism);
-            drive_search(&ctx, &mut provider)?
+            drive_search(&ctx, &mut provider, &self.clock, &self.telemetry)?
         } else {
             let mut provider = SequentialProvider { ctx: &ctx };
-            drive_search(&ctx, &mut provider)?
+            drive_search(&ctx, &mut provider, &self.clock, &self.telemetry)?
         };
-        stats.wall = start.elapsed();
-        Self::solution_to_plan(&solution, model, cluster, &ctx.cost, mini_batch, stats)
+        let finalize_start = self.clock.now_nanos();
+        let _finalize_span = self.telemetry.span("planner.finalize");
+        let mut plan =
+            Self::solution_to_plan(&solution, model, cluster, &ctx.cost, mini_batch, stats)?;
+        plan.stats.phases.finalize_wall = self.clock.since(finalize_start);
+        plan.stats.wall = self.clock.since(start);
+        Ok(plan)
     }
 }
 

@@ -219,10 +219,9 @@ fn run_tasks(ctx: &SearchCtx<'_>, tasks: &[Task], threads: usize) -> Vec<RunResu
 mod tests {
     use super::*;
     use gp_ir::zoo::{self, CandleUnoConfig, DlrmConfig, MmtConfig, MoeConfig};
-    use std::time::Duration;
 
     fn strip_wall(mut plan: Plan) -> Plan {
-        plan.stats.wall = Duration::ZERO;
+        plan.stats.zero_walls();
         plan
     }
 

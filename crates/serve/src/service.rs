@@ -35,6 +35,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use gp_baselines::{PipeDreamPlanner, PiperPlanner};
 use gp_cluster::Cluster;
 use gp_ir::SpModel;
+use gp_obs::{ClockHandle, HistogramSnapshot, Telemetry};
 use gp_partition::{GraphPipePlanner, Plan, PlanError, PlanOptions, Planner};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -42,7 +43,6 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
 
 /// Which planner a request should run on a cache miss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -66,9 +66,11 @@ impl ServePlanner {
         }
     }
 
-    fn build(self, options: PlanOptions) -> Box<dyn Planner> {
+    fn build(self, options: PlanOptions, telemetry: &Telemetry) -> Box<dyn Planner> {
         match self {
-            ServePlanner::GraphPipe => Box::new(GraphPipePlanner::with_options(options)),
+            ServePlanner::GraphPipe => {
+                Box::new(GraphPipePlanner::with_options(options).with_telemetry(telemetry.clone()))
+            }
             ServePlanner::PipeDream => Box::new(PipeDreamPlanner::with_options(options)),
             ServePlanner::Piper => Box::new(PiperPlanner::with_options(options)),
         }
@@ -229,6 +231,16 @@ pub struct ServeStats {
     pub cached_plans: u64,
     /// Cache evictions so far.
     pub cache_evictions: u64,
+    /// Latency distribution of cache-hit responses (submit to reply),
+    /// in nanoseconds. Empty unless the service was built with
+    /// [`PlanService::with_telemetry`] and telemetry is enabled.
+    pub hit_latency: HistogramSnapshot,
+    /// Latency distribution of planner executions (misses), in
+    /// nanoseconds. Empty without enabled telemetry.
+    pub miss_latency: HistogramSnapshot,
+    /// Distribution of time jobs spent queued before a worker picked them
+    /// up, in nanoseconds. Empty without enabled telemetry.
+    pub queue_wait: HistogramSnapshot,
 }
 
 impl ServeStats {
@@ -248,21 +260,25 @@ impl ServeStats {
         }
         self.planner_nanos as f64 / self.planner_runs as f64 / 1e9
     }
-}
 
-impl fmt::Display for ServeStats {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
+    /// The multi-line counter report (also the [`fmt::Display`] output).
+    /// Latency histogram lines appear only when the corresponding
+    /// distribution has samples, i.e. when the service runs with enabled
+    /// telemetry ([`PlanService::with_telemetry`]).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
             "requests {}  hits {}  joins {}  misses {}  hit-rate {:.1}%",
             self.requests,
             self.hits,
             self.joins,
             self.misses,
             self.hit_rate() * 100.0
-        )?;
-        write!(
-            f,
+        );
+        let _ = write!(
+            out,
             "planner runs {} ({} failed, mean {:.3} ms)  cached {}  evictions {}  rejected hits {}",
             self.planner_runs,
             self.planner_errors,
@@ -270,13 +286,40 @@ impl fmt::Display for ServeStats {
             self.cached_plans,
             self.cache_evictions,
             self.hit_rejections
-        )
+        );
+        let ms = |ns: u64| ns as f64 / 1e6;
+        for (label, h) in [
+            ("hit latency", &self.hit_latency),
+            ("miss latency", &self.miss_latency),
+            ("queue wait", &self.queue_wait),
+        ] {
+            if h.count > 0 {
+                let _ = write!(
+                    out,
+                    "\n{label}: n {}  p50 {:.3} ms  p90 {:.3} ms  p99 {:.3} ms  max {:.3} ms",
+                    h.count,
+                    ms(h.p50),
+                    ms(h.p90),
+                    ms(h.p99),
+                    ms(h.max),
+                );
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
     }
 }
 
 struct Job {
     fingerprint: Fingerprint,
     request: PlanRequest,
+    /// Clock reading at submit time, for the queue-wait histogram.
+    submitted_ns: u64,
 }
 
 /// Subscribers to an in-flight planning run. Each waiter keeps its own
@@ -289,6 +332,11 @@ struct Shared {
     inflight: Mutex<HashMap<Fingerprint, Waiters>>,
     cache: Mutex<PlanCache>,
     counters: Counters,
+    // All wall-clock reads in the service go through this handle (the
+    // workspace's sanctioned seam); `telemetry` additionally receives
+    // spans and latency histograms when enabled.
+    clock: ClockHandle,
+    telemetry: Telemetry,
 }
 
 /// A long-running, thread-pool-backed planning service with an LRU plan
@@ -327,11 +375,27 @@ impl PlanService {
     ///
     /// Panics if `workers == 0` or `cache_capacity == 0`.
     pub fn new(workers: usize, cache_capacity: usize) -> Self {
+        Self::with_telemetry(workers, cache_capacity, Telemetry::disabled())
+    }
+
+    /// [`PlanService::new`] with a [`Telemetry`] handle: the service
+    /// records `serve.hit_latency_ns` / `serve.miss_latency_ns` /
+    /// `serve.queue_wait_ns` histograms and a `serve.coalesced` counter
+    /// into it, opens a `serve.plan` span around every planner run, and
+    /// hands the telemetry to the planners themselves. The histograms are
+    /// surfaced in [`PlanService::stats`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` or `cache_capacity == 0`.
+    pub fn with_telemetry(workers: usize, cache_capacity: usize, telemetry: Telemetry) -> Self {
         assert!(workers > 0, "plan service needs at least one worker");
         let shared = Arc::new(Shared {
             inflight: Mutex::new(HashMap::new()),
             cache: Mutex::new(PlanCache::new(cache_capacity)),
             counters: Counters::default(),
+            clock: ClockHandle::default(),
+            telemetry,
         });
         let (job_tx, job_rx) = unbounded::<Job>();
         let handles = (0..workers)
@@ -361,6 +425,14 @@ impl PlanService {
         let numbering = numbering_signature(request.model.graph());
         let counters = &self.shared.counters;
         counters.requests.fetch_add(1, Ordering::Relaxed);
+        // 0 when telemetry is disabled: the disabled path never reads the
+        // clock, keeping `submit` allocation- and syscall-free on top of
+        // its existing work.
+        let submitted_ns = if self.shared.telemetry.is_enabled() {
+            self.shared.clock.now_nanos()
+        } else {
+            0
+        };
         let (tx, rx) = unbounded::<Reply>();
 
         // Fast path: cache hit for the identical planning problem.
@@ -368,6 +440,8 @@ impl PlanService {
         if let Some((plan, cached_numbering)) = self.shared.cache.lock().get(&fingerprint) {
             if cached_numbering == numbering {
                 counters.hits.fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .record_since("serve.hit_latency_ns", submitted_ns);
                 let _ = tx.send(Ok(plan));
                 return PlanTicket {
                     fingerprint,
@@ -390,6 +464,7 @@ impl PlanService {
             if let Some(waiters) = inflight.get_mut(&fingerprint) {
                 waiters.push((request, tx.clone()));
                 counters.joins.fetch_add(1, Ordering::Relaxed);
+                self.shared.telemetry.counter_add("serve.coalesced", 1);
                 return PlanTicket {
                     fingerprint,
                     served_from_cache: false,
@@ -400,6 +475,8 @@ impl PlanService {
                 if let Some((plan, cached_numbering)) = self.shared.cache.lock().get(&fingerprint) {
                     if cached_numbering == numbering {
                         counters.hits.fetch_add(1, Ordering::Relaxed);
+                        self.shared
+                            .record_since("serve.hit_latency_ns", submitted_ns);
                         let _ = tx.send(Ok(plan));
                         return PlanTicket {
                             fingerprint,
@@ -419,6 +496,7 @@ impl PlanService {
                 .send(Job {
                     fingerprint,
                     request,
+                    submitted_ns,
                 })
                 .is_err(),
             None => true,
@@ -466,7 +544,26 @@ impl PlanService {
             planner_nanos: c.planner_nanos.load(Ordering::Relaxed),
             cached_plans,
             cache_evictions,
+            hit_latency: self
+                .shared
+                .telemetry
+                .histogram_snapshot("serve.hit_latency_ns"),
+            miss_latency: self
+                .shared
+                .telemetry
+                .histogram_snapshot("serve.miss_latency_ns"),
+            queue_wait: self
+                .shared
+                .telemetry
+                .histogram_snapshot("serve.queue_wait_ns"),
         }
+    }
+
+    /// The telemetry handle this service records into
+    /// ([`Telemetry::disabled`] unless built via
+    /// [`PlanService::with_telemetry`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.telemetry
     }
 
     /// Drains the worker pool and returns the final counters.
@@ -494,8 +591,20 @@ impl Drop for PlanService {
     }
 }
 
+impl Shared {
+    /// Records `clock now − since_ns` into the named histogram; free when
+    /// telemetry is disabled (no clock read, no lookup).
+    fn record_since(&self, name: &str, since_ns: u64) {
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .record(name, self.clock.now_nanos().saturating_sub(since_ns));
+        }
+    }
+}
+
 fn worker_loop(shared: &Shared, rx: &Receiver<Job>) {
     while let Ok(job) = rx.recv() {
+        shared.record_since("serve.queue_wait_ns", job.submitted_ns);
         let reply = run_planner(shared, &job.request);
         let numbering = numbering_signature(job.request.model.graph());
         // Publish to the cache and collect subscribers under the in-flight
@@ -541,14 +650,22 @@ fn worker_loop(shared: &Shared, rx: &Receiver<Job>) {
 /// Runs the request's planner synchronously, updating the run/error/latency
 /// counters.
 fn run_planner(shared: &Shared, request: &PlanRequest) -> Reply {
-    let planner = request.planner.build(request.options.clone());
-    let start = Instant::now();
+    let planner = request
+        .planner
+        .build(request.options.clone(), &shared.telemetry);
+    let span = shared.telemetry.span("serve.plan");
+    let start_ns = shared.clock.now_nanos();
     let outcome = planner.plan(&request.model, &request.cluster, request.mini_batch);
+    let elapsed_ns = shared.clock.now_nanos().saturating_sub(start_ns);
+    drop(span);
     let counters = &shared.counters;
     counters.planner_runs.fetch_add(1, Ordering::Relaxed);
     counters
         .planner_nanos
-        .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        .fetch_add(elapsed_ns, Ordering::Relaxed);
+    if shared.telemetry.is_enabled() {
+        shared.telemetry.record("serve.miss_latency_ns", elapsed_ns);
+    }
     match outcome {
         Ok(plan) => {
             // Trust boundary: every plan is statically verified before it

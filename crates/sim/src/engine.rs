@@ -58,6 +58,7 @@ use crate::report::{SimError, SimReport, TaskSpan};
 use gp_cluster::{Cluster, DeviceId};
 use gp_cost::{CostModel, Pass};
 use gp_ir::Graph;
+use gp_obs::Telemetry;
 use gp_sched::{covering_micro_batches, PipelineSchedule, StageGraph, StageId, TaskIndex};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Barrier;
@@ -419,6 +420,13 @@ struct Relaxed {
     busy_until: Vec<f64>,
     busy_total: Vec<f64>,
     peak_mem: Vec<u64>,
+    /// Engine-mechanics counters for telemetry: deterministic for the
+    /// sequential engine; `rounds` for the parallel one (whose count can
+    /// vary with interleaving — it never reaches report data). All zero
+    /// for whichever engine did not run.
+    parks: u64,
+    wakes: u64,
+    rounds: u64,
 }
 
 /// Sequential relaxation: an explicit ready stack of devices plus an
@@ -439,6 +447,8 @@ fn relax_sequential(prep: &Prep) -> Result<Relaxed, SimError> {
     let mut stack: Vec<u32> = (0..n_dev as u32).collect();
     let total: usize = prep.tasks.len();
     let mut remaining = total;
+    let mut parks = 0u64;
+    let mut wakes = 0u64;
 
     while let Some(d) = stack.pop() {
         let queue = prep.queue(d as usize);
@@ -450,6 +460,7 @@ fn relax_sequential(prep: &Prep) -> Result<Relaxed, SimError> {
                     // Park on the missing dependency's watcher list.
                     watcher_next[d as usize] = watcher_head[dep];
                     watcher_head[dep] = d;
+                    parks += 1;
                     break;
                 }
                 Ok(ready) => {
@@ -466,6 +477,7 @@ fn relax_sequential(prep: &Prep) -> Result<Relaxed, SimError> {
                     watcher_head[ti] = u32::MAX;
                     while w != u32::MAX {
                         stack.push(w);
+                        wakes += 1;
                         let next = watcher_next[w as usize];
                         watcher_next[w as usize] = u32::MAX;
                         w = next;
@@ -486,6 +498,9 @@ fn relax_sequential(prep: &Prep) -> Result<Relaxed, SimError> {
         busy_until: dev.iter().map(|s| s.busy_until).collect(),
         busy_total: dev.iter().map(|s| s.busy_total).collect(),
         peak_mem: dev.iter().map(|s| s.peak_mem).collect(),
+        parks,
+        wakes,
+        rounds: 0,
     })
 }
 
@@ -513,6 +528,7 @@ fn relax_parallel(prep: &Prep, workers: usize) -> Result<Relaxed, SimError> {
     let round_progress = AtomicUsize::new(0);
     let scheduled_total = AtomicUsize::new(0);
     let state_flag = AtomicU8::new(RUN);
+    let rounds = AtomicUsize::new(0);
 
     let worker = |w: usize| -> Vec<(usize, DeviceState)> {
         let mut owned: Vec<(usize, DeviceState)> = (w..n_dev)
@@ -553,6 +569,7 @@ fn relax_parallel(prep: &Prep, workers: usize) -> Result<Relaxed, SimError> {
             round_progress.fetch_add(local, Ordering::SeqCst);
             barrier.wait();
             if w == 0 {
+                rounds.fetch_add(1, Ordering::SeqCst);
                 let progress = round_progress.swap(0, Ordering::SeqCst);
                 let scheduled = scheduled_total.fetch_add(progress, Ordering::SeqCst) + progress;
                 let next = if scheduled == total {
@@ -607,6 +624,9 @@ fn relax_parallel(prep: &Prep, workers: usize) -> Result<Relaxed, SimError> {
         busy_until,
         busy_total,
         peak_mem,
+        parks: 0,
+        wakes: 0,
+        rounds: rounds.load(Ordering::SeqCst) as u64,
     })
 }
 
@@ -644,6 +664,33 @@ pub fn simulate_with(
     schedule: &PipelineSchedule,
     options: &SimOptions,
 ) -> Result<SimReport, SimError> {
+    simulate_traced(
+        graph,
+        cluster,
+        sg,
+        schedule,
+        options,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`simulate_with`], emitting spans (`sim.prep` / `sim.relax` /
+/// `sim.finalize`) and engine counters (`sim.tasks`,
+/// `sim.watcher_parks`, `sim.watcher_wakes`, `sim.relax_rounds`) into
+/// `telemetry`.
+///
+/// Telemetry is write-only: the returned report — including its
+/// [`SimReport::fingerprint`](crate::SimReport::fingerprint) — is
+/// byte-identical whether `telemetry` is enabled, disabled, or absent
+/// (the golden sim tests assert this).
+pub fn simulate_traced(
+    graph: &Graph,
+    cluster: &Cluster,
+    sg: &StageGraph,
+    schedule: &PipelineSchedule,
+    options: &SimOptions,
+    telemetry: &Telemetry,
+) -> Result<SimReport, SimError> {
     if schedule.per_stage.len() != sg.len() {
         return Err(SimError::MissingSchedule {
             stages: sg.len(),
@@ -653,21 +700,34 @@ pub fn simulate_with(
     let cost = CostModel::new(cluster);
     let n_dev = cluster.device_count();
     let mini_batch = sg.mini_batch();
+    let prep_span = telemetry.span("sim.prep");
     let prep = Prep::new(graph, cluster, sg, schedule);
+    drop(prep_span);
     let total_tasks = prep.tasks.len();
 
     let workers = options.parallelism.min(n_dev);
+    let relax_span = telemetry.span_with("sim.relax", total_tasks as u64);
     let relaxed = if workers > 1 {
         relax_parallel(&prep, workers)?
     } else {
         relax_sequential(&prep)?
     };
+    drop(relax_span);
+    if telemetry.is_enabled() {
+        telemetry.counter_add("sim.tasks", total_tasks as u64);
+        telemetry.counter_add("sim.watcher_parks", relaxed.parks);
+        telemetry.counter_add("sim.watcher_wakes", relaxed.wakes);
+        telemetry.counter_add("sim.relax_rounds", relaxed.rounds);
+        telemetry.gauge_set("sim.devices", n_dev as i64);
+    }
+    let _finalize_span = telemetry.span("sim.finalize");
     let Relaxed {
         completion,
         start: start_time,
         busy_until,
         mut busy_total,
         peak_mem: peak_memory,
+        ..
     } = relaxed;
 
     // Gradient allreduce per data-parallel stage, after its last backward.

@@ -48,7 +48,9 @@
 mod engine;
 mod gantt;
 mod report;
+mod trace;
 
-pub use engine::{simulate, simulate_with, SimOptions};
+pub use engine::{simulate, simulate_traced, simulate_with, SimOptions};
 pub use gantt::render_gantt;
 pub use report::{SimError, SimReport, TaskSpan};
+pub use trace::{report_into_perfetto, report_to_perfetto};

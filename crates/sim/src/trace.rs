@@ -1,0 +1,90 @@
+//! `SimReport` → Chrome/Perfetto trace conversion.
+//!
+//! The simulator's timeline is already a per-device task schedule, which
+//! is exactly what a trace viewer renders: each [`TaskSpan`] becomes one
+//! complete (`X`) slice on a per-device lane under the "simulated
+//! cluster" process (pid 2), so a simulated 512-device schedule opens
+//! directly in `ui.perfetto.dev`. Live telemetry spans, when present in
+//! the same sink, appear as a separate process (pid 1) — one file shows
+//! the planner/session timing next to the schedule it produced.
+
+use crate::report::SimReport;
+use gp_cost::Pass;
+use gp_obs::{PerfettoSink, TraceSink as _, PERFETTO_PID_SIM};
+
+/// Simulated seconds, rendered as trace nanoseconds.
+fn secs_to_ns(secs: f64) -> u64 {
+    if secs <= 0.0 || !secs.is_finite() {
+        return 0;
+    }
+    (secs * 1e9).round() as u64
+}
+
+/// Add a report's timeline to an existing sink (pid 2, one lane per
+/// device), e.g. alongside live spans exported from a
+/// [`Telemetry`](gp_obs::Telemetry).
+pub fn report_into_perfetto(sink: &mut PerfettoSink, report: &SimReport) {
+    sink.name_process(PERFETTO_PID_SIM, "simulated cluster");
+    for d in 0..report.per_device_busy.len() {
+        sink.name_thread(PERFETTO_PID_SIM, d as u32, &format!("device {d}"));
+    }
+    for span in &report.timeline {
+        let start = secs_to_ns(span.start);
+        let dur = secs_to_ns(span.end).saturating_sub(start);
+        let (tag, cat) = match span.pass {
+            Pass::Forward => ('F', "forward"),
+            Pass::Backward => ('B', "backward"),
+        };
+        sink.add_slice(
+            PERFETTO_PID_SIM,
+            span.device.index() as u32,
+            &format!("{tag} s{} mb{}", span.stage.index(), span.mb),
+            cat,
+            start,
+            dur,
+        );
+    }
+}
+
+/// Render a report's timeline as a standalone Perfetto trace JSON.
+pub fn report_to_perfetto(report: &SimReport) -> String {
+    let mut sink = PerfettoSink::new();
+    report_into_perfetto(&mut sink, report);
+    sink.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_round_to_nanos() {
+        assert_eq!(secs_to_ns(0.0), 0);
+        assert_eq!(secs_to_ns(-1.0), 0);
+        assert_eq!(secs_to_ns(1.5e-3), 1_500_000);
+        assert_eq!(secs_to_ns(f64::NAN), 0);
+    }
+
+    #[test]
+    fn report_renders_device_lanes() {
+        use gp_cluster::Cluster;
+        use gp_ir::zoo::{self, MmtConfig};
+        use gp_partition::{GraphPipePlanner, Planner};
+
+        let model = zoo::mmt(&MmtConfig::tiny());
+        let cluster = Cluster::summit_like(4);
+        let plan = GraphPipePlanner::new().plan(&model, &cluster, 32).unwrap();
+        let report = crate::simulate(model.graph(), &cluster, &plan.stage_graph, &plan.schedule)
+            .expect("simulation succeeds");
+        let trace = report_to_perfetto(&report);
+        assert!(trace.contains("simulated cluster"));
+        assert!(trace.contains("\"ph\":\"X\""));
+        assert_eq!(
+            trace.matches("\"ph\":\"X\"").count(),
+            report.timeline.len(),
+            "one slice per timeline task"
+        );
+        // Converting twice yields identical bytes (deterministic export).
+        assert_eq!(trace, report_to_perfetto(&report));
+    }
+}

@@ -23,7 +23,6 @@ use gp_partition::{GraphPipePlanner, Plan, PlanOptions, Planner};
 use gp_serve::artifact::{decode_plan, encode_plan};
 use gp_serve::fingerprint::request_fingerprint;
 use std::process::ExitCode;
-use std::time::Duration;
 
 /// The golden cells: small enough to plan in debug mode in well under a
 /// second each, diverse enough to cover branching, MoE routing, and plain
@@ -46,8 +45,8 @@ fn plan_cell(model: &SpModel, cluster: &Cluster, mini_batch: u64) -> Result<Plan
     let mut plan = GraphPipePlanner::new()
         .plan(model, cluster, mini_batch)
         .map_err(|e| format!("planner failed: {e}"))?;
-    // The one nondeterministic stat; zeroed so golden bytes reproduce.
-    plan.stats.wall = Duration::ZERO;
+    // The only nondeterministic stats; zeroed so golden bytes reproduce.
+    plan.stats.zero_walls();
     Ok(plan)
 }
 

@@ -12,9 +12,14 @@
 //!   analysis on it, re-plans the same problem fresh, and checks the bytes
 //!   and the plan agree; `--bless` regenerates the files (with the
 //!   wall-clock stat zeroed so the bytes are reproducible).
+//! * `trace-check <file.json>...` — validates Chrome/Perfetto
+//!   `trace_event` JSON (as exported by `gp-obs` and the `--trace` flags):
+//!   well-formed, non-negative durations, properly paired `B`/`E` events
+//!   per lane. CI runs it against a freshly exported session trace.
 
 mod goldens;
 mod lint;
+mod trace;
 
 use std::process::ExitCode;
 
@@ -23,9 +28,10 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint::run(),
         Some("verify-goldens") => goldens::run(args.iter().any(|a| a == "--bless")),
+        Some("trace-check") => trace::run(&args[1..]),
         other => {
             eprintln!(
-                "usage: cargo xtask <lint | verify-goldens [--bless]>{}",
+                "usage: cargo xtask <lint | verify-goldens [--bless] | trace-check <file>...>{}",
                 other.map_or(String::new(), |o| format!(" (got `{o}`)"))
             );
             ExitCode::FAILURE

@@ -1,0 +1,199 @@
+//! `cargo xtask trace-check <file.json>...` — structural validator for
+//! Chrome/Perfetto `trace_event` JSON produced by `gp-obs`
+//! ([`PerfettoSink`](../../obs/src/export.rs)) and the repository's
+//! `--trace` flags.
+//!
+//! Checks, per file:
+//!
+//! * the file parses as JSON and has a `traceEvents` array;
+//! * every event is an object with a string `ph` phase;
+//! * `X` (complete) slices carry non-negative `ts` and `dur`;
+//! * `B`/`E` (duration) events are properly paired per `(pid, tid)` lane:
+//!   every `E` closes the most recent open `B` with the same name at a
+//!   timestamp no earlier than the `B`'s (strictly non-negative
+//!   durations), and no lane is left with an open `B` at end of file;
+//! * `M` (metadata) events need no timestamp and are otherwise ignored.
+//!
+//! This is the shape `ui.perfetto.dev` renders without warnings; CI runs
+//! it (in the `verify-lint` job) against a trace exported from a full
+//! `Session` plan→simulate run.
+
+use gp_serve::json::Json;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+/// Entry point for `cargo xtask trace-check`.
+pub fn run(paths: &[String]) -> ExitCode {
+    if paths.is_empty() {
+        eprintln!("usage: cargo xtask trace-check <file.json>...");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for path in paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("trace-check: {path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match check_trace(&text) {
+            Ok(summary) => println!("trace-check: {path}: ok ({summary})"),
+            Err(e) => {
+                eprintln!("trace-check: {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// One `(pid, tid)` lane's stack of open `B` events: `(name, ts)`.
+type Lane = Vec<(String, f64)>;
+
+/// Validates a `trace_event` JSON document; returns a one-line summary.
+fn check_trace(text: &str) -> Result<String, String> {
+    let doc = Json::parse(text).map_err(|e| e.to_string())?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or("no `traceEvents` member")?
+        .as_arr()
+        .ok_or("`traceEvents` is not an array")?;
+    let mut lanes: HashMap<(u64, u64), Lane> = HashMap::new();
+    let mut slices = 0u64;
+    let mut durations = 0u64;
+    let mut metadata = 0u64;
+    for (i, ev) in events.iter().enumerate() {
+        let at = |msg: String| format!("event {i}: {msg}");
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| at("no string `ph`".into()))?;
+        let lane_key = || -> Result<(u64, u64), String> {
+            let pid = ev.get("pid").and_then(Json::as_u64).unwrap_or(0);
+            let tid = ev.get("tid").and_then(Json::as_u64).unwrap_or(0);
+            Ok((pid, tid))
+        };
+        let ts = || -> Result<f64, String> {
+            let ts = ev
+                .get("ts")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| at(format!("`{ph}` event has no numeric `ts`")))?;
+            if ts < 0.0 {
+                return Err(at(format!("negative `ts` {ts}")));
+            }
+            Ok(ts)
+        };
+        match ph {
+            "X" => {
+                let _ = ts()?;
+                let dur = ev
+                    .get("dur")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| at("`X` event has no numeric `dur`".into()))?;
+                if dur < 0.0 {
+                    return Err(at(format!("negative `dur` {dur}")));
+                }
+                slices += 1;
+            }
+            "B" => {
+                let name = ev
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| at("`B` event has no string `name`".into()))?;
+                lanes
+                    .entry(lane_key()?)
+                    .or_default()
+                    .push((name.to_string(), ts()?));
+                durations += 1;
+            }
+            "E" => {
+                let (pid, tid) = lane_key()?;
+                let end = ts()?;
+                let Some((name, begin)) = lanes.entry((pid, tid)).or_default().pop() else {
+                    return Err(at(format!("`E` with no open `B` on lane {pid}/{tid}")));
+                };
+                // trace_event E events may omit `name`; when present it
+                // must close the matching B.
+                if let Some(e_name) = ev.get("name").and_then(Json::as_str) {
+                    if e_name != name {
+                        return Err(at(format!(
+                            "`E` named `{e_name}` closes `B` named `{name}` on lane {pid}/{tid}"
+                        )));
+                    }
+                }
+                if end < begin {
+                    return Err(at(format!(
+                        "`{name}` on lane {pid}/{tid} ends at {end} before it begins at {begin}"
+                    )));
+                }
+            }
+            "M" => metadata += 1,
+            other => {
+                return Err(at(format!("unsupported phase `{other}`")));
+            }
+        }
+    }
+    for ((pid, tid), lane) in &lanes {
+        if let Some((name, _)) = lane.last() {
+            return Err(format!(
+                "lane {pid}/{tid} ends with `{name}` (and {} total) still open",
+                lane.len()
+            ));
+        }
+    }
+    Ok(format!(
+        "{} events: {slices} slices, {} B/E pairs, {metadata} metadata",
+        events.len(),
+        durations
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::check_trace;
+
+    #[test]
+    fn valid_traces_pass() {
+        let text = r#"{"displayTimeUnit":"ms","traceEvents":[
+            {"ph":"M","pid":1,"name":"process_name","args":{"name":"live"}},
+            {"ph":"B","pid":1,"tid":0,"ts":0,"name":"outer"},
+            {"ph":"B","pid":1,"tid":0,"ts":1.5,"name":"inner"},
+            {"ph":"E","pid":1,"tid":0,"ts":2},
+            {"ph":"E","pid":1,"tid":0,"ts":3,"name":"outer"},
+            {"ph":"X","pid":2,"tid":4,"ts":0,"dur":12,"name":"F s0 mb0"}
+        ]}"#;
+        assert!(check_trace(text).is_ok(), "{:?}", check_trace(text));
+    }
+
+    #[test]
+    fn unbalanced_and_negative_traces_fail() {
+        let open = r#"{"traceEvents":[{"ph":"B","pid":1,"tid":0,"ts":0,"name":"x"}]}"#;
+        assert!(check_trace(open).unwrap_err().contains("still open"));
+        let stray = r#"{"traceEvents":[{"ph":"E","pid":1,"tid":0,"ts":0}]}"#;
+        assert!(check_trace(stray).unwrap_err().contains("no open `B`"));
+        let backwards = r#"{"traceEvents":[
+            {"ph":"B","pid":1,"tid":0,"ts":5,"name":"x"},
+            {"ph":"E","pid":1,"tid":0,"ts":4}
+        ]}"#;
+        assert!(check_trace(backwards)
+            .unwrap_err()
+            .contains("before it begins"));
+        let negative = r#"{"traceEvents":[{"ph":"X","pid":1,"tid":0,"ts":0,"dur":-1,"name":"x"}]}"#;
+        assert!(check_trace(negative)
+            .unwrap_err()
+            .contains("negative `dur`"));
+        let mismatched = r#"{"traceEvents":[
+            {"ph":"B","pid":1,"tid":0,"ts":0,"name":"x"},
+            {"ph":"E","pid":1,"tid":0,"ts":1,"name":"y"}
+        ]}"#;
+        assert!(check_trace(mismatched).unwrap_err().contains("closes"));
+        assert!(check_trace("not json").is_err());
+        assert!(check_trace("{}").unwrap_err().contains("traceEvents"));
+    }
+}

@@ -3,16 +3,39 @@
 //! timelines as ASCII Gantt charts (Figure 8 style).
 //!
 //! Run with: `cargo run --release --example schedule_gantt`
+//!
+//! Pass `--trace out.json` to also write a Chrome/Perfetto trace of the
+//! run: the live telemetry spans (planning, simulation) appear as one
+//! process, and the GraphPipe plan's simulated timeline as another (the
+//! two schedules would overlay on the same device lanes, so only the GPP
+//! one is exported) — open the file at <https://ui.perfetto.dev> or
+//! `chrome://tracing`.
 
+use graphpipe::obs::{PerfettoSink, Telemetry};
 use graphpipe::prelude::*;
+use graphpipe::sim::report_into_perfetto;
 
 fn main() -> Result<(), graphpipe::Error> {
+    let mut args = std::env::args().skip(1);
+    let trace_path = match args.next().as_deref() {
+        Some("--trace") => Some(args.next().expect("--trace expects a path")),
+        Some(other) => panic!("unknown flag {other}; see the module docs"),
+        None => None,
+    };
+    let telemetry = if trace_path.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+
     let session = Session::builder()
         .model(zoo::case_study(&zoo::MmtConfig::default()))
         .cluster(Cluster::summit_like(8).with_memory_capacity(384 << 20))
         .mini_batch(32)
+        .telemetry(telemetry.clone())
         .build()?;
 
+    let mut sink = PerfettoSink::new();
     for (label, kind) in [
         ("SPP (sequential stages)", PlannerKind::PipeDream),
         ("GPP (concurrent branches)", PlannerKind::GraphPipe),
@@ -25,6 +48,15 @@ fn main() -> Result<(), graphpipe::Error> {
             report.throughput
         );
         println!("{}", render_gantt(&report, &strategy.stage_graph, 96));
+        if trace_path.is_some() && matches!(kind, PlannerKind::GraphPipe) {
+            report_into_perfetto(&mut sink, &report);
+        }
+    }
+
+    if let Some(path) = trace_path {
+        let trace = telemetry.export(&mut sink);
+        std::fs::write(&path, trace).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote Perfetto trace to {path} (open at https://ui.perfetto.dev)");
     }
     Ok(())
 }

@@ -144,10 +144,49 @@ fn parallel_planner_matches_golden_table_at_small_scale() {
                 .plan(&model, &cluster, mini_batch)
                 .unwrap_or_else(|e| panic!("{name}@{devices} (parallel): {e}"));
             let strip = |mut p: Plan| {
-                p.stats.wall = std::time::Duration::ZERO;
+                p.stats.zero_walls();
                 p
             };
             assert_eq!(strip(seq), strip(par), "{name}@{devices}");
+        }
+    }
+}
+
+/// Telemetry is write-only: planning with tracing enabled must reproduce
+/// the untraced plan exactly — stage graph, schedule, estimates, *and*
+/// every deterministic search counter — and the encoded artifact bytes
+/// must match once the (machine-noise) wall timings are zeroed. Restricted
+/// to the 8-GPU rows to keep debug-mode test time in check.
+#[test]
+fn telemetry_does_not_perturb_the_planner() {
+    use graphpipe::obs::Telemetry;
+    use graphpipe::serve::artifact;
+
+    let opts = PlanOptions {
+        max_micro_batches: 128,
+        ..PlanOptions::default()
+    };
+    for (name, model, points) in cells() {
+        for (devices, mini_batch) in points.into_iter().filter(|&(d, _)| d == 8) {
+            let cluster = Cluster::summit_like(devices);
+            let quiet = GraphPipePlanner::with_options(opts.clone())
+                .plan(&model, &cluster, mini_batch)
+                .unwrap_or_else(|e| panic!("{name}@{devices}: {e}"));
+            let loud = GraphPipePlanner::with_options(opts.clone())
+                .with_telemetry(Telemetry::enabled())
+                .plan(&model, &cluster, mini_batch)
+                .unwrap_or_else(|e| panic!("{name}@{devices} (traced): {e}"));
+            let strip = |mut p: Plan| {
+                p.stats.zero_walls();
+                p
+            };
+            let (quiet, loud) = (strip(quiet), strip(loud));
+            assert_eq!(quiet, loud, "{name}@{devices}");
+            assert_eq!(
+                artifact::encode_plan(&quiet, None),
+                artifact::encode_plan(&loud, None),
+                "{name}@{devices}: artifact bytes diverged"
+            );
         }
     }
 }

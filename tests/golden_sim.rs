@@ -101,3 +101,49 @@ fn simulator_outputs_match_golden_table() {
         "\n--- actual table (paste over EXPECTED if the change is intended) ---\n{actual}"
     );
 }
+
+/// Telemetry is write-only: simulating with tracing enabled (sequential
+/// and parallel engines) must produce the bit-exact report fingerprint of
+/// the untraced run. Restricted to the 8-GPU rows to keep debug-mode test
+/// time in check.
+#[test]
+fn telemetry_does_not_perturb_the_simulator() {
+    use graphpipe::obs::Telemetry;
+    use graphpipe::sim::simulate_traced;
+
+    let opts = PlanOptions {
+        max_micro_batches: 128,
+        ..PlanOptions::default()
+    };
+    for (name, model, points) in cells() {
+        for (devices, mini_batch) in points.into_iter().filter(|&(d, _)| d == 8) {
+            let cluster = Cluster::summit_like(devices);
+            let plan = GraphPipePlanner::with_options(opts.clone())
+                .plan(&model, &cluster, mini_batch)
+                .unwrap_or_else(|e| panic!("{name}@{devices}: {e}"));
+            let quiet = graphpipe::simulate_plan(&model, &cluster, &plan)
+                .unwrap_or_else(|e| panic!("{name}@{devices}: {e}"));
+            for parallelism in [1, 4] {
+                let telemetry = Telemetry::enabled();
+                let loud = simulate_traced(
+                    model.graph(),
+                    &cluster,
+                    &plan.stage_graph,
+                    &plan.schedule,
+                    &SimOptions::default().with_parallelism(parallelism),
+                    &telemetry,
+                )
+                .unwrap_or_else(|e| panic!("{name}@{devices} (traced): {e}"));
+                assert_eq!(
+                    quiet.fingerprint(),
+                    loud.fingerprint(),
+                    "{name}@{devices} parallelism={parallelism}"
+                );
+                assert!(
+                    !telemetry.spans().is_empty(),
+                    "{name}@{devices}: traced run recorded no spans"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! End-to-end telemetry: a full [`Session`] run (plan → simulate →
+//! execute) with tracing enabled exports a valid Perfetto trace and a
+//! summary tree at least four span levels deep — while every
+//! deterministic output (plan, fingerprint, sim report, training losses)
+//! stays byte-identical to the untraced run. The inertness half of this
+//! contract is also pinned per-layer in `tests/golden_planner.rs` and
+//! `tests/golden_sim.rs`.
+
+use graphpipe::obs::{PerfettoSink, SummarySink, Telemetry};
+use graphpipe::prelude::*;
+use graphpipe::serve::json::Json;
+use graphpipe::sim::report_into_perfetto;
+use std::collections::HashMap;
+
+fn session_with(telemetry: Telemetry) -> Session {
+    Session::builder()
+        .model(zoo::mmt(&zoo::MmtConfig::tiny()))
+        .cluster(Cluster::summit_like(3).with_memory_capacity(1 << 30))
+        .mini_batch(8)
+        .telemetry(telemetry)
+        .build()
+        .unwrap()
+}
+
+/// Nesting depth of a span record (a root span has depth 1; parent id 0
+/// means root).
+fn depth_of(id: u64, parent_of: &HashMap<u64, u64>) -> usize {
+    let mut depth = 1;
+    let mut cur = id;
+    while let Some(&p) = parent_of.get(&cur) {
+        if p == 0 {
+            break;
+        }
+        depth += 1;
+        cur = p;
+    }
+    depth
+}
+
+#[test]
+fn session_run_exports_valid_trace_with_deep_spans() {
+    let telemetry = Telemetry::enabled();
+    let session = session_with(telemetry.clone());
+    let strategy = session.plan(PlannerKind::GraphPipe).unwrap();
+    let report = strategy.simulate().unwrap();
+    let run = strategy
+        .execute(&TrainingConfig {
+            steps: 2,
+            ..TrainingConfig::default()
+        })
+        .unwrap();
+    assert_eq!(run.losses.len(), 2);
+
+    // The recorded span forest covers every layer and nests at least four
+    // levels deep (session.plan → planner.search → search.bracket →
+    // search.probe; session.execute → exec.step → exec.iteration →
+    // exec.replica).
+    let spans = telemetry.spans();
+    let parent_of: HashMap<u64, u64> = spans.iter().map(|s| (s.id, s.parent)).collect();
+    let max_depth = spans
+        .iter()
+        .map(|s| depth_of(s.id, &parent_of))
+        .max()
+        .unwrap_or(0);
+    assert!(max_depth >= 4, "span tree only {max_depth} levels deep");
+    for expected in [
+        "session.plan",
+        "planner.search",
+        "search.bracket",
+        "search.probe",
+        "session.simulate",
+        "sim.relax",
+        "session.execute",
+        "exec.step",
+        "exec.replica",
+    ] {
+        assert!(
+            spans.iter().any(|s| s.name == expected),
+            "no `{expected}` span recorded"
+        );
+    }
+
+    // The summary tree renders the same hierarchy.
+    let summary = telemetry.export(&mut SummarySink::new());
+    for expected in ["session.plan", "planner.search", "exec.step"] {
+        assert!(summary.contains(expected), "{summary}");
+    }
+
+    // One Perfetto file holds the live spans (pid 1) next to the
+    // simulated schedule (pid 2), and its B/E events keep stack
+    // discipline with non-negative timestamps and durations — the same
+    // checks `cargo xtask trace-check` applies.
+    let mut sink = PerfettoSink::new();
+    report_into_perfetto(&mut sink, &report);
+    let trace = telemetry.export(&mut sink);
+    let doc = Json::parse(&trace).expect("trace is well-formed JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let mut open: HashMap<(u64, u64), Vec<f64>> = HashMap::new();
+    let mut saw_slice = false;
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).expect("ph");
+        let lane = (
+            ev.get("pid").and_then(Json::as_u64).unwrap_or(0),
+            ev.get("tid").and_then(Json::as_u64).unwrap_or(0),
+        );
+        let ts = || ev.get("ts").and_then(Json::as_f64).expect("numeric ts");
+        match ph {
+            "B" => open.entry(lane).or_default().push(ts()),
+            "E" => {
+                let begin = open
+                    .get_mut(&lane)
+                    .and_then(Vec::pop)
+                    .expect("E closes an open B");
+                assert!(ts() >= begin, "negative span duration");
+            }
+            "X" => {
+                assert!(ts() >= 0.0);
+                assert!(ev.get("dur").and_then(Json::as_f64).expect("dur") >= 0.0);
+                saw_slice = true;
+            }
+            "M" => {}
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    assert!(open.values().all(Vec::is_empty), "unclosed B events");
+    assert!(saw_slice, "no simulated task slices");
+    assert!(trace.contains("simulated cluster"));
+
+    // Serving through the same session records latency histograms.
+    let service = session.serve(1, 4);
+    service.plan(PlannerKind::GraphPipe).unwrap();
+    service.plan(PlannerKind::GraphPipe).unwrap();
+    let stats = service.shutdown();
+    assert_eq!(stats.miss_latency.count, 1, "{stats}");
+    assert_eq!(stats.hit_latency.count, 1, "{stats}");
+    assert!(stats.render().contains("hit latency"), "{stats}");
+}
+
+/// The committed `BENCH_serve.json` (written by `serve_load --out`) must
+/// stay parseable and shape-valid: every latency histogram carries
+/// monotone percentiles (p50 ≤ p90 ≤ p99 ≤ max). Values are wall-clock
+/// and machine-dependent, so only the shape is pinned.
+#[test]
+fn bench_serve_json_parses_with_monotone_percentiles() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_serve.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_serve.json is committed");
+    let doc = Json::parse(&text).expect("BENCH_serve.json is well-formed JSON");
+    assert_eq!(doc.get("bench").and_then(Json::as_str), Some("serve_load"));
+    let latency = doc.get("latency").expect("latency object");
+    for key in ["hit", "miss", "queue_wait"] {
+        let h = latency.get(key).unwrap_or_else(|| panic!("latency.{key}"));
+        let field = |name: &str| {
+            h.get(name)
+                .and_then(Json::as_u64)
+                .unwrap_or_else(|| panic!("latency.{key}.{name}"))
+        };
+        let (p50, p90, p99, max) = (
+            field("p50_ns"),
+            field("p90_ns"),
+            field("p99_ns"),
+            field("max_ns"),
+        );
+        assert!(
+            p50 <= p90 && p90 <= p99 && p99 <= max,
+            "latency.{key} percentiles not monotone: {p50} {p90} {p99} {max}"
+        );
+        if field("count") > 0 {
+            assert!(max > 0, "latency.{key} recorded but max is zero");
+        }
+    }
+}
+
+#[test]
+fn telemetry_is_inert_across_the_session() {
+    let quiet = session_with(Telemetry::disabled());
+    let loud = session_with(Telemetry::enabled());
+
+    let (a, b) = (
+        quiet.plan(PlannerKind::GraphPipe).unwrap(),
+        loud.plan(PlannerKind::GraphPipe).unwrap(),
+    );
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    // Wall timings are machine noise either way; everything else in the
+    // plan must match exactly.
+    let strip = |s: &PlannedStrategy| {
+        let mut p = (**s.plan()).clone();
+        p.stats.zero_walls();
+        p
+    };
+    assert_eq!(strip(&a), strip(&b));
+
+    let (ra, rb) = (a.simulate().unwrap(), b.simulate().unwrap());
+    assert_eq!(ra.fingerprint(), rb.fingerprint());
+
+    let config = TrainingConfig {
+        steps: 3,
+        ..TrainingConfig::default()
+    };
+    let (ta, tb) = (a.execute(&config).unwrap(), b.execute(&config).unwrap());
+    assert_eq!(ta, tb, "telemetry perturbed training");
+}

@@ -143,9 +143,14 @@ proptest! {
         let (decoded, decoded_fp) = artifact::decode_plan(&text, model.graph(), &cluster)
             .expect("own artifacts decode");
         prop_assert_eq!(decoded_fp, Some(fp));
-        prop_assert_eq!(&decoded, &plan, "artifact was lossy: {}", text);
         // Re-encoding the decoded plan is byte-identical.
         prop_assert_eq!(artifact::encode_plan(&decoded, Some(fp)), text);
+        // Phase walls are measurement, not plan data: never encoded, so
+        // compare with walls zeroed on both sides.
+        let (mut decoded, mut fresh) = (decoded, plan);
+        decoded.stats.zero_walls();
+        fresh.stats.zero_walls();
+        prop_assert_eq!(&decoded, &fresh, "artifact was lossy: {}", text);
     }
 
     /// The speculative parallel planner produces *exactly* the sequential
@@ -165,7 +170,7 @@ proptest! {
         let model = random_model(branches, layers, width);
         let cluster = Cluster::summit_like(devices);
         let mini_batch = 1u64 << log_b;
-        let strip = |mut p: Plan| { p.stats.wall = std::time::Duration::ZERO; p };
+        let strip = |mut p: Plan| { p.stats.zero_walls(); p };
         let seq = GraphPipePlanner::new()
             .plan(&model, &cluster, mini_batch)
             .expect("tiny models always fit");
