@@ -234,6 +234,7 @@ impl Cluster {
     }
 
     /// The node index hosting a device.
+    #[inline]
     pub fn node_of(&self, d: DeviceId) -> usize {
         d.index() / self.gpus_per_node
     }
@@ -242,6 +243,7 @@ impl Cluster {
     ///
     /// Same-device transfers are free (`bandwidth = +inf`): the runtime
     /// keeps activations in device memory.
+    #[inline]
     pub fn link(&self, a: DeviceId, b: DeviceId) -> LinkProfile {
         if a == b {
             LinkProfile {
@@ -257,6 +259,7 @@ impl Cluster {
 
     /// The slowest link among all pairs in a contiguous device range —
     /// the bottleneck for allreduce inside a data-parallel stage.
+    #[inline]
     pub fn bottleneck_link(&self, devices: &DeviceRange) -> LinkProfile {
         if devices.len() <= 1 {
             return LinkProfile {
@@ -285,12 +288,14 @@ impl DeviceRange {
     /// # Panics
     ///
     /// Panics if `len == 0`; every stage needs at least one device (C3).
+    #[inline]
     pub fn new(start: u32, len: u32) -> Self {
         assert!(len > 0, "a stage requires at least one device");
         DeviceRange { start, len }
     }
 
     /// Number of devices in the range (the stage's data-parallel degree).
+    #[inline]
     pub fn len(&self) -> usize {
         self.len as usize
     }
@@ -301,11 +306,13 @@ impl DeviceRange {
     }
 
     /// First device.
+    #[inline]
     pub fn first(&self) -> DeviceId {
         DeviceId(self.start)
     }
 
     /// Last device.
+    #[inline]
     pub fn last(&self) -> DeviceId {
         DeviceId(self.start + self.len - 1)
     }

@@ -115,6 +115,7 @@ pub mod prelude {
     pub use crate::obs::{JsonlSink, PerfettoSink, SummarySink, Telemetry, TraceSink};
     pub use crate::partition::{
         GraphPipePlanner, ParallelPlanner, Plan, PlanError, PlanOptions, Planner, SearchStats,
+        WarmStart,
     };
     pub use crate::sim::{render_gantt, SimOptions, SimReport};
     pub use crate::verify::{verify_plan, verify_schedule, verify_strategy, VerifyReport};
@@ -176,7 +177,7 @@ impl From<PlannerKind> for ServePlanner {
 /// [`Session::plan`], which also fingerprints the request; this remains
 /// for code that drives the [`Planner`] trait directly.
 pub fn planner(kind: PlannerKind, options: PlanOptions) -> Box<dyn Planner> {
-    session::build_planner(kind, options, &gp_obs::Telemetry::disabled())
+    session::build_planner(kind, options, &gp_obs::Telemetry::disabled(), None)
 }
 
 /// Simulates one training iteration of a plan on the cluster it was

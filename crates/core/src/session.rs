@@ -45,7 +45,7 @@ use gp_cluster::Cluster;
 use gp_exec::{reference_step, synth_batch, ModelParams};
 use gp_ir::SpModel;
 use gp_obs::Telemetry;
-use gp_partition::{GraphPipePlanner, Plan, PlanError, PlanOptions, Planner};
+use gp_partition::{GraphPipePlanner, Plan, PlanError, PlanOptions, Planner, WarmStart};
 use gp_serve::{artifact, Fingerprint, PlanRequest, PlanService, ServeStats};
 use gp_sim::{SimOptions, SimReport};
 use std::fmt;
@@ -62,15 +62,22 @@ pub const PIPER_COMPARE_UNIT_OPS: usize = 8;
 
 /// Constructs the planner implementation for a kind/options pair — the one
 /// factory shared by [`Session`], the free [`crate::planner`], and
-/// everything built on them.
+/// everything built on them. A [`WarmStart`] seeds GraphPipe's bracket
+/// ladder (the produced plan is identical either way); the baselines have
+/// no iterative search to seed and ignore it.
 pub(crate) fn build_planner(
     kind: PlannerKind,
     options: PlanOptions,
     telemetry: &Telemetry,
+    warm: Option<WarmStart>,
 ) -> Box<dyn Planner> {
     match kind {
         PlannerKind::GraphPipe => {
-            Box::new(GraphPipePlanner::with_options(options).with_telemetry(telemetry.clone()))
+            let planner = GraphPipePlanner::with_options(options).with_telemetry(telemetry.clone());
+            Box::new(match warm {
+                Some(w) => planner.with_warm_start(w),
+                None => planner,
+            })
         }
         PlannerKind::PipeDream => Box::new(PipeDreamPlanner::with_options(options)),
         PlannerKind::Piper => Box::new(PiperPlanner::with_options(options)),
@@ -326,8 +333,34 @@ impl Session {
     /// Propagates the planner's failure as [`Error::Plan`]; a plan the
     /// verifier rejects is [`Error::Verify`].
     pub fn plan(&self, kind: PlannerKind) -> Result<PlannedStrategy, Error> {
+        self.plan_seeded(kind, None)
+    }
+
+    /// [`Session::plan`] seeded with a [`WarmStart`] — typically derived
+    /// from a strategy planned for the same model on a *different* cluster
+    /// size or mini-batch ([`PlannedStrategy::warm_start`]). Warm-started
+    /// plans are byte-identical to cold ones; only the search effort
+    /// (bracket probes, wall-clock) shrinks. Planners without an iterative
+    /// search (the baselines) ignore the seed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::plan`].
+    pub fn plan_with_warm_start(
+        &self,
+        kind: PlannerKind,
+        warm: WarmStart,
+    ) -> Result<PlannedStrategy, Error> {
+        self.plan_seeded(kind, Some(warm))
+    }
+
+    fn plan_seeded(
+        &self,
+        kind: PlannerKind,
+        warm: Option<WarmStart>,
+    ) -> Result<PlannedStrategy, Error> {
         let _span = self.telemetry.span("session.plan");
-        let plan = build_planner(kind, self.options.clone(), &self.telemetry).plan(
+        let plan = build_planner(kind, self.options.clone(), &self.telemetry, warm).plan(
             &self.model,
             &self.cluster,
             self.mini_batch,
@@ -365,7 +398,7 @@ impl Session {
         for &b in &candidates {
             let _candidate = self.telemetry.span_with("evaluate.candidate", b);
             let opts = self.options.clone().with_forced_micro_batch(b);
-            match build_planner(kind, opts, &self.telemetry).plan(
+            match build_planner(kind, opts, &self.telemetry, None).plan(
                 &self.model,
                 &self.cluster,
                 self.mini_batch,
@@ -698,6 +731,15 @@ impl PlannedStrategy {
     /// `graphpipe::serve::artifact::decode_plan` directly).
     pub fn artifact(&self) -> String {
         artifact::encode_plan(&self.plan, Some(self.fingerprint))
+    }
+
+    /// A [`WarmStart`] seed for re-planning this strategy's model on a
+    /// cluster with `new_devices` devices — feed it to
+    /// [`Session::plan_with_warm_start`]. The throughput hint scales by
+    /// the device-count ratio so the bracket walk lands near the new
+    /// optimum.
+    pub fn warm_start(&self, new_devices: u32) -> WarmStart {
+        WarmStart::from_plan(&self.plan, self.cluster.device_count() as u32, new_devices)
     }
 }
 
@@ -1078,6 +1120,38 @@ mod tests {
         assert!(row.throughput.is_none());
         assert!(row.error.is_some());
         assert!(c.render().contains('✗'));
+    }
+
+    #[test]
+    fn warm_started_session_plan_is_identical_to_cold() {
+        // Plan at 4 devices, then re-plan the same model at 8 seeded from
+        // the first strategy: the warm plan must be byte-identical to the
+        // cold plan for 8 devices (only search effort may differ).
+        let small = session();
+        let seed = small.plan(PlannerKind::GraphPipe).unwrap();
+        let big = Session::builder()
+            .model(Arc::clone(small.model()))
+            .cluster(Cluster::summit_like(8))
+            .mini_batch(32)
+            .build()
+            .unwrap();
+        let cold = big.plan(PlannerKind::GraphPipe).unwrap();
+        let warm = big
+            .plan_with_warm_start(PlannerKind::GraphPipe, seed.warm_start(8))
+            .unwrap();
+        assert_eq!(warm.fingerprint(), cold.fingerprint());
+        assert_eq!(warm.plan().stage_graph, cold.plan().stage_graph);
+        assert_eq!(warm.plan().schedule, cold.plan().schedule);
+        assert_eq!(warm.bottleneck_tps, cold.bottleneck_tps);
+        assert!(warm.stats.binary_iters <= cold.stats.binary_iters);
+        // Baselines ignore the seed rather than erroring.
+        let baseline = big
+            .plan_with_warm_start(PlannerKind::PipeDream, seed.warm_start(8))
+            .unwrap();
+        assert_eq!(
+            baseline.plan().stage_graph,
+            big.plan(PlannerKind::PipeDream).unwrap().plan().stage_graph
+        );
     }
 
     #[test]

@@ -158,16 +158,31 @@ impl CostModel {
     /// Per-replica in-flight samples: in-flight micro-batches are
     /// distributed round-robin over replicas, so each replica stashes whole
     /// micro-batches.
+    #[inline]
     pub fn in_flight_per_replica(
         in_flight_samples: u64,
         micro_batch: u64,
         dp_degree: usize,
     ) -> u64 {
         assert!(dp_degree >= 1 && micro_batch >= 1);
-        in_flight_samples
-            .div_ceil(micro_batch)
-            .div_ceil(dp_degree as u64)
-            * micro_batch
+        // Micro-batch sizes are powers of two in practice; a shift-based
+        // ceiling division (bit-identical to `div_ceil` for powers of two)
+        // keeps this off the planner's integer-divide critical path.
+        let whole_micro_batches = if micro_batch.is_power_of_two() {
+            (in_flight_samples >> micro_batch.trailing_zeros())
+                + u64::from(in_flight_samples & (micro_batch - 1) != 0)
+        } else {
+            in_flight_samples.div_ceil(micro_batch)
+        };
+        // 32-bit hardware division is markedly cheaper than 64-bit; the
+        // counts here are tiny in practice, so take the narrow path when
+        // the operands allow it (identical quotients either way).
+        let groups = if whole_micro_batches <= u32::MAX as u64 && dp_degree <= u32::MAX as usize {
+            u64::from((whole_micro_batches as u32).div_ceil(dp_degree as u32))
+        } else {
+            whole_micro_batches.div_ceil(dp_degree as u64)
+        };
+        groups * micro_batch
     }
 
     /// Peak per-device memory of a stage: optimizer-state bytes for its
@@ -236,6 +251,7 @@ impl CostModel {
     /// the inter-node link when the cluster spans nodes, otherwise NVLink.
     /// (The simulator later uses the *actual* link between assigned
     /// devices.)
+    #[inline]
     pub fn default_boundary_link(&self) -> LinkProfile {
         let first = gp_cluster::DeviceId(0);
         let last = gp_cluster::DeviceId(self.cluster.device_count() as u32 - 1);
@@ -245,6 +261,7 @@ impl CostModel {
     /// Ring-allreduce time for `bytes` across a data-parallel device range:
     /// `2 (d-1)/d * bytes / bw` plus per-step latencies. Zero for a single
     /// device.
+    #[inline]
     pub fn allreduce_time(&self, bytes: u64, devices: &DeviceRange) -> f64 {
         let d = devices.len();
         if d <= 1 || bytes == 0 {

@@ -74,7 +74,7 @@
 //! fingerprints or the artifact codec; `cargo xtask lint` scans it for
 //! nondeterminism hazards (DESIGN.md §"Determinism lint").
 
-use crate::plan::{Plan, PlanError, PlanOptions, Planner, SearchStats};
+use crate::plan::{Plan, PlanError, PlanOptions, Planner, SearchStats, WarmStart};
 use gp_cluster::{Cluster, DeviceRange};
 use gp_cost::{CostModel, Pass, BYTES_PER_PARAM_STATE};
 use gp_ir::{Graph, OpId, SpBlock, SpModel};
@@ -412,9 +412,94 @@ enum Seg {
     Generic { node: NodeIdx, s: u16, e: u16 },
 }
 
+impl Seg {
+    /// Packed `(node, s, e)` cache key. A node is served by exactly one of
+    /// the two variants, so the variant tag carries no information.
+    fn key(self) -> u64 {
+        let (node, s, e) = match self {
+            Seg::SimpleChain { chain, s, e } => (chain, s, e),
+            Seg::Generic { node, s, e } => (node, s, e),
+        };
+        (node as u64) << 32 | (s as u64) << 16 | e as u64
+    }
+}
+
+/// Deterministic multiply-mix hasher for the planner's internal maps.
+///
+/// `std`'s default SipHash shows up in 64-GPU profiles on the hot
+/// `seg_cache`/`tps_cache` lookups. The keys are packed `u64`s or short
+/// in-memory tuples — never attacker-controlled — so a fast fixed-seed
+/// mix (FxHash-style: fold each word through the Fibonacci multiplier)
+/// is the right trade. None of these maps are iterated, so bucket order
+/// cannot leak into any output.
+#[derive(Default)]
+struct FastHasher(u64);
+
+impl std::hash::Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.write_u64(u64::from(n));
+    }
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(u64::from(n));
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0.rotate_left(5) ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+}
+
+type FastMap<K, V> = HashMap<K, V, std::hash::BuildHasherDefault<FastHasher>>;
+
 /// Per-segment cost aggregates at one micro-batch size:
 /// `(fwd+bwd time, param bytes, activation bytes/sample, boundary bytes/sample)`.
 type SegmentCosts = (f64, u64, u64, u64);
+
+/// Memoized [`Dp::generic_aggregates`] result for one `(node, s, e)`
+/// segment: the per-micro-batch times (NaN until computed) plus the
+/// micro-batch-independent byte aggregates. The op walk behind these is
+/// the planner's most expensive leaf — each cell is pure in
+/// `(node, s, e, b)`, so caching it cannot change any output.
+struct SegEntry {
+    times: Box<[f64]>,
+    params: u64,
+    act: u64,
+    comm: u64,
+}
+
+/// Reusable window buffers for the column passes of the chain split loop
+/// (`solve_chain` option D). Pooled because the fill pass recurses into
+/// `solve_chain`, which needs its own set.
+#[derive(Default)]
+struct SplitScratch {
+    /// Resolved suffix column: encoded `FragId` or `MEMO_NONE` per window
+    /// index.
+    col: Vec<u32>,
+    /// Head-candidate TPS per window index (one micro-batch size at a
+    /// time).
+    tps: Vec<f64>,
+    /// Running per-index best head candidate over `(b, k)`.
+    best_if: Vec<u64>,
+    best_mem: Vec<u64>,
+    best_bk: Vec<(u64, u64)>,
+}
 
 struct Dp<'a> {
     graph: &'a Graph,
@@ -431,7 +516,7 @@ struct Dp<'a> {
     /// Index of `bound_b` in `b_cands`.
     bound_bi: usize,
     downs: Vec<Down>,
-    down_ids: HashMap<Down, DownId>,
+    down_ids: FastMap<Down, DownId>,
     frags: Vec<Frag>,
     memo: MemoTable,
     /// First memo slot of each arena node.
@@ -446,12 +531,33 @@ struct Dp<'a> {
     /// Stamped op-membership scratch (replaces per-call bitmaps).
     member_stamp: Vec<u64>,
     cur_stamp: u64,
+    /// Generic-segment aggregate memo, keyed by packed `(node, s, e)`.
+    seg_cache: FastMap<u64, SegEntry>,
+    /// Head-stage TPS memo: packed `(node, s, e)` → `[bi][d_head]` row
+    /// (NaN until computed). A head candidate's TPS depends only on the
+    /// segment, the micro-batch size and the head device count — not on
+    /// the down-set or the remaining device budget — so each value is
+    /// computed once per run instead of once per DP state.
+    tps_cache: FastMap<u64, Box<[f64]>>,
+    /// Total devices in this run (the `d_head` stride of `tps_cache` rows).
+    devices: u32,
     evals: u64,
     budget: u64,
     exploded: bool,
     memo_hits: u64,
+    memo_misses: u64,
     work_bound_prunes: u64,
     memory_prunes: u64,
+    /// Beam width for device-split windows (`None` = exhaustive).
+    beam_width: Option<u32>,
+    beam_prunes: u64,
+    eval_batches: u64,
+    /// Pool of window buffers for the chain split loop's column passes.
+    scratch_pool: Vec<SplitScratch>,
+    /// Reusable per-candidate buffers for `eval_candidates` (taken with
+    /// `mem::take` around use; `eval_candidates` never recurses).
+    cand_costs: Vec<SegmentCosts>,
+    cand_tps: Vec<f64>,
 }
 
 impl<'a> Dp<'a> {
@@ -470,7 +576,7 @@ impl<'a> Dp<'a> {
             bound_b,
             bound_bi,
             downs: Vec::new(),
-            down_ids: HashMap::new(),
+            down_ids: FastMap::default(),
             frags: Vec::new(),
             memo: MemoTable::new(ctx.devices as usize),
             slot_base: Vec::new(),
@@ -479,12 +585,22 @@ impl<'a> Dp<'a> {
             branch_time: Vec::new(),
             member_stamp: vec![0; ctx.graph.len()],
             cur_stamp: 0,
+            seg_cache: FastMap::default(),
+            tps_cache: FastMap::default(),
+            devices: ctx.devices,
             evals: 0,
             budget,
             exploded: false,
             memo_hits: 0,
+            memo_misses: 0,
             work_bound_prunes: 0,
             memory_prunes: 0,
+            beam_width: ctx.options.beam_width,
+            beam_prunes: 0,
+            eval_batches: 0,
+            scratch_pool: Vec::new(),
+            cand_costs: Vec::new(),
+            cand_tps: Vec::new(),
         };
         dp.intern(Down::default()); // id 0 = the global sink
         dp.sync_arena();
@@ -557,7 +673,10 @@ impl<'a> Dp<'a> {
 
     fn memo_get(&mut self, slot: u32, down: DownId, d: u32) -> Option<Option<FragId>> {
         match self.memo.get(slot, down, d) {
-            MEMO_EMPTY => None,
+            MEMO_EMPTY => {
+                self.memo_misses += 1;
+                None
+            }
             MEMO_NONE => {
                 self.memo_hits += 1;
                 Some(None)
@@ -722,6 +841,17 @@ impl<'a> Dp<'a> {
     /// branch groups, whole composite nodes, non-simple chains). Uses the
     /// stamped membership scratch: no per-call allocation.
     fn generic_aggregates(&mut self, node: NodeIdx, s: u16, e: u16, b: u64) -> SegmentCosts {
+        // Memo first: the same segment is re-aggregated for every
+        // `(devices, down-set)` DP state that considers it, and the op walk
+        // below dominates the planner's wall clock when it isn't cached.
+        let key = (node as u64) << 32 | (s as u64) << 16 | e as u64;
+        let bi = self.b_index(b);
+        if let Some(entry) = self.seg_cache.get(&key) {
+            let time = entry.times[bi];
+            if !time.is_nan() {
+                return (time, entry.params, entry.act, entry.comm);
+            }
+        }
         self.cur_stamp += 1;
         let stamp = self.cur_stamp;
         let whole = (s, e) == WHOLE;
@@ -787,34 +917,87 @@ impl<'a> Dp<'a> {
                 }
             }
         }
+        let n_b = self.b_cands.len().max(1);
+        let entry = self.seg_cache.entry(key).or_insert_with(|| SegEntry {
+            times: vec![f64::NAN; n_b].into_boxed_slice(),
+            params,
+            act,
+            comm,
+        });
+        entry.times[bi] = time;
         (time, params, act, comm)
     }
 
     /// The base case of Algorithm 1: one segment as a single stage with
     /// `d`-way data parallelism; best `(b, k)` candidate by (in-flight,
     /// memory).
+    ///
+    /// Runs as one batched pass: per-candidate segment costs are gathered
+    /// first, the TPS sweep runs 4 lanes at a time over the candidate
+    /// slice, and the eval budget is charged for the whole batch up front
+    /// — falling back to per-candidate charging only when the batch could
+    /// trip the budget, so explosion accounting stays deterministic.
     fn eval_candidates(&mut self, seg: Seg, d: u32, down_id: DownId) -> Option<StageCand> {
-        let mut best: Option<StageCand> = None;
-        for bi in 0..self.b_cands.len() {
+        self.eval_batches += 1;
+        let n = self.b_cands.len();
+        let mut costs = std::mem::take(&mut self.cand_costs);
+        costs.clear();
+        for bi in 0..n {
             let b = self.b_cands[bi];
-            let (time, params, act, comm) = self.segment_costs(seg, b);
-            if self.charge(1) {
+            let c = self.segment_costs(seg, b);
+            costs.push(c);
+        }
+        let batched = !self.exploded && self.evals + n as u64 <= self.budget;
+        if batched {
+            self.evals += n as u64;
+        }
+        let mut tps = std::mem::take(&mut self.cand_tps);
+        tps.clear();
+        tps.resize(n, f64::INFINITY);
+        let link = self.cost.default_boundary_link();
+        {
+            // TPS: compute + boundary communication + amortized allreduce,
+            // through the `(segment, b, d)` memo shared with the chain
+            // split loop — the value is down-set-independent, so repeat
+            // states are pure row reads. Micro-batches round-robin over
+            // replicas; the slowest replica gets ceil(m/d) of m
+            // micro-batches. The miss arm's term order is part of the
+            // bit-compat contract — do not re-associate.
+            let cost = self.cost;
+            let mini_batch = self.mini_batch;
+            let row_stride = self.devices as usize + 1;
+            let b_cands = &self.b_cands;
+            let row = self
+                .tps_cache
+                .entry(seg.key())
+                .or_insert_with(|| vec![f64::NAN; n * row_stride].into_boxed_slice());
+            for (i, lane) in tps.iter_mut().enumerate().take(n) {
+                let cell = &mut row[i * row_stride + d as usize];
+                if cell.is_nan() {
+                    let b = b_cands[i];
+                    let (time, params, _act, comm) = costs[i];
+                    let m = (mini_batch / b).max(1);
+                    let d_eff = m as f64 / m.div_ceil(d as u64) as f64;
+                    *cell = time / (b as f64 * d_eff)
+                        + comm as f64 / link.bandwidth
+                        + 2.0 * link.latency / b as f64
+                        + cost.allreduce_time(params, &DeviceRange::new(0, d)) / mini_batch as f64;
+                }
+                *lane = *cell;
+            }
+        }
+        let mut best: Option<StageCand> = None;
+        for bi in 0..n {
+            if !batched && self.charge(1) {
+                self.cand_costs = costs;
+                self.cand_tps = tps;
                 return None;
             }
-            // TPS: compute + boundary communication + amortized allreduce.
-            // Micro-batches round-robin over replicas; the slowest replica
-            // gets ceil(m/d) of m micro-batches.
-            let m = (self.mini_batch / b).max(1);
-            let d_eff = m as f64 / m.div_ceil(d as u64) as f64;
-            let link = self.cost.default_boundary_link();
-            let tps = time / (b as f64 * d_eff)
-                + comm as f64 / link.bandwidth
-                + 2.0 * link.latency / b as f64
-                + self.cost.allreduce_time(params, &DeviceRange::new(0, d))
-                    / self.mini_batch as f64;
-            if tps > self.t_max {
+            if tps[bi] > self.t_max {
                 continue;
             }
+            let b = self.b_cands[bi];
+            let (_time, params, act, _comm) = costs[bi];
             for ki in 0..self.k_cands.len() {
                 let k = self.k_cands[ki];
                 let in_flight = self.downs[down_id as usize].entry_in_flight(k, b);
@@ -840,6 +1023,8 @@ impl<'a> Dp<'a> {
                 }
             }
         }
+        self.cand_costs = costs;
+        self.cand_tps = tps;
         best
     }
 
@@ -926,6 +1111,35 @@ impl<'a> Dp<'a> {
         } else {
             u32::MAX
         }
+    }
+
+    /// Truncates an inclusive device window `[lo, hi]` to the configured
+    /// beam: the `beam_width` values nearest `pivot` (the
+    /// work-proportional split), kept as one contiguous subrange. The
+    /// total order is deterministic — distance from the pivot, ties
+    /// toward fewer devices — and enumeration order inside the surviving
+    /// window is unchanged, so tie-breaking among survivors matches the
+    /// exhaustive search exactly. `None` (the default) admits everything.
+    fn beam_window(&mut self, lo: u32, hi: u32, pivot: u32) -> (u32, u32) {
+        let Some(w) = self.beam_width else {
+            return (lo, hi);
+        };
+        let width = hi - lo + 1;
+        if width <= w {
+            return (lo, hi);
+        }
+        self.beam_prunes += (width - w) as u64;
+        let start = pivot.saturating_sub(w / 2).clamp(lo, hi - w + 1);
+        (start, start + w - 1)
+    }
+
+    fn take_scratch(&mut self) -> SplitScratch {
+        self.scratch_pool.pop().unwrap_or_default()
+    }
+
+    fn put_scratch(&mut self, mut scratch: SplitScratch) {
+        scratch.col.clear();
+        self.scratch_pool.push(scratch);
     }
 
     fn consider(&self, cand: FragId, best: &mut Option<FragId>, best_score: &mut Score) {
@@ -1021,7 +1235,19 @@ impl<'a> Dp<'a> {
             }
         }
         // Option D: split at `mid`; solve the downstream part first. The
-        // work bound confines the device split to a (usually tiny) window.
+        // work bound confines the device split to a (usually tiny) window,
+        // and the beam (when bounded) narrows it further around the
+        // work-proportional pivot. The window runs as column passes over
+        // the dense `[down][d]` memo layout: resolve the suffix column
+        // slice-at-a-time, evaluate every head candidate against the
+        // resolved suffixes in a branch-light sweep, then combine in
+        // window order so tie-breaking matches the per-split loop it
+        // replaces (DESIGN.md §"Planner search").
+        self.ensure_chain_static(chain);
+        let simple = self.chain_static[chain as usize]
+            .as_ref()
+            .expect("chain_static filled")
+            .simple;
         for mid in start + 1..n {
             let head_time = self.chain_time_at(chain, bi, mid as usize)
                 - self.chain_time_at(chain, bi, start as usize);
@@ -1033,22 +1259,191 @@ impl<'a> Dp<'a> {
                 self.work_bound_prunes += 1;
                 continue;
             }
-            for d_suf in d_suf_min..=d - d_head_min {
-                if self.charge(1) {
+            let split_total = head_time + suf_time;
+            let pivot = if split_total > 0.0 {
+                (d as f64 * (suf_time / split_total)).round() as u32
+            } else {
+                d_suf_min
+            };
+            let (w_lo, w_hi) = self.beam_window(d_suf_min, d - d_head_min, pivot);
+            let width = (w_hi - w_lo + 1) as usize;
+            let suf_slot = self.chain_slot(chain, mid);
+            let mut scr = self.take_scratch();
+            // Pass 1 — resolve the suffix column. Memoized cells come
+            // straight off the dense column slice (each counted as the
+            // hit its lookup is); empty cells recurse, and the
+            // recursion's own memo lookup records the miss. No deeper
+            // call can touch this column's cells (chain recursion only
+            // moves to strictly later suffixes), so the slice snapshot
+            // stays valid across the loop.
+            match self.memo.rows[suf_slot as usize]
+                .get(down_id as usize)
+                .and_then(|c| c.as_deref())
+            {
+                Some(col) => scr
+                    .col
+                    .extend_from_slice(&col[(w_lo - 1) as usize..w_hi as usize]),
+                None => scr.col.resize(width, MEMO_EMPTY),
+            }
+            // Charge the fill pass up front when it cannot trip the budget
+            // (mirrors pass 2's batched accounting); the per-index fallback
+            // keeps the explosion trajectory deterministic near the edge.
+            let fill_batched = !self.exploded && self.evals + width as u64 <= self.budget;
+            if fill_batched {
+                self.evals += width as u64;
+            }
+            for i in 0..width {
+                if !fill_batched && self.charge(1) {
                     return None;
                 }
-                let d_head = d - d_suf;
-                let Some(suffix) = self.solve_chain(chain, mid, d_suf, down_id) else {
+                if scr.col[i] == MEMO_EMPTY {
+                    let r = self.solve_chain(chain, mid, w_lo + i as u32, down_id);
+                    scr.col[i] = r.unwrap_or(MEMO_NONE);
+                } else {
+                    self.memo_hits += 1;
+                }
+            }
+            let n_live = scr.col.iter().filter(|&&c| c != MEMO_NONE).count();
+            if n_live == 0 {
+                self.put_scratch(scr);
+                continue;
+            }
+            // Pass 2 — head candidates (D1). Segment costs depend only on
+            // (interval, b), so they are hoisted out of the device loop;
+            // the budget is charged for the whole batch up front unless
+            // the batch could trip it, in which case the per-candidate
+            // fallback keeps explosion accounting deterministic.
+            let seg = if simple {
+                Seg::SimpleChain {
+                    chain,
+                    s: start,
+                    e: mid,
+                }
+            } else {
+                Seg::Generic {
+                    node: chain,
+                    s: start,
+                    e: mid,
+                }
+            };
+            self.eval_batches += 1;
+            let n_b = self.b_cands.len();
+            let batch_units = n_live as u64 * n_b as u64;
+            let batched = !self.exploded && self.evals + batch_units <= self.budget;
+            if batched {
+                self.evals += batch_units;
+            }
+            scr.best_if.clear();
+            scr.best_if.resize(width, u64::MAX);
+            scr.best_mem.clear();
+            scr.best_mem.resize(width, u64::MAX);
+            scr.best_bk.clear();
+            scr.best_bk.resize(width, (0, 0));
+            let link = self.cost.default_boundary_link();
+            let row_stride = self.devices as usize + 1;
+            let seg_key = seg.key();
+            for bi_c in 0..n_b {
+                let b = self.b_cands[bi_c];
+                let (seg_time, params, act, comm) = self.segment_costs(seg, b);
+                let m = (self.mini_batch / b).max(1);
+                let comm_term = comm as f64 / link.bandwidth;
+                let lat_term = 2.0 * link.latency / b as f64;
+                let params_state = params / gp_ir::BYTES_PER_ELEMENT * BYTES_PER_PARAM_STATE;
+                scr.tps.clear();
+                scr.tps.resize(width, f64::INFINITY);
+                {
+                    // Head TPS through the `(segment, b, d_head)` memo: the
+                    // value does not depend on the down-set or the suffix
+                    // device count, so across DP states this sweep is
+                    // almost always pure row reads. The miss arm keeps the
+                    // scalar evaluator's exact term order (float addition
+                    // order is part of the bit-compat contract — do not
+                    // re-associate).
+                    let cost = self.cost;
+                    let mini_batch = self.mini_batch;
+                    let row = self
+                        .tps_cache
+                        .entry(seg_key)
+                        .or_insert_with(|| vec![f64::NAN; n_b * row_stride].into_boxed_slice());
+                    let base = bi_c * row_stride;
+                    for i in 0..width {
+                        if scr.col[i] == MEMO_NONE {
+                            continue;
+                        }
+                        let d_head = d - (w_lo + i as u32);
+                        let cell = &mut row[base + d_head as usize];
+                        if cell.is_nan() {
+                            let d_eff = m as f64 / m.div_ceil(d_head as u64) as f64;
+                            *cell = seg_time / (b as f64 * d_eff)
+                                + comm_term
+                                + lat_term
+                                + cost.allreduce_time(params, &DeviceRange::new(0, d_head))
+                                    / mini_batch as f64;
+                        }
+                        scr.tps[i] = *cell;
+                    }
+                }
+                for i in 0..width {
+                    let enc = scr.col[i];
+                    if enc == MEMO_NONE {
+                        continue;
+                    }
+                    if !batched && self.charge(1) {
+                        return None;
+                    }
+                    if scr.tps[i] > self.t_max {
+                        continue;
+                    }
+                    let d_head = d - (w_lo + i as u32);
+                    let entries_id = self.frag(enc).entries_id;
+                    for ki in 0..self.k_cands.len() {
+                        let k = self.k_cands[ki];
+                        let in_flight = self.downs[entries_id as usize].entry_in_flight(k, b);
+                        let per_replica =
+                            CostModel::in_flight_per_replica(in_flight, b, d_head as usize);
+                        let mem = params_state + act * per_replica;
+                        if mem > self.mem_budget {
+                            self.memory_prunes += 1;
+                            continue;
+                        }
+                        if scr.best_bk[i].0 == 0
+                            || (in_flight, mem) < (scr.best_if[i], scr.best_mem[i])
+                        {
+                            scr.best_if[i] = in_flight;
+                            scr.best_mem[i] = mem;
+                            scr.best_bk[i] = (b, k);
+                        }
+                    }
+                }
+            }
+            // Pass 3 — combine, in window order (ascending d_suf), so the
+            // evolving best-score tie-breaking matches the exhaustive
+            // per-split loop.
+            let d2_child = if mid == start + 1 {
+                let child = self.arena.children(chain)[start as usize];
+                self.arena.is_branches(child).then_some(child)
+            } else {
+                None
+            };
+            let d3 = mid > start + 1 && self.absorbable(chain, start, mid);
+            for i in 0..width {
+                let suffix = scr.col[i];
+                if suffix == MEMO_NONE {
                     continue;
-                };
+                }
+                let d_head = d - (w_lo + i as u32);
                 let (suf_entries, suf_peak, suf_len) = {
                     let f = self.frag(suffix);
                     (f.entries_id, f.peak_mem, f.len as usize)
                 };
                 // D1: head segment as a single stage (score-first).
-                if let Some(cand) =
-                    self.chain_interval_candidate(chain, start, mid, d_head, suf_entries)
-                {
+                if scr.best_bk[i].0 != 0 {
+                    let cand = StageCand {
+                        b: scr.best_bk[i].0,
+                        k: scr.best_bk[i].1,
+                        in_flight: scr.best_if[i],
+                        mem: scr.best_mem[i],
+                    };
                     let score = (cand.in_flight, cand.mem.max(suf_peak), 1 + suf_len);
                     if score < best_score {
                         let head = self.single_frag(chain, start, mid, d_head, cand);
@@ -1057,25 +1452,22 @@ impl<'a> Dp<'a> {
                     }
                 }
                 // D2: head is one Branches element — parallel decomposition.
-                if mid == start + 1 {
-                    let child = self.arena.children(chain)[start as usize];
-                    if self.arena.is_branches(child) {
-                        if let Some(head) = self.solve(child, d_head, suf_entries) {
-                            let hf = *self.frag(head);
-                            let score = (
-                                hf.max_entry,
-                                hf.peak_mem.max(suf_peak),
-                                hf.len as usize + suf_len,
-                            );
-                            if score < best_score {
-                                let combined = self.concat(head, suffix);
-                                self.consider(combined, &mut best, &mut best_score);
-                            }
+                if let Some(child) = d2_child {
+                    if let Some(head) = self.solve(child, d_head, suf_entries) {
+                        let hf = *self.frag(head);
+                        let score = (
+                            hf.max_entry,
+                            hf.peak_mem.max(suf_peak),
+                            hf.len as usize + suf_len,
+                        );
+                        if score < best_score {
+                            let combined = self.concat(head, suffix);
+                            self.consider(combined, &mut best, &mut best_score);
                         }
                     }
                 }
                 // D3: head is [Branches, joins...] — absorbed decomposition.
-                if mid > start + 1 && self.absorbable(chain, start, mid) {
+                if d3 {
                     if let Some(head) = self.solve_absorbed(chain, start, mid, d_head, suf_entries)
                     {
                         let hf = *self.frag(head);
@@ -1091,6 +1483,7 @@ impl<'a> Dp<'a> {
                     }
                 }
             }
+            self.put_scratch(scr);
         }
         self.memo_set(slot, down_id, d, best);
         best
@@ -1142,7 +1535,14 @@ impl<'a> Dp<'a> {
         }
         let mut best: Option<FragId> = None;
         let mut best_score: Score = (u64::MAX, u64::MAX, usize::MAX);
-        for d_last in d_last_min..=d - d_others_min {
+        let absorb_total = last_time + others_time;
+        let pivot = if absorb_total > 0.0 {
+            (d as f64 * (last_time / absorb_total)).round() as u32
+        } else {
+            d_last_min
+        };
+        let (w_lo, w_hi) = self.beam_window(d_last_min, d - d_others_min, pivot);
+        for d_last in w_lo..=w_hi {
             if self.charge(1) {
                 return None;
             }
@@ -1221,7 +1621,14 @@ impl<'a> Dp<'a> {
                 self.work_bound_prunes += 1;
                 continue;
             }
-            for d1 in d_left_min..=d - d_right_min {
+            let split_total = left_time + right_time;
+            let pivot = if split_total > 0.0 {
+                (d as f64 * (left_time / split_total)).round() as u32
+            } else {
+                d_left_min
+            };
+            let (w_lo, w_hi) = self.beam_window(d_left_min, d - d_right_min, pivot);
+            for d1 in w_lo..=w_hi {
                 if self.charge(1) {
                     return None;
                 }
@@ -1328,8 +1735,11 @@ pub(crate) struct RunResult {
     pub(crate) evals: u64,
     pub(crate) distinct_states: u64,
     pub(crate) memo_hits: u64,
+    pub(crate) memo_misses: u64,
     pub(crate) work_bound_prunes: u64,
     pub(crate) memory_prunes: u64,
+    pub(crate) beam_prunes: u64,
+    pub(crate) eval_batches: u64,
     pub(crate) exploded: bool,
     pub(crate) budget: u64,
 }
@@ -1447,8 +1857,11 @@ pub(crate) fn run_dp(ctx: &SearchCtx<'_>, t_max: f64, b_cands: Vec<u64>, budget:
         evals: dp.evals,
         distinct_states: dp.memo.filled,
         memo_hits: dp.memo_hits,
+        memo_misses: dp.memo_misses,
         work_bound_prunes: dp.work_bound_prunes,
         memory_prunes: dp.memory_prunes,
+        beam_prunes: dp.beam_prunes,
+        eval_batches: dp.eval_batches,
         exploded: dp.exploded,
         budget,
     }
@@ -1551,8 +1964,11 @@ fn replay_probe(
         telemetry.record("planner.dp_evals_per_run", run.evals);
         stats.dp_states = stats.dp_states.max(run.distinct_states);
         stats.memo_hits += run.memo_hits;
+        stats.memo_misses += run.memo_misses;
         stats.work_bound_prunes += run.work_bound_prunes;
         stats.memory_prunes += run.memory_prunes;
+        stats.beam_prunes += run.beam_prunes;
+        stats.eval_batches += run.eval_batches;
         if run.exploded {
             return Err(PlanError::SearchExplosion { evals: *evals_used });
         }
@@ -1587,9 +2003,21 @@ fn bisect_targets(lo: f64, hi: f64, epsilon: f64, depth: u32, out: &mut Vec<f64>
 /// sequence is replayed strictly sequentially regardless of how the
 /// provider computed the probes, which is the determinism contract of the
 /// parallel planner.
+///
+/// A warm hint enters the ladder at the rung its TPS predicts instead of
+/// the bottom, then walks toward the bracket: up while infeasible (the
+/// cold walk's tail), or down to the lowest feasible rung when the guess
+/// was feasible. Feasibility is monotone in the target, so either walk
+/// settles on exactly the `[t_lo, t_hi]` bracket — and the same entering
+/// solution — that the cold walk finds; the produced strategy is
+/// identical and only probe counts (hence eval counters and wall time)
+/// change. The exception is a search that runs out of eval budget:
+/// warm and cold spend the budget on different probes, so explosion
+/// accounting is only defined per walk.
 pub(crate) fn drive_search(
     ctx: &SearchCtx<'_>,
     provider: &mut dyn ProbeProvider,
+    warm: Option<&WarmStart>,
     clock: &ClockHandle,
     telemetry: &Telemetry,
 ) -> Result<(Solution, SearchStats), PlanError> {
@@ -1601,6 +2029,15 @@ pub(crate) fn drive_search(
     let mut t_lo = ctx.t_base;
     let mut t_hi = 2.0 * ctx.t_base;
     let mut rung = 0usize;
+    let mut descending = false;
+    if let Some(w) = warm {
+        if !ladder.is_empty() && w.tps_hint.is_finite() && w.tps_hint > 0.0 {
+            rung = ladder
+                .partition_point(|&t| t < w.tps_hint)
+                .min(ladder.len() - 1);
+            descending = rung > 0;
+        }
+    }
     let bracket_start = clock.now_nanos();
     {
         let _bracket = telemetry.span("search.bracket");
@@ -1618,8 +2055,35 @@ pub(crate) fn drive_search(
             drop(probe);
             best = result?;
             if best.is_none() {
+                // Infeasible guess: every rung below is infeasible too
+                // (monotonicity), so the remaining walk is the cold
+                // walk's tail.
                 t_lo = t;
                 rung += 1;
+                descending = false;
+            }
+        }
+        // Feasible warm guess: walk down to the lowest feasible rung —
+        // the rung the cold walk stops at.
+        while descending && rung > 0 {
+            let below: Vec<f64> = ladder[..rung].iter().rev().take(2).copied().collect();
+            provider.prefetch(&below);
+            let t = ladder[rung - 1];
+            let remaining = ctx.options.eval_budget.saturating_sub(evals_used);
+            let probe = telemetry.span_with("search.probe", stats.binary_iters as u64 + 1);
+            let runs = provider.take(t, remaining);
+            let result = replay_probe(ctx, t, runs, &mut stats, &mut evals_used, telemetry);
+            drop(probe);
+            match result? {
+                Some(sol) => {
+                    best = Some(sol);
+                    t_hi = t;
+                    rung -= 1;
+                }
+                None => {
+                    t_lo = t;
+                    break;
+                }
             }
         }
     }
@@ -1698,6 +2162,11 @@ pub struct GraphPipePlanner {
     /// Telemetry handle (inert by default): search spans and counters.
     /// Write-only — never read back into the plan.
     telemetry: Telemetry,
+    /// Optional warm-start hints ([`WarmStart`]); the produced plan is
+    /// identical with or without them — only search cost changes — so
+    /// this is deliberately not a [`PlanOptions`] field (it never enters
+    /// request fingerprints).
+    warm: Option<WarmStart>,
 }
 
 impl GraphPipePlanner {
@@ -1726,9 +2195,22 @@ impl GraphPipePlanner {
         self
     }
 
+    /// Seed the search from a previously planned strategy ([`WarmStart`]).
+    /// The produced plan is identical to a cold search's; only probe
+    /// counts (and wall time) shrink.
+    pub fn with_warm_start(mut self, warm: WarmStart) -> Self {
+        self.warm = Some(warm);
+        self
+    }
+
     /// The options in effect.
     pub fn options(&self) -> &PlanOptions {
         &self.options
+    }
+
+    /// The warm-start hints in effect, if any.
+    pub fn warm_start(&self) -> Option<&WarmStart> {
+        self.warm.as_ref()
     }
 
     fn solution_to_plan(
@@ -1791,12 +2273,27 @@ impl Planner for GraphPipePlanner {
         let start = self.clock.now_nanos();
         let ctx = SearchCtx::new(model, cluster, mini_batch, &self.options)?;
         let (solution, stats) = if self.options.parallelism > 1 {
-            let mut provider =
-                crate::parallel::SpeculativeProvider::new(&ctx, self.options.parallelism);
-            drive_search(&ctx, &mut provider, &self.clock, &self.telemetry)?
+            let mut provider = crate::parallel::SpeculativeProvider::new(
+                &ctx,
+                self.options.parallelism,
+                self.warm.as_ref().and_then(|w| w.micro_batch),
+            );
+            drive_search(
+                &ctx,
+                &mut provider,
+                self.warm.as_ref(),
+                &self.clock,
+                &self.telemetry,
+            )?
         } else {
             let mut provider = SequentialProvider { ctx: &ctx };
-            drive_search(&ctx, &mut provider, &self.clock, &self.telemetry)?
+            drive_search(
+                &ctx,
+                &mut provider,
+                self.warm.as_ref(),
+                &self.clock,
+                &self.telemetry,
+            )?
         };
         let finalize_start = self.clock.now_nanos();
         let _finalize_span = self.telemetry.span("planner.finalize");
@@ -1982,6 +2479,62 @@ mod tests {
             .plan(&model, &Cluster::summit_like(8), 1024)
             .unwrap_err();
         assert!(matches!(err, PlanError::SearchExplosion { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn beam_window_is_contiguous_and_deterministic() {
+        let model = zoo::mlp_chain(2, 16);
+        let cluster = Cluster::summit_like(2);
+        let opts = PlanOptions::default().with_beam_width(4);
+        let ctx = SearchCtx::new(&model, &cluster, 16, &opts).unwrap();
+        let mut dp = Dp::new(&ctx, 1.0, vec![1], 1000);
+        // Unbounded: identity.
+        dp.beam_width = None;
+        assert_eq!(dp.beam_window(1, 63, 10), (1, 63));
+        assert_eq!(dp.beam_prunes, 0);
+        // Bounded: width-4 window around the pivot, ties toward fewer
+        // devices; clamped at the edges.
+        dp.beam_width = Some(4);
+        assert_eq!(dp.beam_window(1, 63, 10), (8, 11));
+        assert_eq!(dp.beam_window(1, 63, 1), (1, 4));
+        assert_eq!(dp.beam_window(1, 63, 63), (60, 63));
+        assert_eq!(dp.beam_window(1, 63, 200), (60, 63));
+        assert_eq!(dp.beam_prunes, 59 * 4);
+        // Windows narrower than the beam pass through unpruned.
+        assert_eq!(dp.beam_window(5, 7, 6), (5, 7));
+        assert_eq!(dp.beam_prunes, 59 * 4);
+    }
+
+    #[test]
+    fn warm_start_produces_identical_strategy() {
+        let model = zoo::dlrm(&DlrmConfig::default());
+        let cluster = Cluster::summit_like(8);
+        let cold = GraphPipePlanner::new().plan(&model, &cluster, 512).unwrap();
+        // Seed from the cold plan itself (same devices): the warm walk
+        // must settle on the same bracket and the same strategy.
+        let warm = GraphPipePlanner::new()
+            .with_warm_start(crate::plan::WarmStart::from_plan(&cold, 8, 8))
+            .plan(&model, &cluster, 512)
+            .unwrap();
+        assert_eq!(warm.stage_graph, cold.stage_graph);
+        assert_eq!(warm.in_flight, cold.in_flight);
+        assert_eq!(warm.schedule, cold.schedule);
+        assert_eq!(warm.bottleneck_tps, cold.bottleneck_tps);
+        assert_eq!(warm.peak_memory_bytes, cold.peak_memory_bytes);
+        // The warm walk skips the cold walk's infeasible bottom rungs.
+        assert!(warm.stats.binary_iters <= cold.stats.binary_iters);
+        assert!(warm.stats.dp_evals <= cold.stats.dp_evals);
+        // A wildly wrong hint still converges to the same strategy.
+        let bad_hint = crate::plan::WarmStart {
+            tps_hint: cold.bottleneck_tps * 1e6,
+            micro_batch: None,
+        };
+        let warm_bad = GraphPipePlanner::new()
+            .with_warm_start(bad_hint)
+            .plan(&model, &cluster, 512)
+            .unwrap();
+        assert_eq!(warm_bad.stage_graph, cold.stage_graph);
+        assert_eq!(warm_bad.bottleneck_tps, cold.bottleneck_tps);
     }
 
     #[test]

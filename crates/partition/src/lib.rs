@@ -33,4 +33,4 @@ mod plan;
 
 pub use dp::GraphPipePlanner;
 pub use parallel::ParallelPlanner;
-pub use plan::{Plan, PlanError, PlanOptions, Planner, SearchPhases, SearchStats};
+pub use plan::{Plan, PlanError, PlanOptions, Planner, SearchPhases, SearchStats, WarmStart};

@@ -17,7 +17,7 @@
 //! nondeterminism hazards (DESIGN.md §"Determinism lint").
 
 use crate::dp::{run_dp, GraphPipePlanner, ProbeProvider, RunResult, SearchCtx};
-use crate::plan::{Plan, PlanError, PlanOptions, Planner};
+use crate::plan::{Plan, PlanError, PlanOptions, Planner, WarmStart};
 use gp_cluster::Cluster;
 use gp_ir::SpModel;
 use std::collections::HashMap;
@@ -69,6 +69,14 @@ impl ParallelPlanner {
     pub fn options(&self) -> &PlanOptions {
         self.inner.options()
     }
+
+    /// Seed the search from a previously planned strategy; the produced
+    /// plan is identical either way (see [`WarmStart`]). The micro-batch
+    /// hint additionally steers which speculative tasks run first.
+    pub fn with_warm_start(mut self, warm: WarmStart) -> Self {
+        self.inner = self.inner.with_warm_start(warm);
+        self
+    }
 }
 
 impl Planner for ParallelPlanner {
@@ -96,14 +104,24 @@ pub(crate) struct SpeculativeProvider<'c, 'a> {
     ctx: &'c SearchCtx<'a>,
     threads: usize,
     cache: HashMap<u64, Vec<RunResult>>,
+    /// Micro-batch size a warm start predicted the plan will use. Tasks
+    /// whose candidate list contains it are scheduled first — every task
+    /// still runs, and results are reassembled in configuration order, so
+    /// this only changes wall-clock time, never the plan.
+    warm_micro_batch: Option<u64>,
 }
 
 impl<'c, 'a> SpeculativeProvider<'c, 'a> {
-    pub(crate) fn new(ctx: &'c SearchCtx<'a>, threads: usize) -> Self {
+    pub(crate) fn new(
+        ctx: &'c SearchCtx<'a>,
+        threads: usize,
+        warm_micro_batch: Option<u64>,
+    ) -> Self {
         SpeculativeProvider {
             ctx,
             threads: threads.max(2),
             cache: HashMap::new(),
+            warm_micro_batch,
         }
     }
 
@@ -126,6 +144,10 @@ impl<'c, 'a> SpeculativeProvider<'c, 'a> {
                     b_cands,
                 });
             }
+        }
+        if let Some(hint) = self.warm_micro_batch {
+            // Stable: hinted configurations first, original order otherwise.
+            tasks.sort_by_key(|task| !task.b_cands.contains(&hint));
         }
         if tasks.is_empty() {
             for (bits, _) in run_counts {
@@ -297,9 +319,9 @@ mod tests {
         let cluster = Cluster::summit_like(2);
         let opts = PlanOptions::default();
         let ctx = SearchCtx::new(&model, &cluster, 16, &opts).unwrap();
-        assert_eq!(SpeculativeProvider::new(&ctx, 2).spec_depth(), 1);
-        assert_eq!(SpeculativeProvider::new(&ctx, 4).spec_depth(), 2);
-        assert_eq!(SpeculativeProvider::new(&ctx, 8).spec_depth(), 3);
-        assert_eq!(SpeculativeProvider::new(&ctx, 16).spec_depth(), 4);
+        assert_eq!(SpeculativeProvider::new(&ctx, 2, None).spec_depth(), 1);
+        assert_eq!(SpeculativeProvider::new(&ctx, 4, None).spec_depth(), 2);
+        assert_eq!(SpeculativeProvider::new(&ctx, 8, None).spec_depth(), 3);
+        assert_eq!(SpeculativeProvider::new(&ctx, 16, None).spec_depth(), 4);
     }
 }

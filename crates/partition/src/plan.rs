@@ -41,6 +41,15 @@ pub struct PlanOptions {
     /// changes wall-clock time — so this knob is deliberately excluded
     /// from `gp-serve` request fingerprints.
     pub parallelism: usize,
+    /// Beam width for device-split enumeration. `None` (the default)
+    /// keeps every split the work-conservation bound admits and is
+    /// byte-identical to the exhaustive search; `Some(w)` truncates each
+    /// split window to the `w` candidates nearest the work-proportional
+    /// pivot (a deterministic total order — see DESIGN.md §"Planner
+    /// search"). Bounded beams trade plan quality for search time, so
+    /// unlike [`PlanOptions::parallelism`] this knob *is* part of the
+    /// `gp-serve` request fingerprint.
+    pub beam_width: Option<u32>,
 }
 
 impl Default for PlanOptions {
@@ -53,6 +62,7 @@ impl Default for PlanOptions {
             per_stage_micro_batch: false,
             eval_budget: 200_000_000,
             parallelism: 1,
+            beam_width: None,
         }
     }
 }
@@ -116,6 +126,15 @@ impl PlanOptions {
     /// value, only wall-clock time changes).
     pub fn with_parallelism(mut self, parallelism: usize) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Sets the device-split beam width ([`PlanOptions::beam_width`]).
+    /// Widths are clamped to at least 1; pass `0`/`1` for the greedy
+    /// single-candidate beam. Use [`PlanOptions::default`]'s `None` for
+    /// the exhaustive (bit-compatible) search.
+    pub fn with_beam_width(mut self, width: u32) -> Self {
+        self.beam_width = Some(width.max(1));
         self
     }
 
@@ -213,12 +232,24 @@ pub struct SearchStats {
     pub dp_states: u64,
     /// Memo lookups answered from the table (across all DP invocations).
     pub memo_hits: u64,
+    /// Memo lookups that found an empty cell and fell through to a fresh
+    /// DP computation. `memo_hits + memo_misses` is the total lookup
+    /// count, which is what [`SearchStats::memo_hit_rate`] divides by.
+    pub memo_misses: u64,
     /// Subproblems discarded by the work-conservation bound before any
     /// candidate evaluation (whole-suffix infeasibility plus empty
     /// device-split windows).
     pub work_bound_prunes: u64,
     /// Stage candidates discarded for exceeding the device memory budget.
     pub memory_prunes: u64,
+    /// Device-split candidates dropped by the beam truncation
+    /// ([`PlanOptions::beam_width`]; 0 for unbounded searches).
+    pub beam_prunes: u64,
+    /// Batched candidate-evaluation passes: one per slice-at-a-time sweep
+    /// over a stage's micro-batch candidates or a memo column's device
+    /// window. `dp_evals / eval_batches` is the mean batch width, which
+    /// is what makes the vectorized evaluator's speedup attributable.
+    pub eval_batches: u64,
     /// Binary-search iterations (0 for single-shot planners).
     pub binary_iters: u32,
     /// Schedule configurations (micro-batch sizes etc.) tried.
@@ -226,12 +257,15 @@ pub struct SearchStats {
 }
 
 impl SearchStats {
-    /// Fraction of DP work requests answered by the memo:
-    /// `memo_hits / (memo_hits + dp_evals)`. A hit short-circuits the
-    /// charged evaluation it replaces, so this is the share of the search
-    /// the memo absorbed (0 when nothing ran).
+    /// Fraction of memo lookups answered from the table:
+    /// `memo_hits / (memo_hits + memo_misses)`. Hits and misses count
+    /// the same event stream — one lookup each — so the rate is
+    /// per-run-consistent and always in `[0, 1]`. (The denominator used
+    /// to be `dp_evals`, which charges per *candidate*, not per lookup;
+    /// memo-heavy cells reported hit counts exceeding evals and rates
+    /// above 1.) Returns 0 when nothing was looked up.
     pub fn memo_hit_rate(&self) -> f64 {
-        let total = self.memo_hits + self.dp_evals;
+        let total = self.memo_hits + self.memo_misses;
         if total == 0 {
             return 0.0;
         }
@@ -246,6 +280,45 @@ impl SearchStats {
     pub fn zero_walls(&mut self) {
         self.wall = Duration::ZERO;
         self.phases = SearchPhases::default();
+    }
+}
+
+/// Search hints recovered from a previously planned strategy, used to
+/// seed a new search instead of starting cold.
+///
+/// Warm-starting never changes the produced plan: feasibility of a
+/// throughput target is monotone in the target (any strategy meeting a
+/// tighter target meets every looser one, and the memory constraint does
+/// not depend on the target), so however the bracket walk enters the
+/// ladder it settles on the same `[t_lo, t_hi]` interval — and therefore
+/// the same bisection and the same strategy — that a cold walk finds.
+/// Only probe counts (and hence eval counters and wall time) shrink.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WarmStart {
+    /// Bottleneck TPS of the source plan, pre-scaled by the caller to the
+    /// new configuration (e.g. halved when the device count doubles).
+    /// Used to pick the bracket ladder's starting rung.
+    pub tps_hint: f64,
+    /// Micro-batch size the source plan chose. Speculative providers use
+    /// it to prioritize the matching configuration's probes; it never
+    /// restricts the candidate set.
+    pub micro_batch: Option<u64>,
+}
+
+impl WarmStart {
+    /// Builds a hint from a finished plan, scaling the TPS hint by
+    /// `old_devices / new_devices` (throughput per sample scales roughly
+    /// inversely with devices at fixed work).
+    pub fn from_plan(plan: &Plan, old_devices: u32, new_devices: u32) -> Self {
+        let scale = if new_devices == 0 {
+            1.0
+        } else {
+            old_devices.max(1) as f64 / new_devices as f64
+        };
+        WarmStart {
+            tps_hint: plan.bottleneck_tps * scale,
+            micro_batch: Some(plan.max_micro_batch()),
+        }
     }
 }
 
@@ -400,7 +473,8 @@ mod tests {
             .with_kfkb_candidates(vec![1, 2])
             .with_per_stage_micro_batch(true)
             .with_eval_budget(1_000)
-            .with_parallelism(3);
+            .with_parallelism(3)
+            .with_beam_width(8);
         assert_eq!(
             opts,
             PlanOptions {
@@ -411,8 +485,36 @@ mod tests {
                 per_stage_micro_batch: true,
                 eval_budget: 1_000,
                 parallelism: 3,
+                beam_width: Some(8),
             }
         );
+        // Degenerate widths clamp to the greedy single-candidate beam.
+        assert_eq!(
+            PlanOptions::default().with_beam_width(0).beam_width,
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn memo_hit_rate_is_per_run_consistent() {
+        // The rate divides hits by total lookups (hits + misses), so it
+        // stays in [0, 1] even on memo-heavy cells where hits exceed
+        // charged evals (the bug BENCH_planner.json exhibited).
+        let stats = SearchStats {
+            memo_hits: 114_933_552,
+            memo_misses: 35_699,
+            dp_evals: 96_236_767,
+            ..SearchStats::default()
+        };
+        let rate = stats.memo_hit_rate();
+        assert!(rate > 0.99 && rate < 1.0, "rate = {rate}");
+        assert_eq!(SearchStats::default().memo_hit_rate(), 0.0);
+        let balanced = SearchStats {
+            memo_hits: 3,
+            memo_misses: 1,
+            ..SearchStats::default()
+        };
+        assert_eq!(balanced.memo_hit_rate(), 0.75);
     }
 
     #[test]

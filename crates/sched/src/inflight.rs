@@ -36,6 +36,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(compute_in_flight(1, 4, 1, 4, 4), 8);
 /// assert_eq!(compute_in_flight(1, 4, 1, 4, 8), 12);
 /// ```
+#[inline]
 pub fn compute_in_flight(k_x: u64, b_x: u64, k_y: u64, b_y: u64, i_y: u64) -> u64 {
     assert!(
         k_x > 0 && b_x > 0 && k_y > 0 && b_y > 0,

@@ -7,12 +7,12 @@
 //! works today with the vendored serde API-stubs; when the real serde
 //! lands, only this module needs revisiting.
 //!
-//! # Format (version 2)
+//! # Format (version 3)
 //!
 //! ```json
 //! {
 //!   "format": "graphpipe-plan",
-//!   "version": 2,
+//!   "version": 3,
 //!   "fingerprint": "<32 hex digits, optional>",
 //!   "mini_batch": 64,
 //!   "stages": [
@@ -25,8 +25,9 @@
 //!   "bottleneck_tps": 1.25e-6,
 //!   "peak_memory_bytes": 123456,
 //!   "stats": {"wall_secs": 0, "wall_nanos": 81342, "dp_evals": 62013,
-//!             "dp_states": 911, "memo_hits": 50211,
+//!             "dp_states": 911, "memo_hits": 50211, "memo_misses": 911,
 //!             "work_bound_prunes": 1423, "memory_prunes": 61,
+//!             "beam_prunes": 0, "eval_batches": 702,
 //!             "binary_iters": 9, "configs_tried": 4}
 //! }
 //! ```
@@ -54,6 +55,9 @@
 //! * version 1 documents predate the `memo_hits`/`work_bound_prunes`/
 //!   `memory_prunes` search counters; they decode with those counters
 //!   zeroed.
+//! * version 2 documents predate the `memo_misses`/`beam_prunes`/
+//!   `eval_batches` search counters (the beam-search/vectorized-eval
+//!   accounting); they too decode with those counters zeroed.
 //!
 //! Decoding is *validating*: the raw stage list runs through
 //! [`gp_verify::verify_stages`] before the stage graph is rebuilt (through
@@ -82,7 +86,7 @@ use std::time::Duration;
 pub const FORMAT: &str = "graphpipe-plan";
 
 /// The artifact version this build writes; older versions decode too.
-pub const VERSION: u64 = 2;
+pub const VERSION: u64 = 3;
 
 /// Why an artifact failed to decode.
 #[derive(Debug, Clone, PartialEq)]
@@ -243,12 +247,24 @@ pub fn encode_plan(plan: &Plan, fingerprint: Option<Fingerprint>) -> String {
             ("dp_states".into(), Json::Int(plan.stats.dp_states as i128)),
             ("memo_hits".into(), Json::Int(plan.stats.memo_hits as i128)),
             (
+                "memo_misses".into(),
+                Json::Int(plan.stats.memo_misses as i128),
+            ),
+            (
                 "work_bound_prunes".into(),
                 Json::Int(plan.stats.work_bound_prunes as i128),
             ),
             (
                 "memory_prunes".into(),
                 Json::Int(plan.stats.memory_prunes as i128),
+            ),
+            (
+                "beam_prunes".into(),
+                Json::Int(plan.stats.beam_prunes as i128),
+            ),
+            (
+                "eval_batches".into(),
+                Json::Int(plan.stats.eval_batches as i128),
             ),
             (
                 "binary_iters".into(),
@@ -476,12 +492,13 @@ pub fn decode_plan(
         // byte-identical re-encode guarantee.
         return Err(ArtifactError::Field("wall_nanos"));
     }
-    // The memo/prune counters arrived in version 2: required from v2 on,
-    // zeroed for genuine v1 documents (leniency must not mask truncated
-    // v2 artifacts).
-    let counter_or_zero = |name: &'static str| -> Result<u64, ArtifactError> {
+    // Counters are required from the version that introduced them on, and
+    // zeroed for genuinely older documents (leniency must not mask
+    // truncated current-version artifacts). The memo/prune counters
+    // arrived in version 2; the beam/batch accounting in version 3.
+    let counter_since = |name: &'static str, since: u64| -> Result<u64, ArtifactError> {
         match stats_doc.get(name) {
-            None if version < 2 => Ok(0),
+            None if version < since => Ok(0),
             None => Err(ArtifactError::Field(name)),
             Some(v) => v.as_u64().ok_or(ArtifactError::Field(name)),
         }
@@ -490,9 +507,12 @@ pub fn decode_plan(
         wall: Duration::new(u64_field(stats_doc, "wall_secs")?, wall_nanos),
         dp_evals: u64_field(stats_doc, "dp_evals")?,
         dp_states: u64_field(stats_doc, "dp_states")?,
-        memo_hits: counter_or_zero("memo_hits")?,
-        work_bound_prunes: counter_or_zero("work_bound_prunes")?,
-        memory_prunes: counter_or_zero("memory_prunes")?,
+        memo_hits: counter_since("memo_hits", 2)?,
+        memo_misses: counter_since("memo_misses", 3)?,
+        work_bound_prunes: counter_since("work_bound_prunes", 2)?,
+        memory_prunes: counter_since("memory_prunes", 2)?,
+        beam_prunes: counter_since("beam_prunes", 3)?,
+        eval_batches: counter_since("eval_batches", 3)?,
         binary_iters: u32_field(stats_doc, "binary_iters")?,
         configs_tried: u32_field(stats_doc, "configs_tried")?,
         // Phase walls are measurement, not plan data: never encoded, so a
@@ -562,7 +582,7 @@ mod tests {
     }
 
     #[test]
-    fn v2_counters_are_required_but_v1_documents_decode_zeroed() {
+    fn versioned_counters_are_required_but_older_documents_decode_zeroed() {
         let model = zoo::mlp_chain(2, 8);
         let cluster = Cluster::summit_like(2);
         let plan = gp_partition::GraphPipePlanner::new()
@@ -571,16 +591,37 @@ mod tests {
         let text = encode_plan(&plan, None);
         let hits = format!("\"memo_hits\":{},", plan.stats.memo_hits);
         assert!(text.contains(&hits), "{text}");
-        // A v2 document missing a v2 counter is corrupt, not lenient.
+        // A current document missing a required counter is corrupt, not
+        // lenient.
         let truncated = text.replace(&hits, "");
         assert_eq!(
             decode_plan(&truncated, model.graph(), &cluster).unwrap_err(),
             ArtifactError::Field("memo_hits")
         );
-        // The same shape claiming version 1 predates the counters: decode
-        // succeeds with all of them zeroed.
-        let v1 = truncated
-            .replace("\"version\":2", "\"version\":1")
+        let batches = format!("\"eval_batches\":{},", plan.stats.eval_batches);
+        assert!(text.contains(&batches), "{text}");
+        assert_eq!(
+            decode_plan(&text.replace(&batches, ""), model.graph(), &cluster).unwrap_err(),
+            ArtifactError::Field("eval_batches")
+        );
+        // A v2 document predates the beam/batch accounting: decode
+        // succeeds with those counters zeroed, while the v2 counters stay
+        // required.
+        let strip_v3 = |text: &str| {
+            text.replace(&format!("\"memo_misses\":{},", plan.stats.memo_misses), "")
+                .replace(&format!("\"beam_prunes\":{},", plan.stats.beam_prunes), "")
+                .replace(&batches, "")
+        };
+        let v2 = strip_v3(&text).replace("\"version\":3", "\"version\":2");
+        let (decoded, _) = decode_plan(&v2, model.graph(), &cluster).unwrap();
+        assert_eq!(decoded.stats.memo_hits, plan.stats.memo_hits);
+        assert_eq!(decoded.stats.memo_misses, 0);
+        assert_eq!(decoded.stats.beam_prunes, 0);
+        assert_eq!(decoded.stats.eval_batches, 0);
+        // The same shape claiming version 1 predates all the counters:
+        // decode succeeds with every one of them zeroed.
+        let v1 = strip_v3(&truncated)
+            .replace("\"version\":3", "\"version\":1")
             .replace(
                 &format!("\"work_bound_prunes\":{},", plan.stats.work_bound_prunes),
                 "",

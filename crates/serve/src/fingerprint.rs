@@ -316,6 +316,9 @@ fn absorb_options(digest: &mut Digest, options: &PlanOptions) {
     digest.words(&options.kfkb_candidates);
     digest.word(options.per_stage_micro_batch as u64);
     digest.word(options.eval_budget);
+    // `None` hashes as 0: `with_beam_width` clamps to >= 1, so no bounded
+    // beam can alias the unbounded default.
+    digest.word(options.beam_width.map(u64::from).unwrap_or(0));
     // `options.parallelism` is deliberately NOT absorbed: the parallel
     // planner is plan-identical to the sequential one by construction, so
     // requests differing only in thread count must share a cache entry.
@@ -346,7 +349,41 @@ pub fn plan_fingerprint(plan: &gp_partition::Plan) -> Fingerprint {
     Fingerprint(digest.finish())
 }
 
-/// The full cache key of a planning request.
+/// The *graph part* of a request fingerprint: everything that identifies
+/// which planner runs over which model, independent of the cluster,
+/// mini-batch, or search options.
+///
+/// Two requests with equal graph parts but different [config parts]
+/// (`request_config_fingerprint`) are *near misses*: the search spaces
+/// differ, but a cached plan for one is a useful warm-start seed for the
+/// other (see `PlanService`'s warm index).
+///
+/// [config parts]: request_config_fingerprint
+pub fn request_graph_fingerprint(model: &SpModel, planner_tag: u64) -> Fingerprint {
+    let mut digest = Digest::new(0x0072_6571_6772_6168);
+    let model_fp = model_fingerprint(model).0;
+    digest.word(model_fp as u64);
+    digest.word((model_fp >> 64) as u64);
+    digest.word(planner_tag);
+    Fingerprint(digest.finish())
+}
+
+/// The *config part* of a request fingerprint: cluster, mini-batch and
+/// planner options — everything a near-miss warm start is allowed to vary.
+pub fn request_config_fingerprint(
+    cluster: &Cluster,
+    mini_batch: u64,
+    options: &PlanOptions,
+) -> Fingerprint {
+    let mut digest = Digest::new(0x0072_6571_636f_6e66);
+    absorb_cluster(&mut digest, cluster);
+    digest.word(mini_batch);
+    absorb_options(&mut digest, options);
+    Fingerprint(digest.finish())
+}
+
+/// The full cache key of a planning request: the combination of
+/// [`request_graph_fingerprint`] and [`request_config_fingerprint`].
 ///
 /// `planner_tag` distinguishes planners that share everything else (the
 /// [`crate::ServePlanner`] discriminant).
@@ -357,14 +394,13 @@ pub fn request_fingerprint(
     options: &PlanOptions,
     planner_tag: u64,
 ) -> Fingerprint {
+    let graph = request_graph_fingerprint(model, planner_tag).0;
+    let config = request_config_fingerprint(cluster, mini_batch, options).0;
     let mut digest = Digest::new(0x0072_6571_7565_7374);
-    let model_fp = model_fingerprint(model).0;
-    digest.word(model_fp as u64);
-    digest.word((model_fp >> 64) as u64);
-    absorb_cluster(&mut digest, cluster);
-    digest.word(mini_batch);
-    absorb_options(&mut digest, options);
-    digest.word(planner_tag);
+    digest.word(graph as u64);
+    digest.word((graph >> 64) as u64);
+    digest.word(config as u64);
+    digest.word((config >> 64) as u64);
     Fingerprint(digest.finish())
 }
 
@@ -498,6 +534,52 @@ mod tests {
         };
         assert_ne!(base, request_fingerprint(&model, &cluster, 64, &tweaked, 0));
         assert_ne!(base, request_fingerprint(&model, &cluster, 64, &opts, 1));
+        let beamed = PlanOptions::default().with_beam_width(8);
+        assert_ne!(base, request_fingerprint(&model, &cluster, 64, &beamed, 0));
+        assert_ne!(
+            request_fingerprint(&model, &cluster, 64, &beamed, 0),
+            request_fingerprint(
+                &model,
+                &cluster,
+                64,
+                &PlanOptions::default().with_beam_width(16),
+                0
+            )
+        );
+    }
+
+    #[test]
+    fn fingerprint_factors_into_graph_and_config_parts() {
+        let model = zoo::mmt(&MmtConfig::tiny());
+        let cluster = Cluster::summit_like(4);
+        let opts = PlanOptions::default();
+        // The graph part ignores cluster/mini-batch/options...
+        let g = request_graph_fingerprint(&model, 0);
+        assert_eq!(g, request_graph_fingerprint(&model, 0));
+        assert_ne!(g, request_graph_fingerprint(&model, 1));
+        assert_ne!(
+            g,
+            request_graph_fingerprint(&zoo::moe(&MoeConfig::tiny()), 0)
+        );
+        // ...and the config part ignores the model: a near-miss (same
+        // graph, different cluster or mini-batch) differs only in config.
+        let c = request_config_fingerprint(&cluster, 64, &opts);
+        assert_eq!(c, request_config_fingerprint(&cluster, 64, &opts));
+        assert_ne!(
+            c,
+            request_config_fingerprint(&Cluster::summit_like(8), 64, &opts)
+        );
+        assert_ne!(c, request_config_fingerprint(&cluster, 32, &opts));
+        assert_ne!(
+            c,
+            request_config_fingerprint(&cluster, 64, &opts.clone().with_beam_width(4))
+        );
+        // The full key is a pure function of the two parts: recombining
+        // equal parts yields equal keys.
+        assert_eq!(
+            request_fingerprint(&model, &cluster, 64, &opts, 0),
+            request_fingerprint(&model, &cluster, 64, &opts, 0)
+        );
     }
 
     #[test]

@@ -30,13 +30,16 @@
 //! problem share one cache entry and single-flight run.
 
 use crate::cache::PlanCache;
-use crate::fingerprint::{numbering_signature, request_fingerprint, Fingerprint};
+use crate::fingerprint::{
+    numbering_signature, request_config_fingerprint, request_fingerprint,
+    request_graph_fingerprint, Fingerprint,
+};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use gp_baselines::{PipeDreamPlanner, PiperPlanner};
 use gp_cluster::Cluster;
 use gp_ir::SpModel;
 use gp_obs::{ClockHandle, HistogramSnapshot, Telemetry};
-use gp_partition::{GraphPipePlanner, Plan, PlanError, PlanOptions, Planner};
+use gp_partition::{GraphPipePlanner, Plan, PlanError, PlanOptions, Planner, WarmStart};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
@@ -66,11 +69,22 @@ impl ServePlanner {
         }
     }
 
-    fn build(self, options: PlanOptions, telemetry: &Telemetry) -> Box<dyn Planner> {
+    fn build(
+        self,
+        options: PlanOptions,
+        telemetry: &Telemetry,
+        warm: Option<WarmStart>,
+    ) -> Box<dyn Planner> {
         match self {
             ServePlanner::GraphPipe => {
-                Box::new(GraphPipePlanner::with_options(options).with_telemetry(telemetry.clone()))
+                let planner =
+                    GraphPipePlanner::with_options(options).with_telemetry(telemetry.clone());
+                Box::new(match warm {
+                    Some(w) => planner.with_warm_start(w),
+                    None => planner,
+                })
             }
+            // The baselines have no iterative search to seed.
             ServePlanner::PipeDream => Box::new(PipeDreamPlanner::with_options(options)),
             ServePlanner::Piper => Box::new(PiperPlanner::with_options(options)),
         }
@@ -202,6 +216,22 @@ struct Counters {
     planner_runs: AtomicU64,
     planner_errors: AtomicU64,
     planner_nanos: AtomicU64,
+    warm_starts: AtomicU64,
+}
+
+/// What the warm index remembers about the last successful GraphPipe plan
+/// for a graph: enough to rebuild a [`WarmStart`] for a near-miss request
+/// without holding the plan itself (the LRU may have evicted it).
+#[derive(Clone, Copy)]
+struct WarmSeed {
+    /// Config part of the seeding request, to tell exact re-plans (cache
+    /// evictions) from true near misses in the counters.
+    config_fp: Fingerprint,
+    /// Devices the seeding plan was computed for; the throughput hint
+    /// scales by `devices / new_devices` (see [`WarmStart`]).
+    devices: u32,
+    bottleneck_tps: f64,
+    micro_batch: u64,
 }
 
 /// A point-in-time snapshot of service counters.
@@ -227,6 +257,11 @@ pub struct ServeStats {
     pub planner_errors: u64,
     /// Total wall-clock nanoseconds spent inside planners.
     pub planner_nanos: u64,
+    /// Planner executions seeded from a *near-miss* warm start: a prior
+    /// plan for the same graph and planner under a different cluster,
+    /// mini-batch, or options. Warm-started plans are identical to cold
+    /// ones; only search effort changes.
+    pub warm_starts: u64,
     /// Plans currently cached.
     pub cached_plans: u64,
     /// Cache evictions so far.
@@ -279,9 +314,10 @@ impl ServeStats {
         );
         let _ = write!(
             out,
-            "planner runs {} ({} failed, mean {:.3} ms)  cached {}  evictions {}  rejected hits {}",
+            "planner runs {} ({} failed, {} warm-started, mean {:.3} ms)  cached {}  evictions {}  rejected hits {}",
             self.planner_runs,
             self.planner_errors,
+            self.warm_starts,
             self.mean_planner_latency() * 1e3,
             self.cached_plans,
             self.cache_evictions,
@@ -331,6 +367,11 @@ struct Shared {
     // Lock order: `inflight` before `cache` when both are held.
     inflight: Mutex<HashMap<Fingerprint, Waiters>>,
     cache: Mutex<PlanCache>,
+    // Warm-start seeds, keyed by the *graph part* of the request
+    // fingerprint ([`request_graph_fingerprint`]): one seed per
+    // (model, planner), refreshed on every successful GraphPipe run.
+    // Never held together with `inflight` or `cache`.
+    warm_index: Mutex<HashMap<Fingerprint, WarmSeed>>,
     counters: Counters,
     // All wall-clock reads in the service go through this handle (the
     // workspace's sanctioned seam); `telemetry` additionally receives
@@ -393,6 +434,7 @@ impl PlanService {
         let shared = Arc::new(Shared {
             inflight: Mutex::new(HashMap::new()),
             cache: Mutex::new(PlanCache::new(cache_capacity)),
+            warm_index: Mutex::new(HashMap::new()),
             counters: Counters::default(),
             clock: ClockHandle::default(),
             telemetry,
@@ -542,6 +584,7 @@ impl PlanService {
             planner_runs: c.planner_runs.load(Ordering::Relaxed),
             planner_errors: c.planner_errors.load(Ordering::Relaxed),
             planner_nanos: c.planner_nanos.load(Ordering::Relaxed),
+            warm_starts: c.warm_starts.load(Ordering::Relaxed),
             cached_plans,
             cache_evictions,
             hit_latency: self
@@ -649,10 +692,34 @@ fn worker_loop(shared: &Shared, rx: &Receiver<Job>) {
 
 /// Runs the request's planner synchronously, updating the run/error/latency
 /// counters.
+///
+/// GraphPipe runs consult the warm index first: a seed recorded for the
+/// same graph and planner — even under a different cluster, mini-batch, or
+/// options (a fingerprint *near miss*) — turns into a [`WarmStart`], which
+/// skips most of the bracket ladder without changing the produced plan.
 fn run_planner(shared: &Shared, request: &PlanRequest) -> Reply {
+    let mut warm = None;
+    let mut seed_key = None;
+    if request.planner == ServePlanner::GraphPipe {
+        let graph_fp = request_graph_fingerprint(&request.model, request.planner.tag());
+        let config_fp =
+            request_config_fingerprint(&request.cluster, request.mini_batch, &request.options);
+        seed_key = Some((graph_fp, config_fp));
+        if let Some(seed) = shared.warm_index.lock().get(&graph_fp).copied() {
+            let devices = request.cluster.device_count().max(1) as f64;
+            warm = Some(WarmStart {
+                tps_hint: seed.bottleneck_tps * (seed.devices.max(1) as f64 / devices),
+                micro_batch: Some(seed.micro_batch),
+            });
+            if seed.config_fp != config_fp {
+                shared.counters.warm_starts.fetch_add(1, Ordering::Relaxed);
+                shared.telemetry.counter_add("serve.warm_starts", 1);
+            }
+        }
+    }
     let planner = request
         .planner
-        .build(request.options.clone(), &shared.telemetry);
+        .build(request.options.clone(), &shared.telemetry, warm);
     let span = shared.telemetry.span("serve.plan");
     let start_ns = shared.clock.now_nanos();
     let outcome = planner.plan(&request.model, &request.cluster, request.mini_batch);
@@ -677,6 +744,17 @@ fn run_planner(shared: &Shared, request: &PlanRequest) -> Reply {
             {
                 counters.planner_errors.fetch_add(1, Ordering::Relaxed);
                 return Err(ServeError::InvalidPlan(e));
+            }
+            if let Some((graph_fp, config_fp)) = seed_key {
+                shared.warm_index.lock().insert(
+                    graph_fp,
+                    WarmSeed {
+                        config_fp,
+                        devices: request.cluster.device_count() as u32,
+                        bottleneck_tps: plan.bottleneck_tps,
+                        micro_batch: plan.max_micro_batch(),
+                    },
+                );
             }
             Ok(Arc::new(plan))
         }
@@ -872,6 +950,55 @@ mod tests {
         let stats = service.shutdown();
         assert_eq!(stats.planner_runs, 1, "{stats}");
         assert_eq!(stats.hits, 1, "{stats}");
+    }
+
+    #[test]
+    fn near_miss_warm_start_serves_the_cold_plan() {
+        use crate::fingerprint::plan_fingerprint;
+        // Same model, different cluster size and mini-batch: a fingerprint
+        // near miss. The warm-started plan must be byte-identical to what a
+        // cold service produces for the same request.
+        let service = PlanService::new(1, 8);
+        service.plan(request(32)).unwrap(); // seeds the warm index
+        let near = |mini: u64| {
+            PlanRequest::new(
+                Arc::new(zoo::candle_uno(&CandleUnoConfig::tiny())),
+                Cluster::summit_like(8),
+                mini,
+            )
+        };
+        let warm_plan = service.plan(near(64)).unwrap();
+        let stats = service.shutdown();
+        assert_eq!(stats.planner_runs, 2, "{stats}");
+        assert_eq!(stats.warm_starts, 1, "{stats}");
+        assert!(stats.to_string().contains("warm-started"));
+
+        let cold_service = PlanService::new(1, 8);
+        let cold_plan = cold_service.plan(near(64)).unwrap();
+        assert_eq!(cold_service.shutdown().warm_starts, 0);
+        assert_eq!(plan_fingerprint(&warm_plan), plan_fingerprint(&cold_plan));
+        assert_eq!(warm_plan.stage_graph, cold_plan.stage_graph);
+        assert_eq!(warm_plan.bottleneck_tps, cold_plan.bottleneck_tps);
+    }
+
+    #[test]
+    fn warm_start_counts_only_near_misses() {
+        // An eviction-forced replan of the *same* config reuses the seed
+        // but is not a near miss, so the counter must stay untouched. The
+        // eviction comes from a different model, whose seed lives under its
+        // own graph fingerprint.
+        let other = PlanRequest::new(
+            Arc::new(zoo::mmt(&MmtConfig::tiny())),
+            Cluster::summit_like(4),
+            32,
+        );
+        let service = PlanService::new(1, 1);
+        service.plan(request(32)).unwrap();
+        service.plan(other).unwrap(); // evicts the first plan
+        service.plan(request(32)).unwrap(); // exact replan: warm, not near
+        let stats = service.shutdown();
+        assert_eq!(stats.planner_runs, 3, "{stats}");
+        assert_eq!(stats.warm_starts, 0, "{stats}");
     }
 
     #[test]

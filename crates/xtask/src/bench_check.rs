@@ -1,0 +1,225 @@
+//! The bench-trajectory gate: `cargo xtask bench-check [--fresh <file>]`.
+//!
+//! BENCH_planner.json is a committed artifact, but until this gate existed
+//! it was write-only: nothing noticed when a code change silently shifted
+//! plan fingerprints or regressed search wall time. This subcommand
+//! compares a fresh `planner_profile` sweep against the committed file,
+//! cell by cell:
+//!
+//! * **fingerprints must match exactly** — a mismatch means the planner's
+//!   output changed for a committed cell, which is either an unreviewed
+//!   plan-quality change or a determinism bug; both should fail CI;
+//! * **wall regressions beyond 1.5x fail** — wall clock is noisy across
+//!   machines (±15% on the bench box alone), so the threshold is loose;
+//!   it exists to catch order-of-magnitude search blowups, not to pin
+//!   milliseconds. Improvements never fail.
+//!
+//! Without `--fresh`, the subcommand runs the release `planner_profile`
+//! binary itself (building it if needed) and compares its output; with
+//! `--fresh <file>` it compares an existing sweep JSON, which is what you
+//! want when regenerating the baseline by hand.
+//!
+//! Cells are keyed by (model, gpus, beam_width, warm_start). Every
+//! committed cell must appear in the fresh sweep — a missing cell fails,
+//! because a silently dropped cell is exactly the "write-only trajectory"
+//! failure mode this gate exists to prevent. Extra fresh cells (new
+//! models, new scales) are reported but never fail: the baseline is
+//! updated by committing the fresh file, not by editing this check.
+//!
+//! gp-lint: deterministic — this module gates on plan-fingerprint
+//! equality; `cargo xtask lint` scans it for nondeterminism hazards
+//! (DESIGN.md §"Determinism lint").
+
+use gp_serve::json::Json;
+use std::process::ExitCode;
+
+/// Wall-clock regression tolerance: fresh > committed * 1.5 fails.
+const WALL_REGRESSION_LIMIT: f64 = 1.5;
+
+/// One sweep cell, keyed and compared.
+struct Cell {
+    model: String,
+    gpus: u64,
+    /// 0 = unbounded (the emitter writes 0 for `None`); absent in
+    /// pre-beam baselines, which also means unbounded.
+    beam_width: u64,
+    warm_start: bool,
+    wall_secs: f64,
+    fingerprint: String,
+}
+
+impl Cell {
+    fn key(&self) -> (String, u64, u64, bool) {
+        (
+            self.model.clone(),
+            self.gpus,
+            self.beam_width,
+            self.warm_start,
+        )
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "{}@{}{}{}",
+            self.model,
+            self.gpus,
+            if self.beam_width == 0 {
+                String::new()
+            } else {
+                format!(" beam={}", self.beam_width)
+            },
+            if self.warm_start { " warm" } else { "" }
+        )
+    }
+}
+
+fn load_cells(path: &std::path::Path) -> Result<Vec<Cell>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let cells = doc
+        .get("cells")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{}: no `cells` array", path.display()))?;
+    let mut out = Vec::with_capacity(cells.len());
+    for (i, cell) in cells.iter().enumerate() {
+        let field = |key: &str| {
+            cell.get(key)
+                .ok_or_else(|| format!("{}: cell {i} missing `{key}`", path.display()))
+        };
+        out.push(Cell {
+            model: field("model")?
+                .as_str()
+                .ok_or_else(|| format!("cell {i}: `model` not a string"))?
+                .to_string(),
+            gpus: field("gpus")?
+                .as_u64()
+                .ok_or_else(|| format!("cell {i}: `gpus` not an integer"))?,
+            beam_width: cell.get("beam_width").and_then(Json::as_u64).unwrap_or(0),
+            warm_start: matches!(cell.get("warm_start"), Some(Json::Bool(true))),
+            wall_secs: field("wall_secs")?
+                .as_f64()
+                .ok_or_else(|| format!("cell {i}: `wall_secs` not a number"))?,
+            fingerprint: field("fingerprint")?
+                .as_str()
+                .ok_or_else(|| format!("cell {i}: `fingerprint` not a string"))?
+                .to_string(),
+        });
+    }
+    Ok(out)
+}
+
+/// Runs the release `planner_profile` sweep into a temp file and returns
+/// the path. Builds via cargo so a stale or missing binary cannot produce
+/// a sweep from old code.
+fn run_fresh_sweep(out_path: &std::path::Path) -> Result<(), String> {
+    let status = std::process::Command::new(env!("CARGO"))
+        .current_dir(crate::repo_root())
+        .args([
+            "run",
+            "--release",
+            "--package",
+            "gp-bench",
+            "--bin",
+            "planner_profile",
+            "--",
+        ])
+        .arg("--out")
+        .arg(out_path)
+        .status()
+        .map_err(|e| format!("failed to spawn cargo: {e}"))?;
+    if !status.success() {
+        return Err(format!("planner_profile exited with {status}"));
+    }
+    Ok(())
+}
+
+pub fn run(args: &[String]) -> ExitCode {
+    let committed_path = crate::repo_root().join("BENCH_planner.json");
+    let fresh_path = match args {
+        [] => {
+            let tmp = std::env::temp_dir().join("bench_check_fresh.json");
+            if let Err(e) = run_fresh_sweep(&tmp) {
+                eprintln!("bench-check: {e}");
+                return ExitCode::FAILURE;
+            }
+            tmp
+        }
+        [flag, path] if flag == "--fresh" => std::path::PathBuf::from(path),
+        _ => {
+            eprintln!("usage: cargo xtask bench-check [--fresh <sweep.json>]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (committed, fresh) = match (load_cells(&committed_path), load_cells(&fresh_path)) {
+        (Ok(c), Ok(f)) => (c, f),
+        (c, f) => {
+            for e in [c.err(), f.err()].into_iter().flatten() {
+                eprintln!("bench-check: {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failures = 0usize;
+    let mut matched = 0usize;
+    for base in &committed {
+        let Some(new) = fresh.iter().find(|c| c.key() == base.key()) else {
+            eprintln!(
+                "FAIL {:<28} committed cell missing from fresh sweep",
+                base.label()
+            );
+            failures += 1;
+            continue;
+        };
+        matched += 1;
+        if new.fingerprint != base.fingerprint {
+            eprintln!(
+                "FAIL {:<28} fingerprint drift: committed {} fresh {}",
+                base.label(),
+                base.fingerprint,
+                new.fingerprint
+            );
+            failures += 1;
+            continue;
+        }
+        let ratio = new.wall_secs / base.wall_secs;
+        if ratio > WALL_REGRESSION_LIMIT {
+            eprintln!(
+                "FAIL {:<28} wall regression {ratio:.2}x ({:.3}s -> {:.3}s, limit {WALL_REGRESSION_LIMIT}x)",
+                base.label(),
+                base.wall_secs,
+                new.wall_secs
+            );
+            failures += 1;
+        } else {
+            println!(
+                "ok   {:<28} fp match, wall {ratio:.2}x ({:.3}s -> {:.3}s)",
+                base.label(),
+                base.wall_secs,
+                new.wall_secs
+            );
+        }
+    }
+    for new in &fresh {
+        if !committed.iter().any(|c| c.key() == new.key()) {
+            println!(
+                "new  {:<28} not in committed baseline ({:.3}s, fp {})",
+                new.label(),
+                new.wall_secs,
+                new.fingerprint
+            );
+        }
+    }
+
+    println!(
+        "bench-check: {matched}/{} committed cells matched, {failures} failure(s)",
+        committed.len()
+    );
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

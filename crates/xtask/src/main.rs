@@ -12,11 +12,16 @@
 //!   analysis on it, re-plans the same problem fresh, and checks the bytes
 //!   and the plan agree; `--bless` regenerates the files (with the
 //!   wall-clock stat zeroed so the bytes are reproducible).
+//! * `bench-check [--fresh <file>]` — compares a fresh `planner_profile`
+//!   sweep against the committed BENCH_planner.json: plan fingerprints
+//!   must match exactly, and wall-clock regressions beyond 1.5x fail.
+//!   CI runs this so the bench trajectory stops being write-only.
 //! * `trace-check <file.json>...` — validates Chrome/Perfetto
 //!   `trace_event` JSON (as exported by `gp-obs` and the `--trace` flags):
 //!   well-formed, non-negative durations, properly paired `B`/`E` events
 //!   per lane. CI runs it against a freshly exported session trace.
 
+mod bench_check;
 mod goldens;
 mod lint;
 mod trace;
@@ -29,9 +34,10 @@ fn main() -> ExitCode {
         Some("lint") => lint::run(),
         Some("verify-goldens") => goldens::run(args.iter().any(|a| a == "--bless")),
         Some("trace-check") => trace::run(&args[1..]),
+        Some("bench-check") => bench_check::run(&args[1..]),
         other => {
             eprintln!(
-                "usage: cargo xtask <lint | verify-goldens [--bless] | trace-check <file>...>{}",
+                "usage: cargo xtask <lint | verify-goldens [--bless] | trace-check <file>... | bench-check [--fresh <sweep.json>]>{}",
                 other.map_or(String::new(), |o| format!(" (got `{o}`)"))
             );
             ExitCode::FAILURE
