@@ -1,50 +1,71 @@
-//! Load generator for the plan-serving subsystem (`gp-serve`).
+//! Load generator for the distributed plan-serving layer (`gp-fleet`).
 //!
 //! Replays a mixed zoo workload — including the full 21-branch CANDLE-Uno
 //! and the Mixture-of-Experts wide-branch model — against a
-//! [`PlanService`] at configurable concurrency, then prints throughput and
-//! cache behaviour.
+//! [`FleetService`] from thousands of client threads spread across a
+//! tenant mix, then prints throughput, shard cache behaviour, and
+//! admission counters.
 //!
 //! ```text
-//! serve_load [--requests N] [--concurrency C] [--workers W] [--cache CAP]
-//!            [--assert-hits] [--out PATH]
+//! serve_load [--requests N] [--clients C] [--tenants T] [--workers W]
+//!            [--cache CAP] [--shards S] [--store DIR] [--quota Q]
+//!            [--depth D] [--assert-hits] [--out PATH]
 //! ```
 //!
-//! Defaults: 256 requests from 64 client threads against 4 planner
-//! workers and a 32-entry cache. With `--assert-hits` the binary exits
-//! non-zero unless (a) repeat requests were served from the cache or
-//! joined in flight, (b) single-flight deduplication held, i.e. the
-//! planner ran exactly once per *distinct* request in the mix, and (c)
-//! every recorded latency histogram has monotone percentiles
-//! (p50 ≤ p90 ≤ p99 ≤ max). This is the CI smoke check.
+//! Defaults: 4096 requests from 2048 client threads across 6 tenants
+//! (class mix standard/batch/premium, round-robin) against 4 planner
+//! workers, an 8-shard 32-entry cache, and no persistent store. `--quota`
+//! sets a per-tenant in-flight token limit and `--depth` a miss-backlog
+//! shed threshold (both unbounded by default, so the smoke assertions see
+//! no refusals). With `--assert-hits` the binary exits non-zero unless
+//! (a) repeat requests were served from a shard, the store, or an
+//! in-flight join, (b) single-flight deduplication held — the planner ran
+//! exactly once per distinct *(request, tenant-tier)* pair (unless a
+//! pre-populated `--store` served some of them), and (c) every latency
+//! histogram has monotone percentiles (p50 ≤ p90 ≤ p99 ≤ max). This is
+//! the CI smoke check.
 //!
-//! The service runs with `gp-obs` telemetry enabled, so the printed stats
-//! include hit/miss/queue-wait latency histograms; `--out PATH` writes
-//! them as JSON (the committed `BENCH_serve.json`). Latencies are
-//! wall-clock and therefore machine-dependent — the committed file is a
-//! shape reference, not a golden.
+//! Tenant tiers rewrite search budgets, so the same zoo request planned
+//! for a `batch` tenant and a `premium` tenant are *different* cache
+//! entries — `distinct` in the output counts (request, tier) pairs, not
+//! requests. Latencies are wall-clock and machine-dependent — the
+//! committed `BENCH_serve.json` is a shape reference, not a golden.
 
+use graphpipe::fleet::{
+    AdmissionConfig, FleetConfig, FleetService, FleetStats, TenantClass, TenantSpec,
+};
 use graphpipe::obs::{HistogramSnapshot, Telemetry};
 use graphpipe::prelude::*;
-use graphpipe::serve::{PlanRequest, PlanService, ServeStats};
+use graphpipe::serve::PlanRequest;
+use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
 struct Args {
     requests: usize,
-    concurrency: usize,
+    clients: usize,
+    tenants: usize,
     workers: usize,
     cache: usize,
+    shards: usize,
+    store: Option<String>,
+    quota: Option<u32>,
+    depth: Option<usize>,
     assert_hits: bool,
     out: Option<String>,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
-        requests: 256,
-        concurrency: 64,
+        requests: 4096,
+        clients: 2048,
+        tenants: 6,
         workers: 4,
         cache: 32,
+        shards: 8,
+        store: None,
+        quota: None,
+        depth: None,
         assert_hits: false,
         out: None,
     };
@@ -57,16 +78,37 @@ fn parse_args() -> Args {
         };
         match flag.as_str() {
             "--requests" => args.requests = num("--requests"),
-            "--concurrency" => args.concurrency = num("--concurrency"),
+            "--clients" => args.clients = num("--clients"),
+            "--tenants" => args.tenants = num("--tenants"),
             "--workers" => args.workers = num("--workers"),
             "--cache" => args.cache = num("--cache"),
+            "--shards" => args.shards = num("--shards"),
+            "--quota" => args.quota = Some(num("--quota") as u32),
+            "--depth" => args.depth = Some(num("--depth")),
+            "--store" => args.store = Some(it.next().expect("--store expects a directory")),
             "--assert-hits" => args.assert_hits = true,
             "--out" => args.out = Some(it.next().expect("--out expects a path")),
             other => panic!("unknown flag {other}; see the module docs"),
         }
     }
-    assert!(args.requests > 0 && args.concurrency > 0);
+    assert!(args.requests > 0 && args.clients > 0 && args.tenants > 0);
     args
+}
+
+/// The tenant-class cycle: one third standard, one third batch, one third
+/// premium — a realistic mix of tiers hitting the same fleet.
+const CLASS_CYCLE: [TenantClass; 3] = [
+    TenantClass::Standard,
+    TenantClass::Batch,
+    TenantClass::Premium,
+];
+
+fn tenant_name(t: usize) -> String {
+    format!("tenant-{t}")
+}
+
+fn tenant_class(t: usize) -> TenantClass {
+    CLASS_CYCLE[t % CLASS_CYCLE.len()]
 }
 
 /// The request mix: every model family in the zoo, at the paper's 8-GPU
@@ -97,6 +139,17 @@ fn workload() -> Vec<PlanRequest> {
         .collect()
 }
 
+/// Distinct (mix index, tenant tier) pairs the replay will actually
+/// submit — the exact number of planner runs single-flight dedup allows.
+fn expected_distinct(args: &Args, mix_len: usize) -> u64 {
+    let mut pairs = BTreeSet::new();
+    for i in 0..args.requests {
+        let tenant = (i % args.clients) % args.tenants;
+        pairs.insert((i % mix_len, tenant_class(tenant).name()));
+    }
+    pairs.len() as u64
+}
+
 /// One histogram as a JSON object, nanosecond fields verbatim from the
 /// snapshot.
 fn hist_json(h: &HistogramSnapshot) -> String {
@@ -112,38 +165,45 @@ fn hist_json(h: &HistogramSnapshot) -> String {
     )
 }
 
-fn emit_json(args: &Args, distinct: u64, wall: f64, stats: &ServeStats) -> String {
+fn emit_json(args: &Args, distinct: u64, wall: f64, stats: &FleetStats) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"bench\": \"serve_load\",");
     let _ = writeln!(
         out,
-        "  \"requests\": {}, \"distinct\": {}, \"concurrency\": {}, \"workers\": {}, \
-         \"cache\": {},",
-        args.requests, distinct, args.concurrency, args.workers, args.cache
+        "  \"requests\": {}, \"distinct\": {}, \"clients\": {}, \"tenants\": {}, \
+         \"workers\": {}, \"cache\": {}, \"shards\": {},",
+        args.requests, distinct, args.clients, args.tenants, args.workers, args.cache, args.shards
     );
     let _ = writeln!(
         out,
-        "  \"wall_secs\": {:.6}, \"throughput_rps\": {:.1}, \"hit_rate\": {:.4},",
+        "  \"wall_secs\": {:.6}, \"throughput_rps\": {:.1}, \"shard_hit_rate\": {:.4}, \
+         \"shed_rate\": {:.4},",
         wall,
         args.requests as f64 / wall,
-        stats.hit_rate()
+        stats.hit_rate(),
+        stats.shed_rate()
     );
     let _ = writeln!(
         out,
-        "  \"hits\": {}, \"joins\": {}, \"misses\": {}, \"planner_runs\": {}, \
-         \"planner_errors\": {}, \"cache_evictions\": {},",
-        stats.hits,
-        stats.joins,
-        stats.misses,
+        "  \"shard_hits\": {}, \"store_hits\": {}, \"store_rejects\": {}, \"joins\": {}, \
+         \"misses\": {},",
+        stats.shard_hits, stats.store_hits, stats.store_rejects, stats.joins, stats.misses
+    );
+    let _ = writeln!(
+        out,
+        "  \"shed\": {}, \"quota_refusals\": {}, \"planner_runs\": {}, \"warm_starts\": {}, \
+         \"retries\": {}, \"cache_evictions\": {},",
+        stats.shed,
+        stats.quota_refusals,
         stats.planner_runs,
-        stats.planner_errors,
+        stats.warm_starts,
+        stats.retries,
         stats.cache_evictions
     );
     let _ = writeln!(out, "  \"latency\": {{");
-    let _ = writeln!(out, "    \"hit\": {},", hist_json(&stats.hit_latency));
-    let _ = writeln!(out, "    \"miss\": {},", hist_json(&stats.miss_latency));
-    let _ = writeln!(out, "    \"queue_wait\": {}", hist_json(&stats.queue_wait));
+    let _ = writeln!(out, "    \"queue_wait\": {},", hist_json(&stats.queue_wait));
+    let _ = writeln!(out, "    \"worker_rtt\": {}", hist_json(&stats.worker_rtt));
     let _ = writeln!(out, "  }}");
     let _ = writeln!(out, "}}");
     out
@@ -165,46 +225,96 @@ fn assert_monotone(label: &str, h: &HistogramSnapshot) {
 fn main() {
     let args = parse_args();
     let mix = workload();
-    let distinct = mix.len() as u64;
-    let service = Arc::new(PlanService::with_telemetry(
-        args.workers,
-        args.cache,
-        Telemetry::enabled(),
-    ));
+    let distinct = expected_distinct(&args, mix.len());
+
+    let admission = AdmissionConfig {
+        default_spec: TenantSpec::default(),
+        tenants: (0..args.tenants)
+            .map(|t| {
+                (
+                    tenant_name(t),
+                    TenantSpec {
+                        class: tenant_class(t),
+                        tokens: args.quota,
+                    },
+                )
+            })
+            .collect(),
+        max_queue_depth: args.depth,
+    };
+    let fleet = Arc::new(
+        FleetService::start(FleetConfig {
+            shards: args.shards,
+            cache_capacity: args.cache,
+            local_workers: args.workers,
+            remote_workers: Vec::new(),
+            store: args.store.as_ref().map(Into::into),
+            admission,
+            telemetry: Telemetry::enabled(),
+        })
+        .expect("open fleet store"),
+    );
+    let store_preloaded = fleet.store().map_or(0, |s| s.len());
 
     println!(
-        "# serve_load: {} requests ({} distinct) from {} client threads, {} workers, cache {}",
-        args.requests, distinct, args.concurrency, args.workers, args.cache
+        "# serve_load: {} requests ({} distinct request×tier pairs) from {} clients \
+         across {} tenants, {} workers, {} shards, cache {}{}",
+        args.requests,
+        distinct,
+        args.clients,
+        args.tenants,
+        args.workers,
+        args.shards,
+        args.cache,
+        match &args.store {
+            Some(dir) => format!(", store {dir} ({store_preloaded} preloaded)"),
+            None => String::new(),
+        }
     );
 
     let t0 = std::time::Instant::now();
     let mut clients = Vec::new();
-    for c in 0..args.concurrency {
-        let service = Arc::clone(&service);
+    for c in 0..args.clients {
+        let fleet = Arc::clone(&fleet);
+        let tenant = tenant_name(c % args.tenants);
         // Client c replays requests c, c+C, c+2C, ... round-robin over the
         // mix, so identical requests arrive concurrently from the start.
         let mine: Vec<PlanRequest> = (c..args.requests)
-            .step_by(args.concurrency)
+            .step_by(args.clients)
             .map(|i| mix[i % mix.len()].clone())
             .collect();
-        clients.push(std::thread::spawn(move || {
-            for request in mine {
-                service.plan(request).expect("zoo requests are plannable");
-            }
-        }));
+        if mine.is_empty() {
+            continue;
+        }
+        // 2048 clients at the default thread stack would reserve gigabytes;
+        // the client loop needs almost none.
+        let handle = std::thread::Builder::new()
+            .stack_size(256 * 1024)
+            .spawn(move || {
+                for request in mine {
+                    fleet
+                        .submit(&tenant, request)
+                        .expect("admission is unbounded in replay mode")
+                        .wait()
+                        .expect("zoo requests are plannable");
+                }
+            })
+            .expect("spawn client thread");
+        clients.push(handle);
     }
     for client in clients {
         client.join().expect("client thread");
     }
     let wall = t0.elapsed().as_secs_f64();
-    let stats = service.stats();
+    let stats = fleet.stats();
 
-    println!("\n{stats}\n");
+    println!("\n{}", stats.render());
     println!(
-        "wall {:.3} s  throughput {:.0} req/s  hit-rate {:.1}%",
+        "wall {:.3} s  throughput {:.0} req/s  shard-hit-rate {:.1}%  shed-rate {:.1}%",
         wall,
         args.requests as f64 / wall,
-        stats.hit_rate() * 100.0
+        stats.hit_rate() * 100.0,
+        stats.shed_rate() * 100.0
     );
 
     if let Some(path) = &args.out {
@@ -219,22 +329,38 @@ fn main() {
             "request accounting mismatch"
         );
         assert!(
-            stats.hits + stats.joins > 0,
-            "expected nonzero cache hits/joins: {stats}"
+            stats.shard_hits + stats.store_hits + stats.joins > 0,
+            "expected nonzero shard/store hits or joins:\n{}",
+            stats.render()
         );
-        assert_eq!(
-            stats.planner_runs,
-            distinct.min(args.requests as u64),
-            "single-flight dedup violated: planner must run exactly once \
-             per distinct request: {stats}"
-        );
-        assert!(
-            stats.hit_latency.count > 0 && stats.miss_latency.count > 0,
-            "telemetry recorded no latencies: {stats}"
-        );
-        assert_monotone("hit latency", &stats.hit_latency);
-        assert_monotone("miss latency", &stats.miss_latency);
+        let ran = stats.planner_runs;
+        let cap = distinct.min(args.requests as u64);
+        if store_preloaded == 0 {
+            assert_eq!(
+                ran,
+                cap,
+                "single-flight dedup violated: planner must run exactly once per \
+                 distinct (request, tier) pair:\n{}",
+                stats.render()
+            );
+        } else {
+            assert!(
+                ran <= cap,
+                "planner ran more than once per distinct pair despite the store:\n{}",
+                stats.render()
+            );
+        }
+        // A fully warm store can satisfy every miss without the pool, in
+        // which case both histograms are legitimately empty.
+        if stats.planner_runs > 0 {
+            assert!(
+                stats.queue_wait.count > 0 && stats.worker_rtt.count > 0,
+                "fleet recorded no latencies:\n{}",
+                stats.render()
+            );
+        }
         assert_monotone("queue wait", &stats.queue_wait);
+        assert_monotone("worker rtt", &stats.worker_rtt);
         println!("serve-smoke assertions passed");
     }
 }

@@ -57,7 +57,7 @@ pub mod session;
 
 pub use error::Error;
 pub use session::{
-    Comparison, ComparisonRow, EvalResult, PlannedStrategy, Session, SessionBuilder,
+    Comparison, ComparisonRow, EvalResult, PlannedStrategy, Session, SessionBuilder, SessionFleet,
     SessionService, TrainingConfig, TrainingRun,
 };
 
@@ -105,6 +105,12 @@ pub mod verify {
 pub mod obs {
     pub use gp_obs::*;
 }
+/// Distributed plan serving: sharded cache, persistent artifact store,
+/// remote planner workers, multi-tenant admission (re-export of
+/// `gp-fleet`).
+pub mod fleet {
+    pub use gp_fleet::*;
+}
 
 /// One-stop imports for examples and applications.
 pub mod prelude {
@@ -121,8 +127,8 @@ pub mod prelude {
     pub use crate::verify::{verify_plan, verify_schedule, verify_strategy, VerifyReport};
     pub use crate::{
         evaluate, planner, simulate_plan, Comparison, ComparisonRow, Error, EvalResult,
-        PlannedStrategy, PlannerKind, Session, SessionBuilder, SessionService, TrainingConfig,
-        TrainingRun,
+        PlannedStrategy, PlannerKind, Session, SessionBuilder, SessionFleet, SessionService,
+        TrainingConfig, TrainingRun,
     };
 }
 

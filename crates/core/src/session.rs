@@ -43,6 +43,7 @@ use crate::PlannerKind;
 use gp_baselines::{PipeDreamPlanner, PiperPlanner};
 use gp_cluster::Cluster;
 use gp_exec::{reference_step, synth_batch, ModelParams};
+use gp_fleet::{FleetConfig, FleetService, FleetStats};
 use gp_ir::SpModel;
 use gp_obs::Telemetry;
 use gp_partition::{GraphPipePlanner, Plan, PlanError, PlanOptions, Planner, WarmStart};
@@ -584,6 +585,43 @@ impl Session {
             session: self.clone(),
         }
     }
+
+    /// Attaches this session to a fresh `gp-fleet` [`FleetService`] —
+    /// the distributed serving front-end: a sharded plan cache, an
+    /// optional persistent artifact store, a pool of local and/or remote
+    /// planner workers, and multi-tenant admission control. The handle
+    /// submits this session's canonical [`Session::request`]s, so fleet
+    /// plans carry the same fingerprints as [`Session::plan`] (unless a
+    /// tenant tier rewrites the search options — then the ticket carries
+    /// the tier-scoped fingerprint).
+    ///
+    /// The session's telemetry handle replaces whatever `config.telemetry`
+    /// held, so fleet counters land next to the session's own spans.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Invalid`] when `config.store` is set and the store
+    /// directory cannot be opened or created.
+    pub fn serve_fleet(&self, config: FleetConfig) -> Result<SessionFleet, Error> {
+        let config = FleetConfig {
+            telemetry: self.telemetry.clone(),
+            ..config
+        };
+        let store = config.store.clone();
+        let fleet = FleetService::start(config).map_err(|e| {
+            Error::Invalid(format!(
+                "cannot open fleet artifact store {}: {e}",
+                store
+                    .as_deref()
+                    .map(|p| p.display().to_string())
+                    .unwrap_or_default()
+            ))
+        })?;
+        Ok(SessionFleet {
+            fleet,
+            session: self.clone(),
+        })
+    }
 }
 
 /// A planned training strategy bound to its session context: the shared
@@ -999,6 +1037,99 @@ impl SessionService {
     /// Drains the worker pool and returns the final counters.
     pub fn shutdown(self) -> ServeStats {
         self.service.shutdown()
+    }
+}
+
+/// A session bound to a `gp-fleet` [`FleetService`]: distributed plan
+/// serving with the session's own request fingerprints.
+///
+/// ```
+/// use graphpipe::fleet::FleetConfig;
+/// use graphpipe::prelude::*;
+///
+/// let session = Session::builder()
+///     .model(zoo::mmt(&zoo::MmtConfig::tiny()))
+///     .cluster(Cluster::summit_like(4))
+///     .mini_batch(32)
+///     .build()?;
+/// let fleet = session.serve_fleet(FleetConfig::default())?;
+/// let first = fleet.plan(PlannerKind::GraphPipe)?;   // a worker plans
+/// let again = fleet.plan(PlannerKind::GraphPipe)?;   // shard cache hit
+/// assert_eq!(first.fingerprint(), again.fingerprint());
+/// assert_eq!(fleet.stats().planner_runs, 1);
+/// # Ok::<(), graphpipe::Error>(())
+/// ```
+pub struct SessionFleet {
+    fleet: FleetService,
+    session: Session,
+}
+
+impl SessionFleet {
+    /// [`SessionFleet::plan_as`] under the default tenant contract.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SessionFleet::plan_as`].
+    pub fn plan(&self, kind: PlannerKind) -> Result<PlannedStrategy, Error> {
+        self.plan_as("default", kind)
+    }
+
+    /// Plans via the fleet on behalf of `tenant` — the admitted request
+    /// may be rewritten to the tenant's tier, in which case the returned
+    /// strategy carries the tier-scoped fingerprint from the ticket.
+    ///
+    /// # Errors
+    ///
+    /// Planner failures surface as [`Error::Plan`] (the same variant
+    /// [`Session::plan`] reports); admission refusals and worker-pool
+    /// exhaustion as [`Error::Serve`] wrapping
+    /// [`ServeError::Overloaded`](gp_serve::ServeError) or
+    /// [`ServeError::WorkerUnavailable`](gp_serve::ServeError).
+    pub fn plan_as(&self, tenant: &str, kind: PlannerKind) -> Result<PlannedStrategy, Error> {
+        let ticket = self.fleet.submit(tenant, self.session.request(kind))?;
+        let fingerprint = ticket.fingerprint();
+        let plan = ticket.wait()?;
+        // The fleet verified the plan before caching it (worker-side trust
+        // boundary); debug builds re-verify against *this* session's model
+        // to catch cache-keying bugs that hand back a foreign plan.
+        #[cfg(debug_assertions)]
+        {
+            let report =
+                gp_verify::verify_strategy(&self.session.model, &self.session.cluster, &plan);
+            debug_assert!(report.is_clean(), "fleet served an invalid plan: {report}");
+        }
+        Ok(PlannedStrategy {
+            model: Arc::clone(&self.session.model),
+            cluster: self.session.cluster.clone(),
+            kind,
+            plan,
+            fingerprint,
+            sim_options: self.session.sim_options.clone(),
+            telemetry: self.session.telemetry.clone(),
+        })
+    }
+
+    /// The session this handle submits requests for.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// The underlying fleet service, for hand-built [`PlanRequest`]s or
+    /// store/worker introspection.
+    pub fn fleet(&self) -> &FleetService {
+        &self.fleet
+    }
+
+    /// A snapshot of the fleet's per-shard and admission counters.
+    pub fn stats(&self) -> FleetStats {
+        self.fleet.stats()
+    }
+
+    /// Stops admission, drains queued work, and returns the final
+    /// counters.
+    pub fn shutdown(mut self) -> FleetStats {
+        self.fleet.shutdown();
+        self.fleet.stats()
     }
 }
 

@@ -1,0 +1,866 @@
+//! The fleet wire protocol: a lossless plan-request codec plus
+//! length-prefixed framing over `std::net` TCP streams.
+//!
+//! # Documents
+//!
+//! Three JSON document kinds travel over a worker connection, all
+//! distinguished by their `format` marker:
+//!
+//! * **plan request** (`graphpipe-plan-request`, version 1) — everything a
+//!   planner needs: the model (operator list + SP tree), the cluster, the
+//!   mini-batch, the full search options, the planner choice, and an
+//!   optional warm-start hint. The codec is *lossless*: decoding an
+//!   encoded request rebuilds a model with identical operator numbering
+//!   (`numbering_signature` equal) and an identical request fingerprint,
+//!   which is what makes remote planning byte-compatible with local
+//!   planning.
+//! * **plan artifact** (`graphpipe-plan`) — the success reply; exactly the
+//!   `gp-serve` artifact codec bytes ([`canonical_artifact`]), passed
+//!   through verbatim so the bytes a remote worker computed are the bytes
+//!   the front-end stores, caches, and serves.
+//! * **plan error** (`graphpipe-plan-error`, version 1) — the failure
+//!   reply, carrying the [`PlanError`] variant losslessly.
+//!
+//! # Framing
+//!
+//! Every document is one frame: a 4-byte big-endian byte length followed
+//! by the UTF-8 document. Frames above [`MAX_FRAME`] (64 MiB) are
+//! rejected before allocation, so a corrupt length prefix cannot balloon
+//! memory. One connection carries one request frame and one reply frame;
+//! reconnect-per-request keeps worker death visible as a plain transport
+//! error.
+//!
+//! gp-lint: deterministic — this module's outputs feed plan
+//! fingerprints or the artifact codec; `cargo xtask lint` scans it for
+//! nondeterminism hazards (DESIGN.md §"Determinism lint").
+
+use gp_cluster::{Cluster, DeviceProfile, LinkProfile};
+use gp_ir::{GraphBuilder, Nonlinearity, OpId, OpKind, Shape, SpBlock, SpModel};
+use gp_partition::{Plan, PlanError, PlanOptions, SearchStats, WarmStart};
+use gp_serve::json::{Json, JsonError};
+use gp_serve::{artifact, Fingerprint, PlanRequest, ServePlanner};
+use std::fmt;
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+/// The plan-request `format` marker.
+pub const REQUEST_FORMAT: &str = "graphpipe-plan-request";
+
+/// The plan-request version this build writes.
+pub const REQUEST_VERSION: u64 = 1;
+
+/// The plan-error `format` marker.
+pub const ERROR_FORMAT: &str = "graphpipe-plan-error";
+
+/// Largest frame either side will read or write (64 MiB).
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Why a wire document failed to decode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolError {
+    /// The document is not syntactically valid JSON.
+    Json(JsonError),
+    /// The `format` marker is missing or unknown.
+    BadFormat(String),
+    /// The document's version is newer than this decoder understands.
+    UnsupportedVersion(u64),
+    /// A required field is missing or has the wrong type.
+    Field(&'static str),
+    /// The request parsed but does not rebuild into a valid model
+    /// (graph construction or SP validation failed).
+    Model(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Json(e) => write!(f, "malformed wire document: {e}"),
+            ProtocolError::BadFormat(got) => {
+                write!(f, "unknown wire document (format marker `{got}`)")
+            }
+            ProtocolError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "wire document version {v} is newer than supported ({REQUEST_VERSION})"
+                )
+            }
+            ProtocolError::Field(name) => write!(f, "missing or mistyped field `{name}`"),
+            ProtocolError::Model(why) => write!(f, "request model invalid: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// The canonical artifact the fleet serves and persists: the `gp-serve`
+/// plan codec with the **search stats zeroed**. Search counters and wall
+/// clocks are measurement — they vary with warm starts, parallelism, and
+/// the machine — while the strategy itself is a pure function of the
+/// request. Zeroing them makes the artifact bytes a pure function of the
+/// request too, which is the fleet's determinism contract: a remotely
+/// planned artifact is byte-identical to a locally planned one.
+pub fn canonical_artifact(plan: &Plan, fingerprint: Fingerprint) -> String {
+    let mut canonical = plan.clone();
+    canonical.stats = SearchStats::default();
+    artifact::encode_plan(&canonical, Some(fingerprint))
+}
+
+// ---------------------------------------------------------------------------
+// Framing.
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// `InvalidInput` when the document exceeds [`MAX_FRAME`]; otherwise
+/// propagates the underlying write.
+pub fn write_frame(w: &mut impl Write, document: &str) -> std::io::Result<()> {
+    let bytes = document.as_bytes();
+    if bytes.len() > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", bytes.len()),
+        ));
+    }
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame.
+///
+/// # Errors
+///
+/// `InvalidData` for an oversized length prefix or non-UTF-8 payload;
+/// otherwise propagates the underlying read (including `UnexpectedEof`
+/// when the peer died mid-frame).
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<String> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "frame is not UTF-8"))
+}
+
+// ---------------------------------------------------------------------------
+// Request encoding.
+
+/// Encodes a plan request (plus an optional warm-start hint) as one wire
+/// document.
+pub fn encode_request(request: &PlanRequest, warm: Option<&WarmStart>) -> String {
+    let graph = request.model.graph();
+    let ops = graph
+        .nodes()
+        .map(|node| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(node.name.clone())),
+                ("kind".into(), encode_kind(&node.kind)),
+                (
+                    "preds".into(),
+                    Json::Arr(
+                        graph
+                            .preds(node.id)
+                            .iter()
+                            .map(|p| Json::Int(p.index() as i128))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "shape".into(),
+                    Json::Arr(
+                        node.out_shape
+                            .dims()
+                            .iter()
+                            .map(|&d| Json::Int(d as i128))
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    let model = Json::Obj(vec![
+        ("name".into(), Json::Str(request.model.name().to_string())),
+        ("ops".into(), Json::Arr(ops)),
+        ("sp".into(), encode_sp(request.model.root())),
+    ]);
+    let warm = match warm {
+        None => Json::Null,
+        Some(w) => Json::Obj(vec![
+            ("tps_hint".into(), Json::Float(w.tps_hint)),
+            (
+                "micro_batch".into(),
+                match w.micro_batch {
+                    Some(m) => Json::Int(i128::from(m)),
+                    None => Json::Null,
+                },
+            ),
+        ]),
+    };
+    Json::Obj(vec![
+        ("format".into(), Json::Str(REQUEST_FORMAT.into())),
+        ("version".into(), Json::Int(i128::from(REQUEST_VERSION))),
+        ("model".into(), model),
+        ("cluster".into(), encode_cluster(&request.cluster)),
+        (
+            "mini_batch".into(),
+            Json::Int(i128::from(request.mini_batch)),
+        ),
+        (
+            "planner".into(),
+            Json::Str(planner_tag(request.planner).into()),
+        ),
+        ("options".into(), encode_options(&request.options)),
+        ("warm".into(), warm),
+    ])
+    .to_string()
+}
+
+fn planner_tag(planner: ServePlanner) -> &'static str {
+    match planner {
+        ServePlanner::GraphPipe => "graphpipe",
+        ServePlanner::PipeDream => "pipedream",
+        ServePlanner::Piper => "piper",
+    }
+}
+
+fn encode_kind(kind: &OpKind) -> Json {
+    let obj = |members: Vec<(&str, Json)>| {
+        Json::Obj(
+            members
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    };
+    let int = |v: usize| Json::Int(v as i128);
+    match *kind {
+        OpKind::Input => obj(vec![("op", Json::Str("input".into()))]),
+        OpKind::Linear {
+            in_features,
+            out_features,
+            bias,
+        } => obj(vec![
+            ("op", Json::Str("linear".into())),
+            ("in_features", int(in_features)),
+            ("out_features", int(out_features)),
+            ("bias", Json::Bool(bias)),
+        ]),
+        OpKind::MultiHeadAttention { seq, hidden, heads } => obj(vec![
+            ("op", Json::Str("attention".into())),
+            ("seq", int(seq)),
+            ("hidden", int(hidden)),
+            ("heads", int(heads)),
+        ]),
+        OpKind::LayerNorm { dim } => obj(vec![
+            ("op", Json::Str("layernorm".into())),
+            ("dim", int(dim)),
+        ]),
+        OpKind::Activation(Nonlinearity::Relu) => obj(vec![("op", Json::Str("relu".into()))]),
+        OpKind::Activation(Nonlinearity::Gelu) => obj(vec![("op", Json::Str("gelu".into()))]),
+        OpKind::EmbeddingBag { entries, dim, bag } => obj(vec![
+            ("op", Json::Str("embedding_bag".into())),
+            ("entries", int(entries)),
+            ("dim", int(dim)),
+            ("bag", int(bag)),
+        ]),
+        OpKind::Concat => obj(vec![("op", Json::Str("concat".into()))]),
+        OpKind::FeatureInteraction { features, dim } => obj(vec![
+            ("op", Json::Str("interaction".into())),
+            ("features", int(features)),
+            ("dim", int(dim)),
+        ]),
+        OpKind::Loss => obj(vec![("op", Json::Str("loss".into()))]),
+    }
+}
+
+fn encode_sp(block: &SpBlock) -> Json {
+    match block {
+        SpBlock::Leaf(id) => Json::Obj(vec![("leaf".into(), Json::Int(id.index() as i128))]),
+        SpBlock::Chain(children) => Json::Obj(vec![(
+            "chain".into(),
+            Json::Arr(children.iter().map(encode_sp).collect()),
+        )]),
+        SpBlock::Branches(children) => Json::Obj(vec![(
+            "branches".into(),
+            Json::Arr(children.iter().map(encode_sp).collect()),
+        )]),
+    }
+}
+
+fn encode_cluster(cluster: &Cluster) -> Json {
+    let profile = cluster.profile();
+    let link = |l: LinkProfile| {
+        Json::Obj(vec![
+            ("bandwidth".into(), Json::Float(l.bandwidth)),
+            ("latency".into(), Json::Float(l.latency)),
+        ])
+    };
+    Json::Obj(vec![
+        (
+            "profile".into(),
+            Json::Obj(vec![
+                ("name".into(), Json::Str(profile.name.clone())),
+                ("peak_flops".into(), Json::Float(profile.peak_flops)),
+                ("mem_bandwidth".into(), Json::Float(profile.mem_bandwidth)),
+                (
+                    "mem_capacity".into(),
+                    Json::Int(i128::from(profile.mem_capacity)),
+                ),
+                (
+                    "kernel_overhead".into(),
+                    Json::Float(profile.kernel_overhead),
+                ),
+                (
+                    "efficiency_half_sat".into(),
+                    Json::Float(profile.efficiency_half_sat),
+                ),
+            ]),
+        ),
+        ("devices".into(), Json::Int(cluster.device_count() as i128)),
+        (
+            "gpus_per_node".into(),
+            Json::Int(cluster.gpus_per_node() as i128),
+        ),
+        ("intra_link".into(), link(cluster.intra_link())),
+        ("inter_link".into(), link(cluster.inter_link())),
+    ])
+}
+
+fn encode_options(options: &PlanOptions) -> Json {
+    Json::Obj(vec![
+        ("epsilon".into(), Json::Float(options.epsilon)),
+        (
+            "micro_batch_candidates".into(),
+            match &options.micro_batch_candidates {
+                None => Json::Null,
+                Some(c) => Json::Arr(c.iter().map(|&v| Json::Int(i128::from(v))).collect()),
+            },
+        ),
+        (
+            "max_micro_batches".into(),
+            Json::Int(i128::from(options.max_micro_batches)),
+        ),
+        (
+            "kfkb_candidates".into(),
+            Json::Arr(
+                options
+                    .kfkb_candidates
+                    .iter()
+                    .map(|&v| Json::Int(i128::from(v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "per_stage_micro_batch".into(),
+            Json::Bool(options.per_stage_micro_batch),
+        ),
+        (
+            "eval_budget".into(),
+            Json::Int(i128::from(options.eval_budget)),
+        ),
+        ("parallelism".into(), Json::Int(options.parallelism as i128)),
+        (
+            "beam_width".into(),
+            match options.beam_width {
+                Some(w) => Json::Int(i128::from(w)),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Request decoding.
+
+/// Decodes a plan request (and its warm-start hint, if any), rebuilding
+/// the model through [`GraphBuilder`] and [`SpModel::new`] so the result
+/// is fully re-validated.
+///
+/// # Errors
+///
+/// [`ProtocolError`] on malformed documents, unknown formats, newer
+/// versions, or models that fail graph/SP validation.
+pub fn decode_request(text: &str) -> Result<(PlanRequest, Option<WarmStart>), ProtocolError> {
+    let doc = Json::parse(text).map_err(ProtocolError::Json)?;
+    let format = doc
+        .get("format")
+        .and_then(Json::as_str)
+        .ok_or(ProtocolError::Field("format"))?;
+    if format != REQUEST_FORMAT {
+        return Err(ProtocolError::BadFormat(format.to_string()));
+    }
+    let version = doc
+        .get("version")
+        .and_then(Json::as_u64)
+        .ok_or(ProtocolError::Field("version"))?;
+    if version > REQUEST_VERSION {
+        return Err(ProtocolError::UnsupportedVersion(version));
+    }
+    let model = decode_model(doc.get("model").ok_or(ProtocolError::Field("model"))?)?;
+    let cluster = decode_cluster(doc.get("cluster").ok_or(ProtocolError::Field("cluster"))?)?;
+    let mini_batch = doc
+        .get("mini_batch")
+        .and_then(Json::as_u64)
+        .ok_or(ProtocolError::Field("mini_batch"))?;
+    let planner = match doc
+        .get("planner")
+        .and_then(Json::as_str)
+        .ok_or(ProtocolError::Field("planner"))?
+    {
+        "graphpipe" => ServePlanner::GraphPipe,
+        "pipedream" => ServePlanner::PipeDream,
+        "piper" => ServePlanner::Piper,
+        other => return Err(ProtocolError::Model(format!("unknown planner `{other}`"))),
+    };
+    let options = decode_options(doc.get("options").ok_or(ProtocolError::Field("options"))?)?;
+    let warm = match doc.get("warm") {
+        None | Some(Json::Null) => None,
+        Some(w) => Some(WarmStart {
+            tps_hint: w
+                .get("tps_hint")
+                .and_then(Json::as_f64)
+                .ok_or(ProtocolError::Field("warm.tps_hint"))?,
+            micro_batch: match w.get("micro_batch") {
+                None | Some(Json::Null) => None,
+                Some(m) => Some(m.as_u64().ok_or(ProtocolError::Field("warm.micro_batch"))?),
+            },
+        }),
+    };
+    Ok((
+        PlanRequest::new(Arc::new(model), cluster, mini_batch)
+            .with_options(options)
+            .with_planner(planner),
+        warm,
+    ))
+}
+
+fn decode_model(doc: &Json) -> Result<SpModel, ProtocolError> {
+    let name = doc
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or(ProtocolError::Field("model.name"))?;
+    let ops = doc
+        .get("ops")
+        .and_then(Json::as_arr)
+        .ok_or(ProtocolError::Field("model.ops"))?;
+    let mut builder = GraphBuilder::new();
+    let mut ids: Vec<OpId> = Vec::with_capacity(ops.len());
+    for op in ops {
+        let op_name = op
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or(ProtocolError::Field("op.name"))?;
+        let kind = decode_kind(op.get("kind").ok_or(ProtocolError::Field("op.kind"))?)?;
+        let preds: Vec<OpId> = op
+            .get("preds")
+            .and_then(Json::as_arr)
+            .ok_or(ProtocolError::Field("op.preds"))?
+            .iter()
+            .map(|p| {
+                p.as_u64()
+                    .and_then(|i| ids.get(i as usize).copied())
+                    .ok_or(ProtocolError::Field("op.preds"))
+            })
+            .collect::<Result<_, _>>()?;
+        let shape: Vec<usize> = op
+            .get("shape")
+            .and_then(Json::as_arr)
+            .ok_or(ProtocolError::Field("op.shape"))?
+            .iter()
+            .map(|d| {
+                d.as_u64()
+                    .map(|d| d as usize)
+                    .ok_or(ProtocolError::Field("op.shape"))
+            })
+            .collect::<Result<_, _>>()?;
+        let id = match kind {
+            OpKind::Input => builder.input(op_name, Shape::new(shape.clone())),
+            OpKind::Loss => builder.loss(op_name, &preds),
+            kind => builder
+                .op(op_name, kind, &preds)
+                .map_err(|e| ProtocolError::Model(format!("op `{op_name}`: {e:?}")))?,
+        };
+        // Shapes are re-inferred during the rebuild; a mismatch means the
+        // document was corrupted or produced by an incompatible encoder.
+        if builder.shape_of(id).dims() != shape.as_slice() {
+            return Err(ProtocolError::Model(format!(
+                "op `{op_name}`: carried shape {:?} disagrees with inferred {:?}",
+                shape,
+                builder.shape_of(id).dims()
+            )));
+        }
+        ids.push(id);
+    }
+    let root = decode_sp(doc.get("sp").ok_or(ProtocolError::Field("model.sp"))?, &ids)?;
+    let graph = builder
+        .finish()
+        .map_err(|e| ProtocolError::Model(format!("graph validation: {e:?}")))?;
+    SpModel::new(name, graph, root).map_err(|e| ProtocolError::Model(format!("sp tree: {e:?}")))
+}
+
+fn decode_kind(doc: &Json) -> Result<OpKind, ProtocolError> {
+    let tag = doc
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or(ProtocolError::Field("kind.op"))?;
+    let field = |name: &'static str| -> Result<usize, ProtocolError> {
+        doc.get(name)
+            .and_then(Json::as_u64)
+            .map(|v| v as usize)
+            .ok_or(ProtocolError::Field(name))
+    };
+    Ok(match tag {
+        "input" => OpKind::Input,
+        "linear" => OpKind::Linear {
+            in_features: field("in_features")?,
+            out_features: field("out_features")?,
+            bias: matches!(doc.get("bias"), Some(Json::Bool(true))),
+        },
+        "attention" => OpKind::MultiHeadAttention {
+            seq: field("seq")?,
+            hidden: field("hidden")?,
+            heads: field("heads")?,
+        },
+        "layernorm" => OpKind::LayerNorm { dim: field("dim")? },
+        "relu" => OpKind::Activation(Nonlinearity::Relu),
+        "gelu" => OpKind::Activation(Nonlinearity::Gelu),
+        "embedding_bag" => OpKind::EmbeddingBag {
+            entries: field("entries")?,
+            dim: field("dim")?,
+            bag: field("bag")?,
+        },
+        "concat" => OpKind::Concat,
+        "interaction" => OpKind::FeatureInteraction {
+            features: field("features")?,
+            dim: field("dim")?,
+        },
+        "loss" => OpKind::Loss,
+        other => return Err(ProtocolError::Model(format!("unknown op kind `{other}`"))),
+    })
+}
+
+fn decode_sp(doc: &Json, ids: &[OpId]) -> Result<SpBlock, ProtocolError> {
+    if let Some(leaf) = doc.get("leaf") {
+        let i = leaf.as_u64().ok_or(ProtocolError::Field("sp.leaf"))?;
+        return ids
+            .get(i as usize)
+            .map(|&id| SpBlock::Leaf(id))
+            .ok_or(ProtocolError::Field("sp.leaf"));
+    }
+    for (key, ctor) in [
+        ("chain", SpBlock::Chain as fn(Vec<SpBlock>) -> SpBlock),
+        ("branches", SpBlock::Branches as fn(Vec<SpBlock>) -> SpBlock),
+    ] {
+        if let Some(children) = doc.get(key) {
+            let children = children
+                .as_arr()
+                .ok_or(ProtocolError::Field("sp.children"))?
+                .iter()
+                .map(|c| decode_sp(c, ids))
+                .collect::<Result<Vec<_>, _>>()?;
+            return Ok(ctor(children));
+        }
+    }
+    Err(ProtocolError::Field("sp"))
+}
+
+fn decode_cluster(doc: &Json) -> Result<Cluster, ProtocolError> {
+    let profile = doc
+        .get("profile")
+        .ok_or(ProtocolError::Field("cluster.profile"))?;
+    let float = |doc: &Json, name: &'static str| -> Result<f64, ProtocolError> {
+        doc.get(name)
+            .and_then(Json::as_f64)
+            .ok_or(ProtocolError::Field(name))
+    };
+    let link = |doc: Option<&Json>| -> Result<LinkProfile, ProtocolError> {
+        let doc = doc.ok_or(ProtocolError::Field("cluster.link"))?;
+        Ok(LinkProfile {
+            bandwidth: float(doc, "bandwidth")?,
+            latency: float(doc, "latency")?,
+        })
+    };
+    let device = DeviceProfile {
+        name: profile
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or(ProtocolError::Field("profile.name"))?
+            .to_string(),
+        peak_flops: float(profile, "peak_flops")?,
+        mem_bandwidth: float(profile, "mem_bandwidth")?,
+        mem_capacity: profile
+            .get("mem_capacity")
+            .and_then(Json::as_u64)
+            .ok_or(ProtocolError::Field("profile.mem_capacity"))?,
+        kernel_overhead: float(profile, "kernel_overhead")?,
+        efficiency_half_sat: float(profile, "efficiency_half_sat")?,
+    };
+    let devices = doc
+        .get("devices")
+        .and_then(Json::as_u64)
+        .ok_or(ProtocolError::Field("cluster.devices"))?;
+    let gpus_per_node = doc
+        .get("gpus_per_node")
+        .and_then(Json::as_u64)
+        .ok_or(ProtocolError::Field("cluster.gpus_per_node"))?;
+    if devices == 0 || gpus_per_node == 0 {
+        return Err(ProtocolError::Model("cluster with zero devices".into()));
+    }
+    Ok(Cluster::new(
+        device,
+        devices as usize,
+        gpus_per_node as usize,
+        link(doc.get("intra_link"))?,
+        link(doc.get("inter_link"))?,
+    ))
+}
+
+fn decode_options(doc: &Json) -> Result<PlanOptions, ProtocolError> {
+    let ints = |v: &Json, name: &'static str| -> Result<Vec<u64>, ProtocolError> {
+        v.as_arr()
+            .ok_or(ProtocolError::Field(name))?
+            .iter()
+            .map(|i| i.as_u64().ok_or(ProtocolError::Field(name)))
+            .collect()
+    };
+    Ok(PlanOptions {
+        epsilon: doc
+            .get("epsilon")
+            .and_then(Json::as_f64)
+            .ok_or(ProtocolError::Field("options.epsilon"))?,
+        micro_batch_candidates: match doc.get("micro_batch_candidates") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(ints(v, "options.micro_batch_candidates")?),
+        },
+        max_micro_batches: doc
+            .get("max_micro_batches")
+            .and_then(Json::as_u64)
+            .ok_or(ProtocolError::Field("options.max_micro_batches"))?,
+        kfkb_candidates: ints(
+            doc.get("kfkb_candidates")
+                .ok_or(ProtocolError::Field("options.kfkb_candidates"))?,
+            "options.kfkb_candidates",
+        )?,
+        per_stage_micro_batch: matches!(doc.get("per_stage_micro_batch"), Some(Json::Bool(true))),
+        eval_budget: doc
+            .get("eval_budget")
+            .and_then(Json::as_u64)
+            .ok_or(ProtocolError::Field("options.eval_budget"))?,
+        parallelism: doc
+            .get("parallelism")
+            .and_then(Json::as_u64)
+            .ok_or(ProtocolError::Field("options.parallelism"))? as usize,
+        beam_width: match doc.get("beam_width") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .and_then(|w| u32::try_from(w).ok())
+                    .ok_or(ProtocolError::Field("options.beam_width"))?,
+            ),
+        },
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Replies.
+
+/// A worker's reply, classified by its `format` marker.
+pub enum WireReply {
+    /// A plan artifact; the `String` is the **verbatim** document text, so
+    /// the bytes the worker computed are the bytes the caller keeps.
+    Artifact(String),
+    /// The worker's planner failed.
+    Error(PlanError),
+}
+
+/// Encodes a planner failure as the error reply document.
+pub fn encode_plan_error(error: &PlanError) -> String {
+    let (kind, message, evals) = match error {
+        PlanError::Infeasible(why) => ("infeasible", why.clone(), 0),
+        PlanError::SearchExplosion { evals } => ("explosion", String::new(), *evals),
+        PlanError::UnsupportedModel(why) => ("unsupported", why.clone(), 0),
+        PlanError::Internal(why) => ("internal", why.clone(), 0),
+    };
+    Json::Obj(vec![
+        ("format".into(), Json::Str(ERROR_FORMAT.into())),
+        ("version".into(), Json::Int(1)),
+        ("kind".into(), Json::Str(kind.into())),
+        ("message".into(), Json::Str(message)),
+        ("evals".into(), Json::Int(i128::from(evals))),
+    ])
+    .to_string()
+}
+
+/// Classifies a reply document: a plan artifact (returned verbatim) or a
+/// decoded planner failure.
+///
+/// # Errors
+///
+/// [`ProtocolError`] when the document is malformed or carries an unknown
+/// `format` marker.
+pub fn classify_reply(text: &str) -> Result<WireReply, ProtocolError> {
+    let doc = Json::parse(text).map_err(ProtocolError::Json)?;
+    let format = doc
+        .get("format")
+        .and_then(Json::as_str)
+        .ok_or(ProtocolError::Field("format"))?;
+    match format {
+        artifact::FORMAT => Ok(WireReply::Artifact(text.to_string())),
+        ERROR_FORMAT => {
+            let kind = doc
+                .get("kind")
+                .and_then(Json::as_str)
+                .ok_or(ProtocolError::Field("kind"))?;
+            let message = doc
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string();
+            let error = match kind {
+                "infeasible" => PlanError::Infeasible(message),
+                "explosion" => PlanError::SearchExplosion {
+                    evals: doc.get("evals").and_then(Json::as_u64).unwrap_or(0),
+                },
+                "unsupported" => PlanError::UnsupportedModel(message),
+                "internal" => PlanError::Internal(message),
+                other => {
+                    return Err(ProtocolError::Model(format!(
+                        "unknown error kind `{other}`"
+                    )))
+                }
+            };
+            Ok(WireReply::Error(error))
+        }
+        other => Err(ProtocolError::BadFormat(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_ir::zoo::{self, CandleUnoConfig, DlrmConfig, MmtConfig, MoeConfig};
+    use gp_serve::fingerprint::numbering_signature;
+
+    fn zoo_requests() -> Vec<PlanRequest> {
+        let cluster = Cluster::summit_like(8);
+        vec![
+            PlanRequest::new(
+                Arc::new(zoo::mmt(&MmtConfig::two_branch())),
+                cluster.clone(),
+                128,
+            ),
+            PlanRequest::new(
+                Arc::new(zoo::dlrm(&DlrmConfig::tiny())),
+                cluster.clone(),
+                64,
+            )
+            .with_planner(ServePlanner::PipeDream),
+            PlanRequest::new(
+                Arc::new(zoo::candle_uno(&CandleUnoConfig::tiny())),
+                Cluster::tiny_test(4),
+                32,
+            )
+            .with_options(PlanOptions {
+                epsilon: 0.02,
+                micro_batch_candidates: Some(vec![4, 8]),
+                max_micro_batches: 64,
+                kfkb_candidates: vec![1, 2],
+                per_stage_micro_batch: true,
+                eval_budget: 12345,
+                parallelism: 3,
+                beam_width: Some(6),
+            }),
+            PlanRequest::new(Arc::new(zoo::moe(&MoeConfig::tiny())), cluster, 256)
+                .with_planner(ServePlanner::Piper),
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip_losslessly() {
+        for request in zoo_requests() {
+            let warm = Some(WarmStart {
+                tps_hint: 1.25e-6,
+                micro_batch: Some(8),
+            });
+            let text = encode_request(&request, warm.as_ref());
+            let (decoded, decoded_warm) = decode_request(&text).expect("decodes");
+            assert_eq!(decoded.fingerprint(), request.fingerprint());
+            assert_eq!(
+                numbering_signature(decoded.model.graph()),
+                numbering_signature(request.model.graph()),
+                "operator numbering must survive the wire"
+            );
+            assert_eq!(decoded.mini_batch, request.mini_batch);
+            assert_eq!(decoded.options, request.options);
+            assert_eq!(decoded.planner, request.planner);
+            assert_eq!(decoded_warm, warm);
+            // Idempotent: re-encoding the decoded request reproduces bytes.
+            assert_eq!(encode_request(&decoded, warm.as_ref()), text);
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "hello").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor).unwrap(), "hello");
+        assert_eq!(read_frame(&mut cursor).unwrap(), "");
+        assert!(read_frame(&mut cursor).is_err(), "eof surfaces as an error");
+    }
+
+    #[test]
+    fn oversize_frames_are_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME as u32 + 1).to_be_bytes());
+        let mut cursor = &buf[..];
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn plan_errors_round_trip() {
+        for error in [
+            PlanError::Infeasible("memory".into()),
+            PlanError::SearchExplosion { evals: 42 },
+            PlanError::UnsupportedModel("shape".into()),
+            PlanError::Internal("bug".into()),
+        ] {
+            let text = encode_plan_error(&error);
+            match classify_reply(&text).unwrap() {
+                WireReply::Error(decoded) => assert_eq!(decoded, error),
+                WireReply::Artifact(_) => panic!("misclassified error reply"),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(matches!(
+            decode_request("not json"),
+            Err(ProtocolError::Json(_))
+        ));
+        assert!(matches!(
+            decode_request("{\"format\":\"other\"}"),
+            Err(ProtocolError::Field("format") | ProtocolError::BadFormat(_))
+        ));
+        let newer = format!(
+            "{{\"format\":\"{REQUEST_FORMAT}\",\"version\":{}}}",
+            REQUEST_VERSION + 1
+        );
+        assert!(matches!(
+            decode_request(&newer),
+            Err(ProtocolError::UnsupportedVersion(_))
+        ));
+        assert!(classify_reply("{\"format\":\"mystery\"}").is_err());
+    }
+}

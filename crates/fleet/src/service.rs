@@ -1,0 +1,1006 @@
+//! The fleet front-end: [`FleetService`] ties the sharded cache, the
+//! persistent store, the worker pool, and admission control into one
+//! plan-serving surface.
+//!
+//! # Request path
+//!
+//! A submitted request walks four levels, cheapest first:
+//!
+//! 1. **Sharded cache** — an [`Arc<Plan>`] under a per-shard lock;
+//!    numbering-verified, no I/O.
+//! 2. **Persistent store** — the canonical artifact bytes on disk;
+//!    decoding re-validates the plan against this request's model and
+//!    cluster, so a corrupt or mismatched artifact degrades to a miss,
+//!    never to a wrong answer.
+//! 3. **Single-flight join** — an identical request already being planned;
+//!    the new request subscribes to its result instead of planning again.
+//! 4. **Worker pool** — the miss is queued; a dispatcher sends it to its
+//!    worker (in-process or remote), retrying the next worker when one is
+//!    unreachable. The worker's canonical artifact is decoded, verified,
+//!    persisted, cached, and fanned out.
+//!
+//! Admission happens before any of this: the tenant's tier rewrites the
+//! search options (changing the fingerprint — tier-scoped caching), a
+//! quota token is taken, and when the backlog of claimed-but-unfinished
+//! misses exceeds the configured depth the request is shed with
+//! [`ServeError::Overloaded`] instead of queued into a latency cliff.
+
+use crate::admission::{AdmissionConfig, AdmissionControl, AdmissionToken};
+use crate::shard::{ShardLookup, ShardStats, ShardedPlanCache};
+use crate::store::ArtifactStore;
+use crate::worker::{LocalWorker, PlanWorker, RemoteWorker, WorkerFailure};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use gp_obs::{ClockHandle, Histogram, HistogramSnapshot, Telemetry};
+use gp_partition::{Plan, PlanError, WarmStart};
+use gp_serve::fingerprint::{
+    numbering_signature, request_config_fingerprint, request_graph_fingerprint,
+};
+use gp_serve::{artifact, Fingerprint, PlanRequest, ServeError, ServePlanner};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// How a [`FleetService`] is assembled.
+#[derive(Clone)]
+pub struct FleetConfig {
+    /// Independent cache shards (each with its own lock and LRU budget).
+    pub shards: usize,
+    /// Total cached plans across all shards.
+    pub cache_capacity: usize,
+    /// In-process planner workers.
+    pub local_workers: usize,
+    /// Remote planner workers, as `host:port` addresses.
+    pub remote_workers: Vec<String>,
+    /// Directory for the persistent artifact store; `None` disables it.
+    pub store: Option<PathBuf>,
+    /// Multi-tenant admission policy.
+    pub admission: AdmissionConfig,
+    /// Telemetry sink for fleet counters, histograms, and spans.
+    pub telemetry: Telemetry,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            shards: 8,
+            cache_capacity: 64,
+            local_workers: 2,
+            remote_workers: Vec::new(),
+            store: None,
+            admission: AdmissionConfig::default(),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+}
+
+/// A fleet-wide counter snapshot plus per-shard detail.
+#[derive(Debug, Clone, Default)]
+pub struct FleetStats {
+    /// Requests submitted (admitted or not).
+    pub requests: u64,
+    /// Served straight from a cache shard at submit time.
+    pub shard_hits: u64,
+    /// Served from the persistent store (decoded + re-validated).
+    pub store_hits: u64,
+    /// Store artifacts refused (numbering mismatch, corrupt bytes, or a
+    /// fingerprint that does not match the request).
+    pub store_rejects: u64,
+    /// Joined an identical in-flight request.
+    pub joins: u64,
+    /// Claimed a planner run (queued to the worker pool).
+    pub misses: u64,
+    /// Refused by admission: tenant quota exhausted.
+    pub quota_refusals: u64,
+    /// Refused by admission: miss backlog past the configured depth.
+    pub shed: u64,
+    /// Failovers to another worker after an unreachable one.
+    pub retries: u64,
+    /// Worker attempts that found the worker unreachable.
+    pub worker_errors: u64,
+    /// Successful planner runs across all workers.
+    pub planner_runs: u64,
+    /// Planner runs seeded by a warm-start hint from a *different*
+    /// configuration of the same graph (the cross-config reuse case).
+    pub warm_starts: u64,
+    /// Plans currently cached across all shards.
+    pub cached_plans: u64,
+    /// LRU evictions across all shards.
+    pub cache_evictions: u64,
+    /// Submit-to-dispatch latency of queued misses (nanoseconds).
+    pub queue_wait: HistogramSnapshot,
+    /// Per-request worker round-trip time (nanoseconds).
+    pub worker_rtt: HistogramSnapshot,
+    /// Per-shard counters, in shard order.
+    pub shards: Vec<ShardStats>,
+}
+
+impl FleetStats {
+    /// Fraction of requests served from a cache shard.
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.shard_hits as f64 / self.requests as f64
+        }
+    }
+
+    /// Fraction of requests refused by admission (quota or shedding).
+    pub fn shed_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            (self.shed + self.quota_refusals) as f64 / self.requests as f64
+        }
+    }
+
+    /// A compact multi-line report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "requests {}  shard-hits {}  store-hits {}  joins {}  misses {}\n",
+            self.requests, self.shard_hits, self.store_hits, self.joins, self.misses
+        ));
+        out.push_str(&format!(
+            "shed {}  quota-refusals {}  retries {}  worker-errors {}  planner-runs {}  warm-starts {}\n",
+            self.shed, self.quota_refusals, self.retries, self.worker_errors, self.planner_runs,
+            self.warm_starts
+        ));
+        out.push_str(&format!(
+            "cached {}  evictions {}  store-rejects {}  hit-rate {:.3}  shed-rate {:.3}\n",
+            self.cached_plans,
+            self.cache_evictions,
+            self.store_rejects,
+            self.hit_rate(),
+            self.shed_rate()
+        ));
+        out.push_str(&format!(
+            "queue-wait p50/p99/max {}ns/{}ns/{}ns  worker-rtt p50/p99/max {}ns/{}ns/{}ns\n",
+            self.queue_wait.p50,
+            self.queue_wait.p99,
+            self.queue_wait.max,
+            self.worker_rtt.p50,
+            self.worker_rtt.p99,
+            self.worker_rtt.max
+        ));
+        for (i, s) in self.shards.iter().enumerate() {
+            out.push_str(&format!(
+                "shard {i}: hits {}  misses {}  rejections {}  evictions {}  len {}/{}\n",
+                s.hits, s.misses, s.rejections, s.evictions, s.len, s.capacity
+            ));
+        }
+        out
+    }
+}
+
+type Reply = Result<Arc<Plan>, ServeError>;
+
+/// How a ticket was satisfied at submit time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Served {
+    /// Straight from a cache shard.
+    Cache,
+    /// Decoded from the persistent store.
+    Store,
+    /// Subscribed to an identical in-flight request.
+    Joined,
+    /// Queued to the worker pool.
+    Planned,
+}
+
+enum TicketBody {
+    Ready(Reply),
+    Waiting(Receiver<Reply>),
+}
+
+/// A pending fleet response. Holds the tenant's admission token for its
+/// whole lifetime, so quota counts cover queue and planning time.
+#[must_use = "a ticket resolves to the plan; drop it and the answer is lost"]
+pub struct FleetTicket {
+    fingerprint: Fingerprint,
+    served: Served,
+    body: TicketBody,
+    _token: AdmissionToken,
+}
+
+impl FleetTicket {
+    /// The request's fingerprint (cache, store, and wire key).
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.fingerprint
+    }
+
+    /// How the request was satisfied at submit time.
+    pub fn served(&self) -> Served {
+        self.served
+    }
+
+    /// Whether the response needed no planner work at submit time.
+    pub fn served_from_cache(&self) -> bool {
+        matches!(self.served, Served::Cache | Served::Store)
+    }
+
+    /// Blocks until the plan (or failure) is available.
+    ///
+    /// # Errors
+    ///
+    /// The planner's error, or [`ServeError::ServiceStopped`] when the
+    /// fleet shut down with the request still queued.
+    pub fn wait(self) -> Reply {
+        match self.body {
+            TicketBody::Ready(reply) => reply,
+            TicketBody::Waiting(rx) => match rx.recv() {
+                Ok(reply) => reply,
+                Err(_) => Err(ServeError::ServiceStopped),
+            },
+        }
+    }
+}
+
+struct Waiter {
+    tx: Sender<Reply>,
+    numbering: u64,
+    request: PlanRequest,
+}
+
+struct Job {
+    fingerprint: Fingerprint,
+    numbering: u64,
+    request: PlanRequest,
+    enqueued_ns: u64,
+}
+
+#[derive(Clone, Copy)]
+struct WarmSeed {
+    config_fp: Fingerprint,
+    devices: u32,
+    bottleneck_tps: f64,
+    micro_batch: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    shard_hits: AtomicU64,
+    store_hits: AtomicU64,
+    store_rejects: AtomicU64,
+    joins: AtomicU64,
+    misses: AtomicU64,
+    quota_refusals: AtomicU64,
+    shed: AtomicU64,
+    retries: AtomicU64,
+    worker_errors: AtomicU64,
+    planner_runs: AtomicU64,
+    warm_starts: AtomicU64,
+}
+
+struct Shared {
+    cache: ShardedPlanCache,
+    store: Option<ArtifactStore>,
+    workers: Vec<Box<dyn PlanWorker>>,
+    admission: AdmissionControl,
+    inflight: Mutex<BTreeMap<Fingerprint, Vec<Waiter>>>,
+    warm_index: Mutex<BTreeMap<Fingerprint, WarmSeed>>,
+    /// Misses claimed but not yet published — the backlog that shedding
+    /// bounds (queued plus in-service, so a slow worker counts too).
+    backlog: AtomicUsize,
+    counters: Counters,
+    queue_wait: Histogram,
+    worker_rtt: Histogram,
+    telemetry: Telemetry,
+    clock: ClockHandle,
+    stopped: AtomicBool,
+}
+
+/// Distributed plan serving over a worker pool.
+pub struct FleetService {
+    shared: Arc<Shared>,
+    job_tx: Option<Sender<Job>>,
+    dispatchers: Vec<thread::JoinHandle<()>>,
+}
+
+impl FleetService {
+    /// Builds the worker pool described by `config` and starts one
+    /// dispatcher thread per worker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the store-open failure when `config.store` is set.
+    /// Remote workers are *not* probed here — an unreachable address
+    /// surfaces per request, through the retry chain.
+    pub fn start(config: FleetConfig) -> io::Result<FleetService> {
+        let mut workers: Vec<Box<dyn PlanWorker>> = Vec::new();
+        for i in 0..config.local_workers {
+            workers.push(Box::new(LocalWorker::new(i, config.telemetry.clone())));
+        }
+        for addr in &config.remote_workers {
+            workers.push(Box::new(RemoteWorker::new(addr.clone())));
+        }
+        Self::with_workers(config, workers)
+    }
+
+    /// Like [`start`](Self::start), with an explicit worker pool (tests
+    /// inject gated or failing workers this way). An empty pool gets one
+    /// local worker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the store-open failure when `config.store` is set.
+    pub fn with_workers(
+        config: FleetConfig,
+        mut workers: Vec<Box<dyn PlanWorker>>,
+    ) -> io::Result<FleetService> {
+        if workers.is_empty() {
+            workers.push(Box::new(LocalWorker::new(0, config.telemetry.clone())));
+        }
+        let store = match &config.store {
+            Some(dir) => Some(ArtifactStore::open(dir)?),
+            None => None,
+        };
+        let shared = Arc::new(Shared {
+            cache: ShardedPlanCache::new(config.shards, config.cache_capacity),
+            store,
+            workers,
+            admission: AdmissionControl::new(config.admission.clone()),
+            inflight: Mutex::new(BTreeMap::new()),
+            warm_index: Mutex::new(BTreeMap::new()),
+            backlog: AtomicUsize::new(0),
+            counters: Counters::default(),
+            queue_wait: Histogram::default(),
+            worker_rtt: Histogram::default(),
+            telemetry: config.telemetry.clone(),
+            clock: ClockHandle::default(),
+            stopped: AtomicBool::new(false),
+        });
+        let (job_tx, job_rx) = unbounded::<Job>();
+        let dispatchers = (0..shared.workers.len())
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx = job_rx.clone();
+                thread::Builder::new()
+                    .name(format!("gp-fleet-dispatch-{i}"))
+                    .spawn(move || dispatcher_loop(&shared, &rx, i))
+                    .expect("spawn fleet dispatcher")
+            })
+            .collect();
+        Ok(FleetService {
+            shared,
+            job_tx: Some(job_tx),
+            dispatchers,
+        })
+    }
+
+    /// Submits a request on behalf of `tenant`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when admission refuses the request
+    /// (quota or backlog), [`ServeError::ServiceStopped`] after
+    /// [`shutdown`](Self::shutdown).
+    pub fn submit(&self, tenant: &str, request: PlanRequest) -> Result<FleetTicket, ServeError> {
+        let shared = &self.shared;
+        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+        if shared.stopped.load(Ordering::Acquire) {
+            return Err(ServeError::ServiceStopped);
+        }
+        let mut request = request;
+        let token = match shared.admission.admit(tenant, &mut request.options) {
+            Ok(token) => token,
+            Err(refused) => {
+                shared
+                    .counters
+                    .quota_refusals
+                    .fetch_add(1, Ordering::Relaxed);
+                shared.telemetry.counter_add("fleet.shed", 1);
+                return Err(ServeError::Overloaded {
+                    tenant: refused.tenant,
+                    depth: refused.in_flight,
+                });
+            }
+        };
+        let fingerprint = request.fingerprint();
+        let numbering = numbering_signature(request.model.graph());
+
+        // Level 1: the sharded cache.
+        if let ShardLookup::Hit(plan) = shared.cache.get(&fingerprint, numbering) {
+            shared.counters.shard_hits.fetch_add(1, Ordering::Relaxed);
+            shared.telemetry.counter_add("fleet.shard_hits", 1);
+            return Ok(FleetTicket {
+                fingerprint,
+                served: Served::Cache,
+                body: TicketBody::Ready(Ok(plan)),
+                _token: token,
+            });
+        }
+        shared.telemetry.counter_add("fleet.shard_misses", 1);
+
+        // Level 2: the persistent store. Decoding validates against this
+        // request's model and cluster, so anything stale or corrupt is a
+        // reject, not a wrong answer. Two racing submits may both decode
+        // the same artifact; the duplicate insert is byte-identical.
+        if let Some(plan) = self.consult_store(&request, fingerprint, numbering) {
+            return Ok(FleetTicket {
+                fingerprint,
+                served: Served::Store,
+                body: TicketBody::Ready(Ok(plan)),
+                _token: token,
+            });
+        }
+
+        // Levels 3 and 4 under the in-flight lock.
+        let (tx, rx) = unbounded::<Reply>();
+        let mut inflight = shared.inflight.lock();
+        // Double-check: a dispatcher may have published between the cache
+        // miss above and taking this lock (publish holds the same lock).
+        if let ShardLookup::Hit(plan) = shared.cache.peek(&fingerprint, numbering) {
+            shared.counters.shard_hits.fetch_add(1, Ordering::Relaxed);
+            shared.telemetry.counter_add("fleet.shard_hits", 1);
+            return Ok(FleetTicket {
+                fingerprint,
+                served: Served::Cache,
+                body: TicketBody::Ready(Ok(plan)),
+                _token: token,
+            });
+        }
+        if let Some(waiters) = inflight.get_mut(&fingerprint) {
+            waiters.push(Waiter {
+                tx,
+                numbering,
+                request,
+            });
+            shared.counters.joins.fetch_add(1, Ordering::Relaxed);
+            shared.telemetry.counter_add("fleet.joins", 1);
+            return Ok(FleetTicket {
+                fingerprint,
+                served: Served::Joined,
+                body: TicketBody::Waiting(rx),
+                _token: token,
+            });
+        }
+        // Claimant: shed before claiming, so joiners of existing work are
+        // never refused (they cost no extra planner time).
+        let backlog = shared.backlog.load(Ordering::Acquire);
+        if let Some(max) = shared.admission.config().max_queue_depth {
+            if backlog > max {
+                shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+                shared.telemetry.counter_add("fleet.shed", 1);
+                return Err(ServeError::Overloaded {
+                    tenant: tenant.to_string(),
+                    depth: backlog,
+                });
+            }
+        }
+        shared.backlog.fetch_add(1, Ordering::AcqRel);
+        shared.counters.misses.fetch_add(1, Ordering::Relaxed);
+        shared.telemetry.counter_add("fleet.misses", 1);
+        let job = Job {
+            fingerprint,
+            numbering,
+            request: request.clone(),
+            enqueued_ns: shared.clock.now_nanos(),
+        };
+        inflight.insert(
+            fingerprint,
+            vec![Waiter {
+                tx,
+                numbering,
+                request,
+            }],
+        );
+        drop(inflight);
+        if let Some(job_tx) = &self.job_tx {
+            if job_tx.send(job).is_err() {
+                // Dispatchers are gone; unpublish the claim.
+                self.shared.inflight.lock().remove(&fingerprint);
+                shared.backlog.fetch_sub(1, Ordering::AcqRel);
+                return Err(ServeError::ServiceStopped);
+            }
+        }
+        Ok(FleetTicket {
+            fingerprint,
+            served: Served::Planned,
+            body: TicketBody::Waiting(rx),
+            _token: token,
+        })
+    }
+
+    fn consult_store(
+        &self,
+        request: &PlanRequest,
+        fingerprint: Fingerprint,
+        numbering: u64,
+    ) -> Option<Arc<Plan>> {
+        let shared = &self.shared;
+        let store = shared.store.as_ref()?;
+        let (text, stored_numbering) = store.get(&fingerprint)?;
+        let reject = || {
+            shared
+                .counters
+                .store_rejects
+                .fetch_add(1, Ordering::Relaxed);
+            shared.telemetry.counter_add("fleet.store_rejects", 1);
+        };
+        if stored_numbering.is_some_and(|n| n != numbering) {
+            reject();
+            return None;
+        }
+        match artifact::decode_plan(&text, request.model.graph(), &request.cluster) {
+            Ok((plan, Some(fp))) if fp == fingerprint => {
+                let plan = Arc::new(plan);
+                shared
+                    .cache
+                    .insert(fingerprint, Arc::clone(&plan), numbering);
+                if stored_numbering.is_none() {
+                    store.confirm_numbering(fingerprint, numbering);
+                }
+                shared.counters.store_hits.fetch_add(1, Ordering::Relaxed);
+                shared.telemetry.counter_add("fleet.store_hits", 1);
+                Some(plan)
+            }
+            _ => {
+                reject();
+                None
+            }
+        }
+    }
+
+    /// A point-in-time counter snapshot.
+    pub fn stats(&self) -> FleetStats {
+        let c = &self.shared.counters;
+        FleetStats {
+            requests: c.requests.load(Ordering::Relaxed),
+            shard_hits: c.shard_hits.load(Ordering::Relaxed),
+            store_hits: c.store_hits.load(Ordering::Relaxed),
+            store_rejects: c.store_rejects.load(Ordering::Relaxed),
+            joins: c.joins.load(Ordering::Relaxed),
+            misses: c.misses.load(Ordering::Relaxed),
+            quota_refusals: c.quota_refusals.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
+            worker_errors: c.worker_errors.load(Ordering::Relaxed),
+            planner_runs: c.planner_runs.load(Ordering::Relaxed),
+            warm_starts: c.warm_starts.load(Ordering::Relaxed),
+            cached_plans: self.shared.cache.len() as u64,
+            cache_evictions: self.shared.cache.evictions(),
+            queue_wait: self.shared.queue_wait.snapshot(),
+            worker_rtt: self.shared.worker_rtt.snapshot(),
+            shards: self.shared.cache.stats(),
+        }
+    }
+
+    /// The persistent store, when configured.
+    pub fn store(&self) -> Option<&ArtifactStore> {
+        self.shared.store.as_ref()
+    }
+
+    /// Worker pool size.
+    pub fn worker_count(&self) -> usize {
+        self.shared.workers.len()
+    }
+
+    /// Stops accepting requests, drains queued work, and joins the
+    /// dispatchers. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.shared.stopped.store(true, Ordering::Release);
+        // Dropping the sender ends the dispatchers' recv loop once the
+        // queue drains; queued jobs still publish normally.
+        self.job_tx = None;
+        for handle in self.dispatchers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for FleetService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn planner_tag(planner: ServePlanner) -> u64 {
+    match planner {
+        ServePlanner::GraphPipe => 0,
+        ServePlanner::PipeDream => 1,
+        ServePlanner::Piper => 2,
+    }
+}
+
+fn dispatcher_loop(shared: &Shared, rx: &Receiver<Job>, worker_index: usize) {
+    while let Ok(job) = rx.recv() {
+        let wait_ns = shared.clock.now_nanos().saturating_sub(job.enqueued_ns);
+        shared.queue_wait.record(wait_ns);
+        shared.telemetry.record("fleet.queue_wait_ns", wait_ns);
+        let span = shared.telemetry.span("fleet.dispatch");
+        let outcome = plan_via_workers(shared, worker_index, &job.request, job.fingerprint, true);
+        drop(span);
+        publish(shared, &job, outcome, worker_index);
+        shared.backlog.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Walks the worker ring starting at `start`, skipping unreachable
+/// workers, and decodes + validates the winning artifact. Planner
+/// failures are deterministic and end the walk immediately.
+fn plan_via_workers(
+    shared: &Shared,
+    start: usize,
+    request: &PlanRequest,
+    fingerprint: Fingerprint,
+    seed_warm_index: bool,
+) -> Result<(String, Arc<Plan>), ServeError> {
+    let warm_key = (request.planner == ServePlanner::GraphPipe).then(|| {
+        (
+            request_graph_fingerprint(&request.model, planner_tag(request.planner)),
+            request_config_fingerprint(&request.cluster, request.mini_batch, &request.options),
+        )
+    });
+    let warm = warm_key.and_then(|(graph_fp, config_fp)| {
+        shared.warm_index.lock().get(&graph_fp).map(|seed| {
+            if seed.config_fp != config_fp {
+                // Same graph, different cluster/batch/options: the hint
+                // crossed configurations, the paper's warm-start case.
+                shared.counters.warm_starts.fetch_add(1, Ordering::Relaxed);
+                shared.telemetry.counter_add("fleet.warm_starts", 1);
+            }
+            let devices = request.cluster.device_count().max(1) as f64;
+            WarmStart {
+                tps_hint: seed.bottleneck_tps * (f64::from(seed.devices.max(1)) / devices),
+                micro_batch: Some(seed.micro_batch),
+            }
+        })
+    });
+    let n = shared.workers.len();
+    let mut attempts = 0;
+    for k in 0..n {
+        let worker = &shared.workers[(start + k) % n];
+        attempts += 1;
+        if k > 0 {
+            shared.counters.retries.fetch_add(1, Ordering::Relaxed);
+            shared.telemetry.counter_add("fleet.retries", 1);
+        }
+        let start_ns = shared.clock.now_nanos();
+        match worker.plan(request, warm) {
+            Ok(text) => {
+                let rtt = shared.clock.now_nanos().saturating_sub(start_ns);
+                shared.worker_rtt.record(rtt);
+                shared.telemetry.record("fleet.worker_rtt_ns", rtt);
+                shared.counters.planner_runs.fetch_add(1, Ordering::Relaxed);
+                let (plan, fp) =
+                    artifact::decode_plan(&text, request.model.graph(), &request.cluster).map_err(
+                        |e| {
+                            ServeError::Plan(PlanError::Internal(format!(
+                                "worker {} returned an invalid artifact: {e}",
+                                worker.describe()
+                            )))
+                        },
+                    )?;
+                if fp != Some(fingerprint) {
+                    return Err(ServeError::Plan(PlanError::Internal(format!(
+                        "worker {} answered for the wrong request",
+                        worker.describe()
+                    ))));
+                }
+                if seed_warm_index {
+                    if let Some((graph_fp, config_fp)) = warm_key {
+                        shared.warm_index.lock().insert(
+                            graph_fp,
+                            WarmSeed {
+                                config_fp,
+                                devices: request.cluster.device_count() as u32,
+                                bottleneck_tps: plan.bottleneck_tps,
+                                micro_batch: plan.max_micro_batch(),
+                            },
+                        );
+                    }
+                }
+                return Ok((text, Arc::new(plan)));
+            }
+            Err(WorkerFailure::Failed(e)) => return Err(e),
+            Err(WorkerFailure::Unavailable(_)) => {
+                shared
+                    .counters
+                    .worker_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                shared.telemetry.counter_add("fleet.worker_errors", 1);
+            }
+        }
+    }
+    Err(ServeError::WorkerUnavailable { attempts })
+}
+
+fn publish(
+    shared: &Shared,
+    job: &Job,
+    outcome: Result<(String, Arc<Plan>), ServeError>,
+    worker_index: usize,
+) {
+    let mut inflight = shared.inflight.lock();
+    let waiters = inflight.remove(&job.fingerprint).unwrap_or_default();
+    match outcome {
+        Ok((text, plan)) => {
+            if let Some(store) = &shared.store {
+                // Persisting is best-effort: a full disk must not fail the
+                // request, only the warm restart.
+                let _ = store.put(job.fingerprint, &text, job.numbering);
+            }
+            shared
+                .cache
+                .insert(job.fingerprint, Arc::clone(&plan), job.numbering);
+            drop(inflight);
+            for waiter in waiters {
+                if waiter.numbering == job.numbering {
+                    let _ = waiter.tx.send(Ok(Arc::clone(&plan)));
+                } else {
+                    // Same fingerprint, different operator numbering: a
+                    // 128-bit collision. Plan this waiter's own model so
+                    // stage indices are valid for *its* graph; the result
+                    // must not overwrite the published entry.
+                    let solo = plan_via_workers(
+                        shared,
+                        worker_index,
+                        &waiter.request,
+                        job.fingerprint,
+                        false,
+                    )
+                    .map(|(_, plan)| plan);
+                    let _ = waiter.tx.send(solo);
+                }
+            }
+        }
+        Err(e) => {
+            drop(inflight);
+            for waiter in waiters {
+                let _ = waiter.tx.send(Err(e.clone()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::{TenantClass, TenantSpec};
+    use gp_cluster::Cluster;
+    use gp_ir::zoo::{self, CandleUnoConfig, DlrmConfig};
+
+    fn request() -> PlanRequest {
+        PlanRequest::new(
+            Arc::new(zoo::candle_uno(&CandleUnoConfig::tiny())),
+            Cluster::summit_like(4),
+            32,
+        )
+    }
+
+    fn other_request() -> PlanRequest {
+        PlanRequest::new(
+            Arc::new(zoo::dlrm(&DlrmConfig::tiny())),
+            Cluster::summit_like(4),
+            64,
+        )
+    }
+
+    #[test]
+    fn plans_then_serves_from_the_shard_cache() {
+        let service = FleetService::with_workers(FleetConfig::default(), Vec::new()).unwrap();
+        let first = service.submit("t", request()).unwrap();
+        assert_eq!(first.served(), Served::Planned);
+        let plan = first.wait().expect("plans");
+        let second = service.submit("t", request()).unwrap();
+        assert_eq!(second.served(), Served::Cache);
+        assert!(Arc::ptr_eq(&second.wait().unwrap(), &plan));
+        let stats = service.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.shard_hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.planner_runs, 1);
+        assert!(stats.queue_wait.count >= 1);
+        assert!(stats.worker_rtt.count >= 1);
+    }
+
+    #[test]
+    fn quota_exhaustion_is_overloaded() {
+        struct Gate(crossbeam::channel::Receiver<()>, LocalWorker);
+        impl PlanWorker for Gate {
+            fn describe(&self) -> String {
+                "gate".into()
+            }
+            fn plan(
+                &self,
+                request: &PlanRequest,
+                warm: Option<WarmStart>,
+            ) -> Result<String, WorkerFailure> {
+                let _ = self.0.recv();
+                self.1.plan(request, warm)
+            }
+        }
+        let (release, gated) = unbounded::<()>();
+        let config = FleetConfig {
+            admission: AdmissionConfig {
+                tenants: vec![(
+                    "acme".into(),
+                    TenantSpec {
+                        class: TenantClass::Premium,
+                        tokens: Some(1),
+                    },
+                )],
+                ..AdmissionConfig::default()
+            },
+            ..FleetConfig::default()
+        };
+        let service = FleetService::with_workers(
+            config,
+            vec![Box::new(Gate(
+                gated,
+                LocalWorker::new(0, Telemetry::disabled()),
+            ))],
+        )
+        .unwrap();
+        let held = service.submit("acme", request()).unwrap();
+        match service.submit("acme", other_request()) {
+            Err(ServeError::Overloaded { tenant, depth }) => {
+                assert_eq!(tenant, "acme");
+                assert_eq!(depth, 1);
+            }
+            other => panic!("expected Overloaded, got {:?}", other.map(|t| t.served())),
+        }
+        release.send(()).unwrap();
+        held.wait().expect("gated plan completes");
+        assert_eq!(service.stats().quota_refusals, 1);
+        // Token released: the tenant can submit again.
+        release.send(()).unwrap();
+        service
+            .submit("acme", other_request())
+            .unwrap()
+            .wait()
+            .expect("second request after release");
+    }
+
+    #[test]
+    fn deep_backlog_sheds_new_misses_but_not_joins() {
+        struct Gate(crossbeam::channel::Receiver<()>, LocalWorker);
+        impl PlanWorker for Gate {
+            fn describe(&self) -> String {
+                "gate".into()
+            }
+            fn plan(
+                &self,
+                request: &PlanRequest,
+                warm: Option<WarmStart>,
+            ) -> Result<String, WorkerFailure> {
+                let _ = self.0.recv();
+                self.1.plan(request, warm)
+            }
+        }
+        let (release, gated) = unbounded::<()>();
+        let config = FleetConfig {
+            admission: AdmissionConfig {
+                max_queue_depth: Some(0),
+                ..AdmissionConfig::default()
+            },
+            ..FleetConfig::default()
+        };
+        let service = FleetService::with_workers(
+            config,
+            vec![Box::new(Gate(
+                gated,
+                LocalWorker::new(0, Telemetry::disabled()),
+            ))],
+        )
+        .unwrap();
+        let first = service.submit("t", request()).unwrap();
+        // Backlog is now 1 (> 0): a *different* request is shed...
+        match service.submit("t", other_request()) {
+            Err(ServeError::Overloaded { depth, .. }) => assert_eq!(depth, 1),
+            other => panic!("expected shed, got {:?}", other.map(|t| t.served())),
+        }
+        // ...but an identical one joins the in-flight planning run.
+        let joined = service.submit("t", request()).unwrap();
+        assert_eq!(joined.served(), Served::Joined);
+        release.send(()).unwrap();
+        let plan = first.wait().unwrap();
+        assert!(Arc::ptr_eq(&joined.wait().unwrap(), &plan));
+        let stats = service.stats();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.joins, 1);
+    }
+
+    #[test]
+    fn unreachable_workers_fail_over_in_order() {
+        struct Dead;
+        impl PlanWorker for Dead {
+            fn describe(&self) -> String {
+                "dead".into()
+            }
+            fn plan(
+                &self,
+                _request: &PlanRequest,
+                _warm: Option<WarmStart>,
+            ) -> Result<String, WorkerFailure> {
+                Err(WorkerFailure::Unavailable("gone".into()))
+            }
+        }
+        // Drive the ring walk directly from a fixed start index so the
+        // dead-first ordering is deterministic (through the service, the
+        // dispatcher that grabs the job — and hence the start worker —
+        // depends on thread scheduling).
+        let service = FleetService::with_workers(
+            FleetConfig {
+                local_workers: 0,
+                ..FleetConfig::default()
+            },
+            vec![
+                Box::new(Dead),
+                Box::new(LocalWorker::new(0, Telemetry::disabled())),
+            ],
+        )
+        .unwrap();
+        let req = request();
+        let fp = req.fingerprint();
+        plan_via_workers(&service.shared, 0, &req, fp, true)
+            .expect("failed over to the live worker");
+        let stats = service.stats();
+        assert_eq!(stats.worker_errors, 1, "{stats:?}");
+        assert_eq!(stats.retries, 1, "{stats:?}");
+        assert_eq!(stats.planner_runs, 1);
+
+        // An all-dead pool surfaces WorkerUnavailable with the attempt count.
+        let dead_fleet = FleetService::with_workers(
+            FleetConfig::default(),
+            vec![Box::new(Dead), Box::new(Dead)],
+        )
+        .unwrap();
+        match dead_fleet.submit("t", request()).unwrap().wait() {
+            Err(ServeError::WorkerUnavailable { attempts }) => assert_eq!(attempts, 2),
+            other => panic!("expected WorkerUnavailable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stopped_service_refuses_new_requests() {
+        let mut service = FleetService::with_workers(FleetConfig::default(), Vec::new()).unwrap();
+        service.shutdown();
+        assert_eq!(
+            service.submit("t", request()).err(),
+            Some(ServeError::ServiceStopped)
+        );
+    }
+
+    #[test]
+    fn tenant_tiers_produce_distinct_cache_entries() {
+        let config = FleetConfig {
+            admission: AdmissionConfig {
+                tenants: vec![
+                    (
+                        "cheap".into(),
+                        TenantSpec {
+                            class: TenantClass::Batch,
+                            tokens: None,
+                        },
+                    ),
+                    (
+                        "rich".into(),
+                        TenantSpec {
+                            class: TenantClass::Premium,
+                            tokens: None,
+                        },
+                    ),
+                ],
+                ..AdmissionConfig::default()
+            },
+            ..FleetConfig::default()
+        };
+        let service = FleetService::with_workers(config, Vec::new()).unwrap();
+        let cheap = service.submit("cheap", request()).unwrap();
+        let rich = service.submit("rich", request()).unwrap();
+        assert_ne!(
+            cheap.fingerprint(),
+            rich.fingerprint(),
+            "tier rewrite must scope the cache key"
+        );
+        cheap.wait().expect("batch-tier plan");
+        rich.wait().expect("premium-tier plan");
+        assert_eq!(service.stats().misses, 2);
+    }
+}

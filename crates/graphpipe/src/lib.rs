@@ -65,7 +65,10 @@
 //!   [`simulate_plan`] free-function shims over the session machinery;
 //! * [`serve`] — the plan-serving subsystem: canonical graph fingerprints,
 //!   the lossless plan artifact codec, and the cached, single-flight
-//!   [`serve::PlanService`] that [`Session::serve`] hands requests to.
+//!   [`serve::PlanService`] that [`Session::serve`] hands requests to;
+//! * [`fleet`] — distributed plan serving: the sharded cache, persistent
+//!   artifact store, remote planner workers, and multi-tenant admission
+//!   behind [`Session::serve_fleet`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -153,6 +153,22 @@ pub enum ServeError {
     InvalidPlan(gp_verify::VerifyError),
     /// The service shut down before the request completed.
     ServiceStopped,
+    /// Admission control refused the request: the tenant is at its
+    /// in-flight quota, or the miss queue is past its configured depth
+    /// (`gp-fleet` shedding).
+    Overloaded {
+        /// The tenant whose request was refused.
+        tenant: String,
+        /// In-flight requests (quota refusal) or queued misses (shedding)
+        /// at refusal time.
+        depth: usize,
+    },
+    /// Every configured planner worker was unreachable (`gp-fleet` remote
+    /// planning); the request was tried on `attempts` workers.
+    WorkerUnavailable {
+        /// Workers tried before giving up.
+        attempts: usize,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -163,6 +179,12 @@ impl fmt::Display for ServeError {
                 write!(f, "planner produced an invalid plan: {e}")
             }
             ServeError::ServiceStopped => write!(f, "plan service stopped"),
+            ServeError::Overloaded { tenant, depth } => {
+                write!(f, "request shed for tenant `{tenant}` (depth {depth})")
+            }
+            ServeError::WorkerUnavailable { attempts } => {
+                write!(f, "no planner worker reachable (tried {attempts})")
+            }
         }
     }
 }

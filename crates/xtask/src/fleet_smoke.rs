@@ -1,0 +1,143 @@
+//! `cargo xtask fleet-smoke` — end-to-end check of the distributed
+//! serving layer's determinism contract.
+//!
+//! Boots a loopback TCP planner worker, points a two-shard store-backed
+//! [`FleetService`] at it, round-trips three zoo models through the wire
+//! protocol, and asserts the served artifact is byte-identical to one
+//! planned in-process. Then reopens the store and checks the warm restart
+//! serves every request from disk with zero planner runs. CI runs this as
+//! part of the `test` job; it is the cheap always-on version of the
+//! `tests/fleet.rs` integration suite.
+
+use gp_cluster::Cluster;
+use gp_fleet::{
+    canonical_artifact, plan_locally, AdmissionConfig, FleetConfig, FleetService, Served,
+    TenantClass, TenantSpec,
+};
+use gp_ir::zoo::{self, CandleUnoConfig, DlrmConfig, MmtConfig};
+use gp_obs::Telemetry;
+use gp_serve::PlanRequest;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+/// Three zoo models at test scale — one chain-heavy, one wide, one deep.
+fn requests() -> Vec<PlanRequest> {
+    let cluster = Cluster::summit_like(4);
+    [
+        (zoo::mmt(&MmtConfig::tiny()), 32),
+        (zoo::dlrm(&DlrmConfig::tiny()), 64),
+        (zoo::candle_uno(&CandleUnoConfig::tiny()), 32),
+    ]
+    .into_iter()
+    .map(|(model, mini_batch)| PlanRequest::new(Arc::new(model), cluster.clone(), mini_batch))
+    .collect()
+}
+
+pub fn run() -> ExitCode {
+    let dir = std::env::temp_dir().join(format!("gp-fleet-smoke-{}", std::process::id()));
+    if dir.exists() {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let result = smoke(&dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    match result {
+        Ok(()) => {
+            println!("fleet-smoke: OK");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("fleet-smoke: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn smoke(dir: &std::path::Path) -> Result<(), String> {
+    let mut server = gp_fleet::WorkerServer::bind("127.0.0.1:0", Telemetry::disabled())
+        .map_err(|e| format!("bind loopback worker: {e}"))?;
+    let config = || FleetConfig {
+        shards: 2,
+        local_workers: 0,
+        remote_workers: vec![server.addr().to_string()],
+        store: Some(dir.to_path_buf()),
+        admission: AdmissionConfig {
+            // Premium passes options through unrewritten, so the fleet
+            // plans exactly the request `plan_locally` sees.
+            default_spec: TenantSpec {
+                class: TenantClass::Premium,
+                tokens: None,
+            },
+            ..AdmissionConfig::default()
+        },
+        ..FleetConfig::default()
+    };
+
+    // Cold pass: every artifact served over the wire must be byte-identical
+    // to an in-process plan of the same request.
+    let requests = requests();
+    {
+        let fleet = FleetService::start(config()).map_err(|e| format!("start fleet: {e}"))?;
+        for request in &requests {
+            let name = request.model.name().to_string();
+            let local = plan_locally(request, None, &Telemetry::disabled())
+                .map_err(|e| format!("local plan for `{name}`: {e}"))?;
+            let ticket = fleet
+                .submit("smoke", request.clone())
+                .map_err(|e| format!("submit `{name}`: {e}"))?;
+            let fp = ticket.fingerprint();
+            let plan = ticket
+                .wait()
+                .map_err(|e| format!("remote plan for `{name}`: {e}"))?;
+            if canonical_artifact(&plan, fp) != local {
+                return Err(format!("remote/local artifact divergence for `{name}`"));
+            }
+            println!("fleet-smoke: `{name}` remote == local ({fp})");
+        }
+        let stats = fleet.stats();
+        if stats.planner_runs != requests.len() as u64 {
+            return Err(format!(
+                "expected {} planner runs, saw {}",
+                requests.len(),
+                stats.planner_runs
+            ));
+        }
+    }
+    if server.served() != requests.len() as u64 {
+        return Err(format!(
+            "loopback worker served {} requests, expected {}",
+            server.served(),
+            requests.len()
+        ));
+    }
+
+    // Warm restart: the reopened store must satisfy everything from disk.
+    let fleet = FleetService::start(config()).map_err(|e| format!("reopen fleet: {e}"))?;
+    for request in &requests {
+        let name = request.model.name().to_string();
+        let ticket = fleet
+            .submit("smoke", request.clone())
+            .map_err(|e| format!("warm submit `{name}`: {e}"))?;
+        if ticket.served() != Served::Store {
+            return Err(format!(
+                "warm restart served `{name}` via {:?}, expected the store",
+                ticket.served()
+            ));
+        }
+        ticket
+            .wait()
+            .map_err(|e| format!("warm plan for `{name}`: {e}"))?;
+    }
+    let stats = fleet.stats();
+    if stats.planner_runs != 0 {
+        return Err(format!(
+            "warm restart replanned {} times; the store must satisfy every request",
+            stats.planner_runs
+        ));
+    }
+    println!(
+        "fleet-smoke: warm restart served {} requests from the store, zero planner runs",
+        requests.len()
+    );
+    server.shutdown();
+    Ok(())
+}

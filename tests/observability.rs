@@ -150,8 +150,15 @@ fn bench_serve_json_parses_with_monotone_percentiles() {
     let text = std::fs::read_to_string(path).expect("BENCH_serve.json is committed");
     let doc = Json::parse(&text).expect("BENCH_serve.json is well-formed JSON");
     assert_eq!(doc.get("bench").and_then(Json::as_str), Some("serve_load"));
+    for key in ["shard_hit_rate", "shed_rate"] {
+        let rate = doc
+            .get(key)
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("{key} is a number"));
+        assert!((0.0..=1.0).contains(&rate), "{key} out of range: {rate}");
+    }
     let latency = doc.get("latency").expect("latency object");
-    for key in ["hit", "miss", "queue_wait"] {
+    for key in ["queue_wait", "worker_rtt"] {
         let h = latency.get(key).unwrap_or_else(|| panic!("latency.{key}"));
         let field = |name: &str| {
             h.get(name)

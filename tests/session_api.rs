@@ -219,6 +219,22 @@ fn error_variants_display_and_chain_sources() {
             ServeError::ServiceStopped.to_string(),
         ),
         (
+            ServeError::Overloaded {
+                tenant: "acme".into(),
+                depth: 7,
+            }
+            .into(),
+            ServeError::Overloaded {
+                tenant: "acme".into(),
+                depth: 7,
+            }
+            .to_string(),
+        ),
+        (
+            ServeError::WorkerUnavailable { attempts: 3 }.into(),
+            ServeError::WorkerUnavailable { attempts: 3 }.to_string(),
+        ),
+        (
             ArtifactError::Field("stages").into(),
             ArtifactError::Field("stages").to_string(),
         ),
