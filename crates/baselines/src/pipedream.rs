@@ -322,6 +322,7 @@ impl Planner for PipeDreamPlanner {
             schedule,
             bottleneck_tps: 0.0,
             peak_memory_bytes: 0,
+            path: model.path(),
             stats,
         };
         let (tps, mem) = plan.measure(graph, &cost);

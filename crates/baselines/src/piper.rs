@@ -500,6 +500,7 @@ impl Planner for PiperPlanner {
             schedule,
             bottleneck_tps: 0.0,
             peak_memory_bytes: 0,
+            path: model.path(),
             stats,
         };
         let (tps, mem) = plan.measure(graph, &cost);

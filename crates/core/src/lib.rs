@@ -117,7 +117,7 @@ pub mod prelude {
     pub use crate::baselines::{parallel_ablation, PipeDreamPlanner, PiperPlanner};
     pub use crate::cluster::{Cluster, DeviceRange};
     pub use crate::ir::zoo;
-    pub use crate::ir::{Graph, OpId, SpModel};
+    pub use crate::ir::{DagOptions, Graph, OpId, PlanPath, SpModel};
     pub use crate::obs::{JsonlSink, PerfettoSink, SummarySink, Telemetry, TraceSink};
     pub use crate::partition::{
         GraphPipePlanner, ParallelPlanner, Plan, PlanError, PlanOptions, Planner, SearchStats,

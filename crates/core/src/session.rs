@@ -44,7 +44,7 @@ use gp_baselines::{PipeDreamPlanner, PiperPlanner};
 use gp_cluster::Cluster;
 use gp_exec::{reference_step, synth_batch, ModelParams};
 use gp_fleet::{FleetConfig, FleetService, FleetStats};
-use gp_ir::SpModel;
+use gp_ir::{plan_dag, DagOptions, Graph, PlanPath, SpModel};
 use gp_obs::Telemetry;
 use gp_partition::{GraphPipePlanner, Plan, PlanError, PlanOptions, Planner, WarmStart};
 use gp_serve::{artifact, Fingerprint, PlanRequest, PlanService, ServeStats};
@@ -123,6 +123,8 @@ pub(crate) fn simulate_on(
 #[derive(Debug, Clone, Default)]
 pub struct SessionBuilder {
     model: Option<Arc<SpModel>>,
+    dag: Option<(String, Graph)>,
+    dag_options: DagOptions,
     cluster: Option<Cluster>,
     mini_batch: Option<u64>,
     options: PlanOptions,
@@ -135,6 +137,30 @@ impl SessionBuilder {
     /// [`Arc<SpModel>`] — sessions share the model, never copy it).
     pub fn model(mut self, model: impl Into<Arc<SpModel>>) -> Self {
         self.model = Some(model.into());
+        self
+    }
+
+    /// Sets the model from a raw computation [`Graph`] — no hand-authored
+    /// SP tree required. [`SessionBuilder::build`] runs the `gp-ir` DAG
+    /// ladder (`plan_dag`): exact SP recognition, then SP-ization within
+    /// the distortion budget, then the Piper-style clustering fallback.
+    /// Which rung was taken is reported by
+    /// [`PlannedStrategy::plan_path`] and rides every fingerprint and
+    /// artifact. Mutually exclusive with [`SessionBuilder::model`].
+    ///
+    /// The model is named after the DAG ladder (`"dag"`); to control the
+    /// name, call [`gp_ir::plan_dag`] directly and pass the result to
+    /// [`SessionBuilder::model`].
+    pub fn model_dag(mut self, graph: Graph) -> Self {
+        self.dag = Some(("dag".to_string(), graph));
+        self
+    }
+
+    /// Replaces the DAG ladder's options (distortion budget and
+    /// clustering unit size); only meaningful with
+    /// [`SessionBuilder::model_dag`].
+    pub fn dag_options(mut self, dag_options: DagOptions) -> Self {
+        self.dag_options = dag_options;
         self
     }
 
@@ -183,11 +209,23 @@ impl SessionBuilder {
     /// # Errors
     ///
     /// Returns [`Error::Invalid`] when `model`, `cluster`, or `mini_batch`
-    /// is missing, or when `mini_batch` is zero.
+    /// is missing, when `mini_batch` is zero, when both
+    /// [`SessionBuilder::model`] and [`SessionBuilder::model_dag`] were
+    /// set, or when a `model_dag` graph fails validation.
     pub fn build(self) -> Result<Session, Error> {
-        let model = self
-            .model
-            .ok_or_else(|| Error::Invalid("session has no model".into()))?;
+        let model = match (self.model, self.dag) {
+            (Some(_), Some(_)) => {
+                return Err(Error::Invalid(
+                    "set either model() or model_dag(), not both".into(),
+                ))
+            }
+            (Some(model), None) => model,
+            (None, Some((name, graph))) => Arc::new(
+                plan_dag(name, graph, &self.dag_options)
+                    .map_err(|e| Error::Invalid(format!("model DAG is invalid: {e}")))?,
+            ),
+            (None, None) => return Err(Error::Invalid("session has no model".into())),
+        };
         let cluster = self
             .cluster
             .ok_or_else(|| Error::Invalid("session has no cluster".into()))?;
@@ -670,6 +708,14 @@ impl PlannedStrategy {
     /// The model the strategy was planned for.
     pub fn model(&self) -> &Arc<SpModel> {
         &self.model
+    }
+
+    /// Which rung of the DAG fallback ladder produced the strategy's
+    /// model: exact SP, SP-ized (with its distortion in bytes), or
+    /// clustered (with its unit count). Hand-authored SP models always
+    /// report [`PlanPath::ExactSp`].
+    pub fn plan_path(&self) -> PlanPath {
+        self.plan.path
     }
 
     /// The cluster the strategy targets.

@@ -303,6 +303,9 @@ pub enum OpCache {
     Concat(Vec<usize>),
     /// Embedding-bag indices.
     Bag(Vec<usize>),
+    /// Elementwise-add input count (the sum's backward only fans the
+    /// output gradient back out).
+    Arity(usize),
 }
 
 /// Runs one operator forward.
@@ -375,6 +378,13 @@ pub fn op_forward(
             let x = inputs[0];
             let loss = ops::l2_loss_fwd(x, mini_batch as f32);
             (Tensor::new(vec![1], vec![loss]), OpCache::Input(x.clone()))
+        }
+        (OpKind::Add, _) => {
+            let mut y = inputs[0].clone();
+            for x in &inputs[1..] {
+                y.axpy(1.0, x);
+            }
+            (y, OpCache::Arity(inputs.len()))
         }
         (kind, params) => panic!("op/params mismatch: {kind:?} with {params:?}"),
     }
@@ -460,6 +470,10 @@ pub fn op_backward(
         (OpKind::Loss, _, OpCache::Input(x)) => {
             debug_assert!(dy.is_none(), "the Loss sink seeds its own gradient");
             (vec![ops::l2_loss_bwd(x, mini_batch as f32)], OpParams::None)
+        }
+        (OpKind::Add, _, OpCache::Arity(n)) => {
+            let dy = dy.expect("non-sink ops receive a gradient");
+            (vec![dy.clone(); *n], OpParams::None)
         }
         (kind, _, cache) => panic!("op/cache mismatch: {kind:?} with {cache:?}"),
     }

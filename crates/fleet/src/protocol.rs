@@ -35,7 +35,7 @@
 //! nondeterminism hazards (DESIGN.md §"Determinism lint").
 
 use gp_cluster::{Cluster, DeviceProfile, LinkProfile};
-use gp_ir::{GraphBuilder, Nonlinearity, OpId, OpKind, Shape, SpBlock, SpModel};
+use gp_ir::{GraphBuilder, Nonlinearity, OpId, OpKind, PlanPath, Shape, SpBlock, SpModel};
 use gp_partition::{Plan, PlanError, PlanOptions, SearchStats, WarmStart};
 use gp_serve::json::{Json, JsonError};
 use gp_serve::{artifact, Fingerprint, PlanRequest, ServePlanner};
@@ -186,11 +186,18 @@ pub fn encode_request(request: &PlanRequest, warm: Option<&WarmStart>) -> String
             ])
         })
         .collect();
-    let model = Json::Obj(vec![
-        ("name".into(), Json::Str(request.model.name().to_string())),
-        ("ops".into(), Json::Arr(ops)),
-        ("sp".into(), encode_sp(request.model.root())),
-    ]);
+    let mut model_members = vec![
+        (
+            "name".to_string(),
+            Json::Str(request.model.name().to_string()),
+        ),
+        ("ops".to_string(), Json::Arr(ops)),
+        ("sp".to_string(), encode_sp(request.model.root())),
+    ];
+    if let Some(path) = encode_path(request.model.path()) {
+        model_members.push(("path".to_string(), path));
+    }
+    let model = Json::Obj(model_members);
     let warm = match warm {
         None => Json::Null,
         Some(w) => Json::Obj(vec![
@@ -278,6 +285,46 @@ fn encode_kind(kind: &OpKind) -> Json {
             ("dim", int(dim)),
         ]),
         OpKind::Loss => obj(vec![("op", Json::Str("loss".into()))]),
+        OpKind::Add => obj(vec![("op", Json::Str("add".into()))]),
+    }
+}
+
+/// Encodes a non-default [`PlanPath`]; `ExactSp` is represented by the
+/// member's absence (keeps pre-DAG documents byte-stable).
+fn encode_path(path: PlanPath) -> Option<Json> {
+    match path {
+        PlanPath::ExactSp => None,
+        PlanPath::SpIzed { distortion } => Some(Json::Obj(vec![
+            ("kind".into(), Json::Str("sp-ized".into())),
+            ("distortion".into(), Json::Int(i128::from(distortion))),
+        ])),
+        PlanPath::Clustered { units } => Some(Json::Obj(vec![
+            ("kind".into(), Json::Str("clustered".into())),
+            ("units".into(), Json::Int(i128::from(units))),
+        ])),
+    }
+}
+
+fn decode_path(doc: &Json) -> Result<PlanPath, ProtocolError> {
+    let kind = doc
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or(ProtocolError::Field("path.kind"))?;
+    match kind {
+        "sp-ized" => Ok(PlanPath::SpIzed {
+            distortion: doc
+                .get("distortion")
+                .and_then(Json::as_u64)
+                .ok_or(ProtocolError::Field("path.distortion"))?,
+        }),
+        "clustered" => Ok(PlanPath::Clustered {
+            units: doc
+                .get("units")
+                .and_then(Json::as_u64)
+                .and_then(|u| u32::try_from(u).ok())
+                .ok_or(ProtocolError::Field("path.units"))?,
+        }),
+        other => Err(ProtocolError::Model(format!("unknown plan path `{other}`"))),
     }
 }
 
@@ -503,7 +550,12 @@ fn decode_model(doc: &Json) -> Result<SpModel, ProtocolError> {
     let graph = builder
         .finish()
         .map_err(|e| ProtocolError::Model(format!("graph validation: {e:?}")))?;
-    SpModel::new(name, graph, root).map_err(|e| ProtocolError::Model(format!("sp tree: {e:?}")))
+    let model = SpModel::new(name, graph, root)
+        .map_err(|e| ProtocolError::Model(format!("sp tree: {e:?}")))?;
+    match doc.get("path") {
+        Some(path) => Ok(model.with_path(decode_path(path)?)),
+        None => Ok(model),
+    }
 }
 
 fn decode_kind(doc: &Json) -> Result<OpKind, ProtocolError> {
@@ -543,6 +595,7 @@ fn decode_kind(doc: &Json) -> Result<OpKind, ProtocolError> {
             dim: field("dim")?,
         },
         "loss" => OpKind::Loss,
+        "add" => OpKind::Add,
         other => return Err(ProtocolError::Model(format!("unknown op kind `{other}`"))),
     })
 }

@@ -27,13 +27,15 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod dag;
 mod graph;
 mod op;
 mod shape;
 mod sp;
 pub mod zoo;
 
+pub use dag::{plan_dag, recognize, DagOptions};
 pub use graph::{Graph, GraphBuilder, GraphError, Node, OpId};
 pub use op::{Nonlinearity, OpKind, BYTES_PER_ELEMENT};
 pub use shape::Shape;
-pub use sp::{SpBlock, SpError, SpModel};
+pub use sp::{PlanPath, SpBlock, SpError, SpModel};

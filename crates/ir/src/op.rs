@@ -92,6 +92,9 @@ pub enum OpKind {
     },
     /// A graph sink computing a scalar training loss; carries no parameters.
     Loss,
+    /// Elementwise sum of all predecessor outputs (residual/skip
+    /// connections); all inputs must share one shape.
+    Add,
 }
 
 impl OpKind {
@@ -108,6 +111,7 @@ impl OpKind {
             OpKind::Concat => "concat",
             OpKind::FeatureInteraction { .. } => "interact",
             OpKind::Loss => "loss",
+            OpKind::Add => "add",
         }
     }
 
@@ -140,6 +144,7 @@ impl OpKind {
                 vec![7, features as u64, dim as u64]
             }
             OpKind::Loss => vec![8],
+            OpKind::Add => vec![9],
         }
     }
 
@@ -164,7 +169,8 @@ impl OpKind {
             | OpKind::Activation(_)
             | OpKind::Concat
             | OpKind::FeatureInteraction { .. }
-            | OpKind::Loss => 0,
+            | OpKind::Loss
+            | OpKind::Add => 0,
         }
     }
 
@@ -215,6 +221,11 @@ impl OpKind {
                 let numel: u64 = in_shapes.iter().map(|s| s.numel() as u64).sum();
                 4 * numel
             }
+            OpKind::Add => {
+                // One add per element per extra input.
+                let numel = in_shapes.first().map_or(0, |s| s.numel()) as u64;
+                numel * in_shapes.len().saturating_sub(1) as u64
+            }
         }
     }
 
@@ -227,7 +238,7 @@ impl OpKind {
         let fwd = self.forward_flops(in_shapes);
         match self {
             OpKind::Input => 0,
-            OpKind::Concat | OpKind::EmbeddingBag { .. } | OpKind::Loss => fwd,
+            OpKind::Concat | OpKind::EmbeddingBag { .. } | OpKind::Loss | OpKind::Add => fwd,
             _ => 2 * fwd,
         }
     }
@@ -315,6 +326,17 @@ impl OpKind {
                 }
                 Ok(Shape::vector(1))
             }
+            OpKind::Add => {
+                let Some(first) = in_shapes.first() else {
+                    return Err("Add requires at least one input".to_string());
+                };
+                for s in in_shapes {
+                    if s != first {
+                        return Err(format!("Add inputs disagree on shape: {first} vs {s}"));
+                    }
+                }
+                Ok((*first).clone())
+            }
         }
     }
 
@@ -334,6 +356,8 @@ impl OpKind {
             }
             // Index gather: backward only needs the (tiny, integer) indices.
             OpKind::EmbeddingBag { bag, .. } => (bag as u64) * BYTES_PER_ELEMENT,
+            // d/dx_i of a sum is the output gradient itself: nothing to stash.
+            OpKind::Add => 0,
             _ => input_bytes,
         }
     }
@@ -462,9 +486,24 @@ mod tests {
             OpKind::Activation(Nonlinearity::Gelu),
             OpKind::Concat,
             OpKind::Loss,
+            OpKind::Add,
         ] {
             assert_eq!(op.param_count(), 0, "{op:?}");
         }
+    }
+
+    #[test]
+    fn add_requires_matching_shapes() {
+        let a = shp(&[4, 8]);
+        assert_eq!(OpKind::Add.infer_output_shape(&[&a, &a]).unwrap(), a);
+        assert!(OpKind::Add
+            .infer_output_shape(&[&a, &shp(&[4, 9])])
+            .is_err());
+        assert!(OpKind::Add.infer_output_shape(&[]).is_err());
+        // One add per element per extra input; backward mirrors forward.
+        assert_eq!(OpKind::Add.forward_flops(&[&a, &a, &a]), 2 * 32);
+        assert_eq!(OpKind::Add.backward_flops(&[&a, &a]), 32);
+        assert_eq!(OpKind::Add.stashed_bytes(&[&a, &a]), 0);
     }
 
     #[test]

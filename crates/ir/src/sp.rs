@@ -136,6 +136,49 @@ impl SpBlock {
     }
 }
 
+/// How a model's series-parallel tree was obtained from its graph — the
+/// fallback ladder of the arbitrary-DAG planning pipeline (see the
+/// [`crate::dag`] module and DESIGN.md §"Arbitrary DAGs").
+///
+/// The path rides on the [`SpModel`] (and is stamped into every plan built
+/// from it), so fingerprints, artifacts, and the verifier all see which
+/// rung produced the decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlanPath {
+    /// The tree represents the graph exactly: hand-authored and validated,
+    /// or recovered losslessly by SP recognition.
+    ExactSp,
+    /// The graph is not series-parallel; an SP-ized supergraph decomposition
+    /// was used instead.
+    SpIzed {
+        /// The distortion bound: extra activation-transit volume in bytes
+        /// that the decomposition adds over the raw DAG's edges (each skip
+        /// edge pays its producer's output once per chain position it
+        /// crosses). Must equal [`crate::dag::transit_volume`] recomputed
+        /// over the model — `gp-verify` checks this exactly.
+        distortion: u64,
+    },
+    /// The graph exceeded the distortion budget; a coarse Piper-style
+    /// clustering over a flat topological chain was used.
+    Clustered {
+        /// Number of unit-op groups the chain coarsens into
+        /// (`ceil(ops / unit_ops)`).
+        units: u32,
+    },
+}
+
+impl fmt::Display for PlanPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanPath::ExactSp => write!(f, "exact-sp"),
+            PlanPath::SpIzed { distortion } => {
+                write!(f, "sp-ized (distortion {distortion} bytes)")
+            }
+            PlanPath::Clustered { units } => write!(f, "clustered ({units} units)"),
+        }
+    }
+}
+
 /// Errors raised when an [`SpBlock`] does not faithfully describe a graph.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SpError {
@@ -191,6 +234,8 @@ pub struct SpModel {
     root: SpBlock,
     /// Human-readable model name (e.g. `"mmt"`).
     name: String,
+    /// How the tree was obtained from the graph (see [`PlanPath`]).
+    path: PlanPath,
 }
 
 impl SpModel {
@@ -210,7 +255,36 @@ impl SpModel {
             graph,
             root,
             name: name.into(),
+            path: PlanPath::ExactSp,
         })
+    }
+
+    /// Pairs a graph with a tree **without validating or normalizing** —
+    /// the seam that lets `gp-verify`'s mutation tests (and protocol
+    /// decoders that re-validate separately) build models the validating
+    /// constructor would reject. Production code paths must use
+    /// [`SpModel::new`] or [`crate::dag::plan_dag`].
+    pub fn new_unchecked(
+        name: impl Into<String>,
+        graph: Graph,
+        root: SpBlock,
+        path: PlanPath,
+    ) -> Self {
+        SpModel {
+            graph,
+            root,
+            name: name.into(),
+            path,
+        }
+    }
+
+    /// Returns the model with its plan path replaced. Used by the DAG
+    /// planning pipeline (and wire decoders) to record which rung of the
+    /// fallback ladder produced the tree; the path is absorbed into the
+    /// model fingerprint whenever it is not [`PlanPath::ExactSp`].
+    pub fn with_path(mut self, path: PlanPath) -> Self {
+        self.path = path;
+        self
     }
 
     /// The underlying computation graph.
@@ -226,6 +300,12 @@ impl SpModel {
     /// The model's name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// How the SP tree was obtained from the graph ([`PlanPath::ExactSp`]
+    /// for hand-authored or exactly recognized trees).
+    pub fn path(&self) -> PlanPath {
+        self.path
     }
 
     /// The linearization used by sequential-pipeline baselines: the SP tree's

@@ -25,7 +25,8 @@
 //! consumes the interaction output directly. This preserves the multi-branch
 //! compute/memory balance the evaluation depends on.
 
-use crate::graph::{GraphBuilder, OpId};
+use crate::dag::{plan_dag, DagOptions};
+use crate::graph::{Graph, GraphBuilder, OpId};
 use crate::op::{Nonlinearity, OpKind};
 use crate::shape::Shape;
 use crate::sp::{SpBlock, SpModel};
@@ -649,6 +650,213 @@ pub fn mlp_chain(layers: usize, hidden: usize) -> SpModel {
     .expect("zoo SP tree matches its graph")
 }
 
+/// Configuration for the GPT-2-style decoder stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gpt2Config {
+    /// Number of Transformer blocks.
+    pub layers: usize,
+    /// Model (hidden) dimension.
+    pub hidden: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Sequence length.
+    pub seq: usize,
+    /// Vocabulary size (embedding rows and head columns).
+    pub vocab: usize,
+}
+
+impl Default for Gpt2Config {
+    /// A scaled-down GPT-2: 6 blocks, hidden 256, 8 heads, seq 128,
+    /// vocab 4096 — the residual topology of the full model at a size the
+    /// analytic planner sweeps quickly.
+    fn default() -> Self {
+        Gpt2Config {
+            layers: 6,
+            hidden: 256,
+            heads: 8,
+            seq: 128,
+            vocab: 4096,
+        }
+    }
+}
+
+impl Gpt2Config {
+    /// A tiny variant for tests and CPU execution.
+    pub fn tiny() -> Self {
+        Gpt2Config {
+            layers: 2,
+            hidden: 32,
+            heads: 2,
+            seq: 16,
+            vocab: 128,
+        }
+    }
+}
+
+/// Builds the raw GPT-2-style graph: embedding -> N pre-norm
+/// attention/MLP blocks with residual [`OpKind::Add`] skips -> final norm
+/// -> vocabulary head -> loss.
+///
+/// The token embedding is modeled as a dense `vocab -> hidden` projection
+/// of one-hot rows (same parameter count as the real lookup table). The
+/// residual skips make this a graph with *forward skip edges* — no
+/// hand-authorable branch structure, exactly what [`plan_dag`] exists to
+/// absorb.
+pub fn gpt2_graph(cfg: &Gpt2Config) -> Graph {
+    assert!(cfg.layers >= 1 && cfg.heads >= 1 && cfg.hidden.is_multiple_of(cfg.heads));
+    let mut b = GraphBuilder::new();
+    let tokens = b.input("tokens", Shape::matrix(cfg.seq, cfg.vocab));
+    let mut cur = b
+        .linear("embed", tokens, cfg.hidden, false)
+        .expect("consistent");
+    for l in 0..cfg.layers {
+        let ln1 = b
+            .op(
+                format!("l{l}.ln1"),
+                OpKind::LayerNorm { dim: cfg.hidden },
+                &[cur],
+            )
+            .expect("consistent");
+        let attn = b
+            .op(
+                format!("l{l}.attn"),
+                OpKind::MultiHeadAttention {
+                    seq: cfg.seq,
+                    hidden: cfg.hidden,
+                    heads: cfg.heads,
+                },
+                &[ln1],
+            )
+            .expect("consistent");
+        let add1 = b
+            .op(format!("l{l}.res1"), OpKind::Add, &[cur, attn])
+            .expect("consistent");
+        let ln2 = b
+            .op(
+                format!("l{l}.ln2"),
+                OpKind::LayerNorm { dim: cfg.hidden },
+                &[add1],
+            )
+            .expect("consistent");
+        let up = b
+            .linear(format!("l{l}.mlp_up"), ln2, 4 * cfg.hidden, true)
+            .expect("consistent");
+        let act = b
+            .op(
+                format!("l{l}.gelu"),
+                OpKind::Activation(Nonlinearity::Gelu),
+                &[up],
+            )
+            .expect("consistent");
+        let down = b
+            .linear(format!("l{l}.mlp_down"), act, cfg.hidden, true)
+            .expect("consistent");
+        cur = b
+            .op(format!("l{l}.res2"), OpKind::Add, &[add1, down])
+            .expect("consistent");
+    }
+    let lnf = b
+        .op("ln_f", OpKind::LayerNorm { dim: cfg.hidden }, &[cur])
+        .expect("consistent");
+    let head = b.linear("head", lnf, cfg.vocab, false).expect("consistent");
+    b.loss("loss", &[head]);
+    b.finish().expect("zoo model is valid")
+}
+
+/// Builds the GPT-2-style model through the [`plan_dag`] ladder.
+///
+/// Residual skips leave the graph totally ordered by reachability, so
+/// recognition recovers an exact chain tree ([`crate::PlanPath::ExactSp`])
+/// whose skip edges ride the chain forward.
+pub fn gpt2(cfg: &Gpt2Config) -> SpModel {
+    plan_dag("gpt2", gpt2_graph(cfg), &DagOptions::default()).expect("zoo model is valid")
+}
+
+/// Configuration for the deep GNN layer pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GnnPipeConfig {
+    /// Number of GNN layers (>= 3 to exercise the jumping skips).
+    pub layers: usize,
+    /// Parallel attention heads per layer.
+    pub heads: usize,
+    /// Per-head feature dimension.
+    pub dim: usize,
+}
+
+impl Default for GnnPipeConfig {
+    /// 8 layers of 8 heads at dim 256 — deep and wide enough that the
+    /// level-chain SP-ization carries real distortion.
+    fn default() -> Self {
+        GnnPipeConfig {
+            layers: 8,
+            heads: 8,
+            dim: 256,
+        }
+    }
+}
+
+impl GnnPipeConfig {
+    /// A tiny variant for tests and CPU execution.
+    pub fn tiny() -> Self {
+        GnnPipeConfig {
+            layers: 3,
+            heads: 4,
+            dim: 32,
+        }
+    }
+}
+
+/// Builds the raw deep-GNN layer-pipeline graph (GNNPipe-style, see
+/// PAPERS.md): each layer holds `heads` parallel per-head transforms;
+/// layer `l`'s head `j` aggregates head `j` and neighbor head
+/// `(j+1) % heads` of layer `l-1` — plus a *jumping-knowledge* skip from
+/// layer `l-2` — before its dense update. The neighbor mixing makes
+/// same-layer heads incomparable yet mutually entangled (no SP separator
+/// exists between layers), and the jumping skips span two levels, so this
+/// graph is genuinely non-SP with nonzero SP-ization distortion.
+pub fn gnn_pipe_graph(cfg: &GnnPipeConfig) -> Graph {
+    assert!(cfg.layers >= 2 && cfg.heads >= 2);
+    let mut b = GraphBuilder::new();
+    let input = b.input("input", Shape::vector(cfg.dim));
+    // h[l][j]: head j's output at layer l; keep the previous two layers.
+    let mut prev: Vec<OpId> = (0..cfg.heads)
+        .map(|j| {
+            b.linear(format!("l0.h{j}"), input, cfg.dim, true)
+                .expect("consistent")
+        })
+        .collect();
+    let mut prev2: Option<Vec<OpId>> = None;
+    for l in 1..cfg.layers {
+        let next: Vec<OpId> = (0..cfg.heads)
+            .map(|j| {
+                let mut inputs = vec![prev[j], prev[(j + 1) % cfg.heads]];
+                if let Some(ref pp) = prev2 {
+                    inputs.push(pp[j]);
+                }
+                let agg = b
+                    .op(format!("l{l}.agg{j}"), OpKind::Add, &inputs)
+                    .expect("consistent");
+                b.linear(format!("l{l}.h{j}"), agg, cfg.dim, true)
+                    .expect("consistent")
+            })
+            .collect();
+        prev2 = Some(std::mem::replace(&mut prev, next));
+    }
+    let readout = b.op("readout", OpKind::Add, &prev).expect("consistent");
+    let head = b.linear("head", readout, 1, true).expect("consistent");
+    b.loss("loss", &[head]);
+    b.finish().expect("zoo model is valid")
+}
+
+/// Builds the deep GNN pipeline through the [`plan_dag`] ladder.
+///
+/// The graph is irreducible (no SP tree exists), so the result takes the
+/// [`crate::PlanPath::SpIzed`] path: a level chain over longest-path
+/// depths whose jumping skips contribute the reported distortion.
+pub fn gnn_pipe(cfg: &GnnPipeConfig) -> SpModel {
+    plan_dag("gnn-pipe", gnn_pipe_graph(cfg), &DagOptions::default()).expect("zoo model is valid")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -756,5 +964,40 @@ mod tests {
         let m = mlp_chain(4, 32);
         assert_eq!(m.root().branch_points(), 0);
         assert_eq!(m.graph().len(), 1 + 4 * 2 + 1);
+    }
+
+    #[test]
+    fn gpt2_residuals_recognize_as_an_exact_chain() {
+        let m = gpt2(&Gpt2Config::tiny());
+        m.graph().validate().unwrap();
+        assert_eq!(m.path(), crate::PlanPath::ExactSp);
+        // tokens + embed + 2 blocks x 8 ops + ln_f + head + loss.
+        assert_eq!(m.graph().len(), 2 + 2 * 8 + 3);
+        // Residual skips survive as forward chain edges.
+        assert!(m.graph().edges().count() > m.graph().len() - 1);
+        assert!(m.graph().is_topo_order(&m.linearize()));
+    }
+
+    #[test]
+    fn gnn_pipe_is_genuinely_non_sp() {
+        let g = gnn_pipe_graph(&GnnPipeConfig::tiny());
+        assert!(crate::recognize(&g).is_none());
+        let m = gnn_pipe(&GnnPipeConfig::tiny());
+        let crate::PlanPath::SpIzed { distortion } = m.path() else {
+            panic!("expected SpIzed, got {:?}", m.path());
+        };
+        // The jumping-knowledge skips span two chain levels each.
+        assert!(distortion > 0);
+        assert_eq!(distortion, crate::dag::transit_volume(m.graph(), m.root()));
+        assert!(crate::dag::edge_cover_violations(m.graph(), m.root()).is_empty());
+        assert!(m.graph().is_topo_order(&m.linearize()));
+    }
+
+    #[test]
+    fn gnn_pipe_default_is_deep_and_wide() {
+        let m = gnn_pipe(&GnnPipeConfig::default());
+        m.graph().validate().unwrap();
+        // input + 8 heads + 7 layers x (8 agg + 8 h) + readout + head + loss.
+        assert_eq!(m.graph().len(), 1 + 8 + 7 * 16 + 3);
     }
 }

@@ -2254,6 +2254,7 @@ impl GraphPipePlanner {
             schedule,
             bottleneck_tps: 0.0,
             peak_memory_bytes: 0,
+            path: model.path(),
             stats,
         };
         let (tps, mem) = plan.measure(model.graph(), cost);

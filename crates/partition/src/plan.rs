@@ -339,6 +339,9 @@ pub struct Plan {
     pub bottleneck_tps: f64,
     /// Peak per-device memory across stages, in bytes.
     pub peak_memory_bytes: u64,
+    /// Which rung of the DAG fallback ladder produced the model this plan
+    /// was computed for (`ExactSp` for hand-authored SP trees).
+    pub path: gp_ir::PlanPath,
     /// Search-cost accounting.
     pub stats: SearchStats,
 }
@@ -393,6 +396,9 @@ impl Plan {
             self.pipeline_depth(),
             self.stage_graph.mini_batch(),
         );
+        if self.path != gp_ir::PlanPath::ExactSp {
+            let _ = writeln!(out, "  plan path: {}", self.path);
+        }
         for s in self.stage_graph.stages() {
             let names: Vec<&str> = s
                 .ops

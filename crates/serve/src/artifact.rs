@@ -7,12 +7,12 @@
 //! works today with the vendored serde API-stubs; when the real serde
 //! lands, only this module needs revisiting.
 //!
-//! # Format (version 3)
+//! # Format (version 4)
 //!
 //! ```json
 //! {
 //!   "format": "graphpipe-plan",
-//!   "version": 3,
+//!   "version": 4,
 //!   "fingerprint": "<32 hex digits, optional>",
 //!   "mini_batch": 64,
 //!   "stages": [
@@ -58,6 +58,11 @@
 //! * version 2 documents predate the `memo_misses`/`beam_prunes`/
 //!   `eval_batches` search counters (the beam-search/vectorized-eval
 //!   accounting); they too decode with those counters zeroed.
+//! * version 4 adds the optional `plan_path` member recording which rung
+//!   of the DAG fallback ladder produced the plan's model
+//!   (`{"kind": "sp-ized", "distortion": N}` or
+//!   `{"kind": "clustered", "units": N}`); absence — including every
+//!   older document — means the exact-SP path.
 //!
 //! Decoding is *validating*: the raw stage list runs through
 //! [`gp_verify::verify_stages`] before the stage graph is rebuilt (through
@@ -76,7 +81,7 @@ use crate::fingerprint::Fingerprint;
 use crate::json::{Json, JsonError};
 use gp_cluster::{Cluster, DeviceRange};
 use gp_cost::Pass;
-use gp_ir::{Graph, OpId};
+use gp_ir::{Graph, OpId, PlanPath};
 use gp_partition::{Plan, SearchStats};
 use gp_sched::{InFlightTable, PipelineSchedule, Stage, StageGraph, StageId, StageSchedule, Task};
 use std::fmt;
@@ -86,7 +91,7 @@ use std::time::Duration;
 pub const FORMAT: &str = "graphpipe-plan";
 
 /// The artifact version this build writes; older versions decode too.
-pub const VERSION: u64 = 3;
+pub const VERSION: u64 = 4;
 
 /// Why an artifact failed to decode.
 #[derive(Debug, Clone, PartialEq)]
@@ -218,6 +223,26 @@ pub(crate) fn strategy_members(plan: &Plan) -> Vec<(String, Json)> {
         "peak_memory_bytes".into(),
         Json::Int(plan.peak_memory_bytes as i128),
     ));
+    // Emitted only off the exact-SP path: pre-DAG plans (and their
+    // fingerprints) stay byte-stable, while SP-ized/clustered strategies
+    // carry the rung — and its accounting — in their identity.
+    match plan.path {
+        PlanPath::ExactSp => {}
+        PlanPath::SpIzed { distortion } => members.push((
+            "plan_path".into(),
+            Json::Obj(vec![
+                ("kind".into(), Json::Str("sp-ized".into())),
+                ("distortion".into(), Json::Int(i128::from(distortion))),
+            ]),
+        )),
+        PlanPath::Clustered { units } => members.push((
+            "plan_path".into(),
+            Json::Obj(vec![
+                ("kind".into(), Json::Str("clustered".into())),
+                ("units".into(), Json::Int(i128::from(units))),
+            ]),
+        )),
+    }
     members
 }
 
@@ -520,6 +545,26 @@ pub fn decode_plan(
         ..SearchStats::default()
     };
 
+    // Absent (every pre-version-4 document) means the exact-SP path.
+    let path = match doc.get("plan_path") {
+        None => PlanPath::ExactSp,
+        Some(p) => {
+            let kind = p
+                .get("kind")
+                .and_then(Json::as_str)
+                .ok_or(ArtifactError::Field("plan_path.kind"))?;
+            match kind {
+                "sp-ized" => PlanPath::SpIzed {
+                    distortion: u64_field(p, "distortion")?,
+                },
+                "clustered" => PlanPath::Clustered {
+                    units: u32_field(p, "units")?,
+                },
+                _ => return Err(ArtifactError::Field("plan_path.kind")),
+            }
+        }
+    };
+
     let plan = Plan {
         stage_graph,
         in_flight,
@@ -528,6 +573,7 @@ pub fn decode_plan(
             .as_f64()
             .ok_or(ArtifactError::Field("bottleneck_tps"))?,
         peak_memory_bytes: u64_field(&doc, "peak_memory_bytes")?,
+        path,
         stats,
     };
     // Full semantic verification of the assembled plan: in-flight
@@ -612,7 +658,7 @@ mod tests {
                 .replace(&format!("\"beam_prunes\":{},", plan.stats.beam_prunes), "")
                 .replace(&batches, "")
         };
-        let v2 = strip_v3(&text).replace("\"version\":3", "\"version\":2");
+        let v2 = strip_v3(&text).replace("\"version\":4", "\"version\":2");
         let (decoded, _) = decode_plan(&v2, model.graph(), &cluster).unwrap();
         assert_eq!(decoded.stats.memo_hits, plan.stats.memo_hits);
         assert_eq!(decoded.stats.memo_misses, 0);
@@ -621,7 +667,7 @@ mod tests {
         // The same shape claiming version 1 predates all the counters:
         // decode succeeds with every one of them zeroed.
         let v1 = strip_v3(&truncated)
-            .replace("\"version\":3", "\"version\":1")
+            .replace("\"version\":4", "\"version\":1")
             .replace(
                 &format!("\"work_bound_prunes\":{},", plan.stats.work_bound_prunes),
                 "",

@@ -39,7 +39,7 @@
 //! nondeterminism hazards (DESIGN.md §"Determinism lint").
 
 use gp_cluster::{Cluster, DeviceId};
-use gp_ir::{Graph, SpBlock, SpModel};
+use gp_ir::{Graph, PlanPath, SpBlock, SpModel};
 use gp_partition::PlanOptions;
 use std::fmt;
 
@@ -279,6 +279,21 @@ pub fn model_fingerprint(model: &SpModel) -> Fingerprint {
     let mut all = labels.clone();
     digest.words(&sorted_fold(&mut all));
     digest.word(sp_hash(model.root(), &labels));
+    // The path the DAG ladder took is part of the model's identity: an
+    // SP-ized or clustered tree must never collide with a hand-authored
+    // exact one. `ExactSp` absorbs nothing so every pre-DAG fingerprint
+    // stays byte-stable.
+    match model.path() {
+        PlanPath::ExactSp => {}
+        PlanPath::SpIzed { distortion } => {
+            digest.word(0x7370_697a_6564); // "spized"
+            digest.word(distortion);
+        }
+        PlanPath::Clustered { units } => {
+            digest.word(0x636c_7573_7465_7264); // "clusterd"
+            digest.word(u64::from(units));
+        }
+    }
     Fingerprint(digest.finish())
 }
 

@@ -582,11 +582,12 @@ pub fn verify_plan(graph: &Graph, cluster: &Cluster, plan: &Plan) -> VerifyRepor
     report
 }
 
-/// Verifies a plan against its source model: `sp-cover-exact` and
-/// `sp-topo-order` over the model's SP tree, then everything
-/// [`verify_plan`] covers (DESIGN.md §"Invariant catalog"). This is the
-/// check `Session::plan` and `Session::load_artifact` run at their trust
-/// boundaries.
+/// Verifies a plan against its source model: `sp-cover-exact`,
+/// `sp-topo-order`, `sp-edge-cover`, `distortion-exact` and
+/// `plan-path-consistent` over the model's SP tree and plan path, then
+/// everything [`verify_plan`] covers (DESIGN.md §"Invariant catalog").
+/// This is the check `Session::plan` and `Session::load_artifact` run at
+/// their trust boundaries.
 pub fn verify_strategy(model: &SpModel, cluster: &Cluster, plan: &Plan) -> VerifyReport {
     let graph = model.graph();
     let mut report = VerifyReport::new();
@@ -616,6 +617,57 @@ pub fn verify_strategy(model: &SpModel, cluster: &Cluster, plan: &Plan) -> Verif
             Location::global(),
             "the SP tree's series linearization is not a topological order of the graph",
         );
+    } else {
+        // With a one-to-one topological tree established, the edge and
+        // distortion accounting of the DAG ladder becomes checkable.
+        let violations = gp_ir::dag::edge_cover_violations(graph, model.root());
+        if let Some(&(u, v)) = violations.first() {
+            report.fail(
+                Check::SpEdgeCover,
+                Location::global().at_op(u),
+                format!(
+                    "the SP tree does not admit data edge {u} -> {v} ({} edge(s) lost); \
+                     an SP-ized plan must cover the original dependency set",
+                    violations.len()
+                ),
+            );
+        } else if let gp_ir::PlanPath::SpIzed { distortion } = model.path() {
+            let recomputed = gp_ir::dag::transit_volume(graph, model.root());
+            if distortion != recomputed {
+                report.fail(
+                    Check::DistortionExact,
+                    Location::global(),
+                    format!(
+                        "plan path reports distortion {distortion} bytes but the tree's \
+                         transit volume recomputes to {recomputed}"
+                    ),
+                );
+            }
+        }
+    }
+    if plan.path != model.path() {
+        report.fail(
+            Check::PlanPathConsistent,
+            Location::global(),
+            format!(
+                "plan records path `{}` but the model took `{}`",
+                plan.path,
+                model.path()
+            ),
+        );
+    } else if let gp_ir::PlanPath::Clustered { units } = plan.path {
+        if units == 0 || units as usize > graph.len() {
+            report.fail(
+                Check::PlanPathConsistent,
+                Location::global(),
+                format!(
+                    "clustered plan path reports {units} units for a {}-operator graph; \
+                     expected 1..={}",
+                    graph.len(),
+                    graph.len()
+                ),
+            );
+        }
     }
     report.merge(verify_plan(graph, cluster, plan));
     report
@@ -698,6 +750,7 @@ mod tests {
             schedule,
             bottleneck_tps: 0.0,
             peak_memory_bytes: 0,
+            path: gp_ir::PlanPath::ExactSp,
             stats: gp_partition::SearchStats::default(),
         };
         let cost = CostModel::new(&cluster);

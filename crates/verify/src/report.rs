@@ -101,6 +101,19 @@ pub enum Check {
     /// `sp-topo-order` — the SP tree's series linearization is a
     /// topological order of the graph (DESIGN.md §"Invariant catalog").
     SpTopoOrder,
+    /// `sp-edge-cover` — the SP tree admits every data edge of the graph
+    /// (no edge is lost across branches or reversed along a chain), so an
+    /// SP-ized plan covers the original dependency set (DESIGN.md
+    /// §"Invariant catalog").
+    SpEdgeCover,
+    /// `distortion-exact` — an `SpIzed` plan path's reported distortion
+    /// equals the transit volume recomputed from the graph and tree
+    /// (DESIGN.md §"Invariant catalog").
+    DistortionExact,
+    /// `plan-path-consistent` — the plan's recorded `PlanPath` equals the
+    /// model's, and a `Clustered` unit count is sane for the graph
+    /// (DESIGN.md §"Invariant catalog").
+    PlanPathConsistent,
 }
 
 impl Check {
@@ -133,6 +146,9 @@ impl Check {
             Check::EstimateFinite => "estimate-finite",
             Check::SpCoverExact => "sp-cover-exact",
             Check::SpTopoOrder => "sp-topo-order",
+            Check::SpEdgeCover => "sp-edge-cover",
+            Check::DistortionExact => "distortion-exact",
+            Check::PlanPathConsistent => "plan-path-consistent",
         }
     }
 
@@ -165,6 +181,9 @@ impl Check {
             Check::EstimateFinite,
             Check::SpCoverExact,
             Check::SpTopoOrder,
+            Check::SpEdgeCover,
+            Check::DistortionExact,
+            Check::PlanPathConsistent,
         ]
     }
 }

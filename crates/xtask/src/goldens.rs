@@ -38,6 +38,13 @@ fn cells() -> Vec<(&'static str, SpModel, usize, u64)> {
         ),
         ("moe-tiny-4gpu", zoo::moe(&zoo::MoeConfig::tiny()), 4, 32),
         ("mlp-chain-4gpu", zoo::mlp_chain(4, 64), 4, 32),
+        (
+            "gnn-pipe-tiny-4gpu",
+            zoo::gnn_pipe(&zoo::GnnPipeConfig::tiny()),
+            4,
+            32,
+        ),
+        ("gpt2-tiny-4gpu", zoo::gpt2(&zoo::Gpt2Config::tiny()), 4, 32),
     ]
 }
 

@@ -1,0 +1,53 @@
+//! Planning a genuinely non-series-parallel DAG: a deep GNN layer
+//! pipeline whose heads mix neighbor state every layer (plus
+//! jumping-knowledge skips), so no SP tree represents the graph exactly.
+//! `Session::builder().model_dag(..)` walks the fallback ladder —
+//! recognition, then SP-ization with quantified distortion, then
+//! clustering — and records the rung taken in the plan.
+//!
+//! Run with: `cargo run --release --example gnn_pipe`
+
+use graphpipe::prelude::*;
+
+fn main() -> Result<(), graphpipe::Error> {
+    let cfg = zoo::GnnPipeConfig::default();
+    let graph = zoo::gnn_pipe_graph(&cfg);
+    println!(
+        "GNN pipe: {} layers x {} heads, dim {} -> {} operators\n",
+        cfg.layers,
+        cfg.heads,
+        cfg.dim,
+        graph.len()
+    );
+
+    // The raw DAG goes in; the ladder decides how to make it plannable.
+    let session = Session::builder()
+        .model_dag(graph)
+        .cluster(Cluster::summit_like(8))
+        .mini_batch(128)
+        .options(PlanOptions::default().with_max_micro_batches(128))
+        .build()?;
+    let strategy = session.plan(PlannerKind::GraphPipe)?;
+    match strategy.plan_path() {
+        PlanPath::ExactSp => println!("path: exact SP recognition"),
+        PlanPath::SpIzed { distortion } => {
+            println!("path: SP-ized level chain, {distortion} bytes of extra activation transit")
+        }
+        PlanPath::Clustered { units } => println!("path: clustered fallback, {units} units"),
+    }
+
+    let report = strategy.simulate()?;
+    println!(
+        "planned {} stages (depth {}), simulated {:.0} samples/s",
+        strategy.plan().stage_graph.len(),
+        strategy.plan().pipeline_depth(),
+        report.throughput
+    );
+
+    // The plan path survives the artifact codec: ship the plan anywhere
+    // and the consumer still knows which rung produced it.
+    let restored = session.load_artifact(&strategy.artifact(), PlannerKind::GraphPipe)?;
+    assert_eq!(restored.plan_path(), strategy.plan_path());
+    println!("artifact round-trip preserved the plan path");
+    Ok(())
+}

@@ -12,7 +12,7 @@
 //! catalog").
 
 use gp_cluster::{Cluster, DeviceRange};
-use gp_ir::{zoo, SpModel};
+use gp_ir::{zoo, PlanPath, SpBlock, SpModel};
 use gp_partition::Plan;
 use gp_sched::{InFlightTable, Stage, StageId};
 use gp_serve::artifact::decode_plan;
@@ -30,6 +30,12 @@ fn cells() -> Vec<(&'static str, SpModel, usize)> {
         ),
         ("moe-tiny-4gpu", zoo::moe(&zoo::MoeConfig::tiny()), 4),
         ("mlp-chain-4gpu", zoo::mlp_chain(4, 64), 4),
+        (
+            "gnn-pipe-tiny-4gpu",
+            zoo::gnn_pipe(&zoo::GnnPipeConfig::tiny()),
+            4,
+        ),
+        ("gpt2-tiny-4gpu", zoo::gpt2(&zoo::Gpt2Config::tiny()), 4),
     ]
 }
 
@@ -229,6 +235,146 @@ fn non_finite_estimate_is_rejected() {
     assert_plan_mutation(&[Check::EstimateFinite], |plan| {
         plan.bottleneck_tps = f64::NAN;
     });
+}
+
+/// The SP-ized golden cell — the one whose model runs the DAG fallback
+/// ladder ([`gp_ir::PlanPath::SpIzed`]) — with its decoded plan. The
+/// SP-tree mutations below corrupt *this* model's tree six ways and
+/// require the strategy verifier to reject each by catalog name.
+fn sp_ized_cell() -> (SpModel, Cluster, Plan) {
+    let model = zoo::gnn_pipe(&zoo::GnnPipeConfig::tiny());
+    let cluster = Cluster::summit_like(4);
+    let (_, plan) = golden("gnn-pipe-tiny-4gpu", &model, &cluster);
+    assert!(
+        matches!(model.path(), PlanPath::SpIzed { .. }),
+        "the gnn-pipe cell must exercise the SP-ization rung"
+    );
+    (model, cluster, plan)
+}
+
+/// Rebuilds the SP-ized cell's model with `mutate` applied to its tree
+/// (bypassing validation via [`SpModel::new_unchecked`]) and asserts the
+/// strategy verifier names `expected`.
+fn assert_tree_mutation(expected: Check, mutate: impl FnOnce(&mut SpBlock)) {
+    let (model, cluster, plan) = sp_ized_cell();
+    let mut root = model.root().clone();
+    mutate(&mut root);
+    let corrupt = SpModel::new_unchecked(model.name(), model.graph().clone(), root, model.path());
+    let report = verify_strategy(&corrupt, &cluster, &plan);
+    assert!(
+        report.violates(expected),
+        "expected {expected} in report, got: {report}"
+    );
+}
+
+/// Returns the leaves of a tree in series order.
+fn leaves(block: &SpBlock) -> Vec<gp_ir::OpId> {
+    let mut model_order = Vec::new();
+    fn walk(block: &SpBlock, out: &mut Vec<gp_ir::OpId>) {
+        match block {
+            SpBlock::Leaf(id) => out.push(*id),
+            SpBlock::Chain(items) | SpBlock::Branches(items) => {
+                items.iter().for_each(|b| walk(b, out))
+            }
+        }
+    }
+    walk(block, &mut model_order);
+    model_order
+}
+
+#[test]
+fn dropped_split_node_is_rejected() {
+    // Removing the first child of the root drops every operator under it
+    // from the tree's coverage.
+    assert_tree_mutation(Check::SpCoverExact, |root| match root {
+        SpBlock::Chain(items) | SpBlock::Branches(items) => {
+            items.remove(0);
+        }
+        SpBlock::Leaf(_) => panic!("the SP-ized cell's tree cannot be a single leaf"),
+    });
+}
+
+#[test]
+fn duplicated_leaf_is_rejected() {
+    assert_tree_mutation(Check::SpCoverExact, |root| {
+        let dup = SpBlock::Leaf(leaves(root)[0]);
+        match root {
+            SpBlock::Chain(items) | SpBlock::Branches(items) => items.push(dup),
+            SpBlock::Leaf(_) => unreachable!(),
+        }
+    });
+}
+
+#[test]
+fn reordered_chain_is_rejected() {
+    // Reversing the series order runs the sink before the source.
+    assert_tree_mutation(Check::SpTopoOrder, |root| {
+        let reversed: Vec<SpBlock> = leaves(root).into_iter().rev().map(SpBlock::Leaf).collect();
+        *root = SpBlock::Chain(reversed);
+    });
+}
+
+#[test]
+fn cross_branch_edge_is_rejected() {
+    // Flattening the tree into one big `Branches` keeps coverage exact and
+    // (leaves stay in series order) the linearization topological — but
+    // every data edge now crosses parallel branches, exactly the corruption
+    // `sp-edge-cover` exists to catch.
+    assert_tree_mutation(Check::SpEdgeCover, |root| {
+        let flat: Vec<SpBlock> = leaves(root).into_iter().map(SpBlock::Leaf).collect();
+        *root = SpBlock::Branches(flat);
+    });
+}
+
+#[test]
+fn stale_distortion_is_rejected() {
+    let (model, cluster, plan) = sp_ized_cell();
+    let PlanPath::SpIzed { distortion } = model.path() else {
+        unreachable!()
+    };
+    let stale = PlanPath::SpIzed {
+        distortion: distortion + 1,
+    };
+    let corrupt = SpModel::new_unchecked(
+        model.name(),
+        model.graph().clone(),
+        model.root().clone(),
+        stale,
+    );
+    let report = verify_strategy(&corrupt, &cluster, &plan);
+    assert!(
+        report.violates(Check::DistortionExact),
+        "expected distortion-exact in report, got: {report}"
+    );
+}
+
+#[test]
+fn mismatched_plan_path_is_rejected() {
+    let (model, cluster, mut plan) = sp_ized_cell();
+    plan.path = PlanPath::ExactSp;
+    let report = verify_strategy(&model, &cluster, &plan);
+    assert!(
+        report.violates(Check::PlanPathConsistent),
+        "expected plan-path-consistent in report, got: {report}"
+    );
+}
+
+#[test]
+fn insane_cluster_unit_count_is_rejected() {
+    let (model, cluster, mut plan) = sp_ized_cell();
+    let zero_units = PlanPath::Clustered { units: 0 };
+    plan.path = zero_units;
+    let corrupt = SpModel::new_unchecked(
+        model.name(),
+        model.graph().clone(),
+        model.root().clone(),
+        zero_units,
+    );
+    let report = verify_strategy(&corrupt, &cluster, &plan);
+    assert!(
+        report.violates(Check::PlanPathConsistent),
+        "expected plan-path-consistent in report, got: {report}"
+    );
 }
 
 /// Byte-level corruption: the codec's decode error must carry the violated

@@ -119,6 +119,52 @@ pub mod sample {
     }
 }
 
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Strategies over collections of generated values.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy yielding a `Vec` of values drawn from `element`, with a
+    /// length drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A vector of `element`-generated values with length in `len`
+    /// (mirrors `prop::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty strategy range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
 /// `Just` strategy: always the same value.
 #[derive(Debug, Clone)]
 pub struct Just<T>(pub T);
@@ -132,6 +178,7 @@ impl<T: Clone> Strategy for Just<T> {
 
 /// Alias namespace mirroring the `prop::...` paths of the real crate.
 pub mod prop {
+    pub use crate::collection;
     pub use crate::sample;
 }
 
@@ -229,6 +276,17 @@ mod tests {
         #[test]
         fn select_picks_members(w in prop::sample::select(vec![2usize, 4, 8])) {
             prop_assert!([2usize, 4, 8].contains(&w));
+        }
+
+        #[test]
+        fn vecs_of_tuples_respect_bounds(
+            v in prop::collection::vec((0usize..7, 1u32..3), 2..5),
+        ) {
+            prop_assert!((2..5).contains(&v.len()));
+            for (a, b) in v {
+                prop_assert!(a < 7);
+                prop_assert!((1..3).contains(&b));
+            }
         }
     }
 }
